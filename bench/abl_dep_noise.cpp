@@ -1,0 +1,59 @@
+// Design ablation: input sensitivity of the dynamic analysis. The dataset
+// builder drops each model-visible dependence edge with probability p
+// (DESIGN.md) — this sweep shows classification accuracy degrading as the
+// profiling input exercises less of the program's true dependences.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  std::printf("Ablation — dependence-profile noise (input sensitivity)\n");
+  std::printf("%8s %12s %12s %12s\n", "p(drop)", "MV-GNN", "AdaBoost",
+              "DecisionTree");
+
+  auto programs = data::build_generated_corpus(360, 99);
+  for (const double noise : {0.0, 0.06, 0.12, 0.25, 0.5}) {
+    data::DatasetOptions opts;
+    opts.seed = 41;
+    opts.dep_noise = noise;
+    const data::Dataset ds = data::build_dataset(programs, opts);
+    auto [train, test] = data::split_by_kernel(ds, 0.75, 41);
+    train = data::balance_classes(ds, train, 41);
+
+    const core::Normalizer norm = core::Normalizer::fit(ds, train);
+    core::Featurizer feats(ds, norm);
+    core::TrainConfig tc = bench::standard_train_config();
+    tc.epochs = 18;
+    core::MvGnnTrainer mv(feats, core::default_config(feats), tc);
+    mv.fit(train, {});
+
+    std::vector<ml::FeatureRow> xs;
+    std::vector<int> ys;
+    bench::feature_matrix(ds, train, xs, ys);
+    ml::AdaBoost ada;
+    ada.fit(xs, ys);
+    ml::DecisionTree tree;
+    tree.fit(xs, ys);
+
+    double acc_mv = 0, acc_ada = 0, acc_dt = 0;
+    for (const std::size_t i : test) {
+      const int label = ds.samples[i].label;
+      acc_mv += mv.predict(i).fused == label;
+      const ml::FeatureRow row(ds.samples[i].loop_features.begin(),
+                               ds.samples[i].loop_features.end());
+      acc_ada += ada.predict(row) == label;
+      acc_dt += tree.predict(row) == label;
+    }
+    const double n = static_cast<double>(test.size());
+    std::printf("%8.2f %11.1f%% %11.1f%% %11.1f%%\n", noise,
+                100 * acc_mv / n, 100 * acc_ada / n, 100 * acc_dt / n);
+  }
+  std::printf(
+      "\nExpected shape: monotone degradation with noise for every model\n"
+      "that consumes the dynamic profile; at moderate noise the multi-view\n"
+      "model holds up best because its token/structure views still carry\n"
+      "noise-free signal.\n");
+  return 0;
+}

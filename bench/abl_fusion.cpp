@@ -1,0 +1,66 @@
+// Design ablation: what does each view contribute? Compares the fused
+// MV-GNN prediction against its two single-view heads and against the
+// independently trained Static GNN (inst2vec features only, no dynamic
+// information) and the hand-crafted AdaBoost (dynamic features only, no
+// structure) — isolating each information source of the model.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  auto programs = data::build_generated_corpus(480, 77);
+  data::DatasetOptions opts;
+  opts.seed = 23;
+  const data::Dataset ds = data::build_dataset(programs, opts);
+  auto [train, test] = data::split_by_kernel(ds, 0.75, 23);
+  train = data::balance_classes(ds, train, 23);
+  std::printf("generated dataset: %zu samples, train=%zu test=%zu\n\n",
+              ds.samples.size(), train.size(), test.size());
+
+  const core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::TrainConfig tc = bench::standard_train_config();
+  tc.epochs = 24;
+
+  core::MvGnnTrainer mv(feats, core::default_config(feats), tc);
+  mv.fit(train, {});
+  core::StaticGnnTrainer static_gnn(feats, core::default_config(feats).node_view,
+                                    tc);
+  static_gnn.fit(train, {});
+
+  std::vector<ml::FeatureRow> xs;
+  std::vector<int> ys;
+  bench::feature_matrix(ds, train, xs, ys);
+  ml::AdaBoost ada;
+  ada.fit(xs, ys);
+
+  double fused = 0, node_view = 0, struct_view = 0, sgnn = 0, ab = 0;
+  for (const std::size_t i : test) {
+    const int label = ds.samples[i].label;
+    const auto p = mv.predict(i);
+    fused += p.fused == label;
+    node_view += p.node_view == label;
+    struct_view += p.struct_view == label;
+    sgnn += static_gnn.predict(i) == label;
+    const ml::FeatureRow row(ds.samples[i].loop_features.begin(),
+                             ds.samples[i].loop_features.end());
+    ab += ada.predict(row) == label;
+  }
+  const double n = static_cast<double>(test.size());
+  std::printf("Ablation — fusion and information sources (test acc)\n");
+  std::printf("  %-34s %6.1f%%\n", "MV-GNN (fused, eq. 5)", 100 * fused / n);
+  std::printf("  %-34s %6.1f%%\n", "node-feature view head only",
+              100 * node_view / n);
+  std::printf("  %-34s %6.1f%%\n", "structural view head only",
+              100 * struct_view / n);
+  std::printf("  %-34s %6.1f%%\n", "Static GNN (no dynamic features)",
+              100 * sgnn / n);
+  std::printf("  %-34s %6.1f%%\n", "AdaBoost (dynamic features only)",
+              100 * ab / n);
+  std::printf(
+      "\nExpected shape: fused >= max(single views); node view > structural\n"
+      "view (paper Fig. 8); each single-source baseline below the fusion.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Design ablation: GCN stack depth. The paper stacks graph convolutions
+// (Fig. 6) without reporting a depth sweep; on small sub-PEGs too few
+// layers under-propagate and too many oversmooth.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  auto programs = data::build_generated_corpus(360, 71);
+  data::DatasetOptions opts;
+  opts.seed = 47;
+  const data::Dataset ds = data::build_dataset(programs, opts);
+  auto [train, test] = data::split_by_kernel(ds, 0.75, 47);
+  train = data::balance_classes(ds, train, 47);
+
+  std::printf("Ablation — GCN stack depth (channels before the sort layer)\n");
+  std::printf("%-22s %12s %12s\n", "gcn_channels", "test acc", "params");
+  const std::vector<std::vector<std::size_t>> stacks = {
+      {1}, {32, 1}, {32, 32, 1}, {32, 32, 32, 1}, {32, 32, 32, 32, 1}};
+  for (const auto& stack : stacks) {
+    const core::Normalizer norm = core::Normalizer::fit(ds, train);
+    core::Featurizer feats(ds, norm);
+    core::MvGnnConfig cfg = core::default_config(feats);
+    cfg.node_view.gcn_channels = stack;
+    cfg.struct_view.gcn_channels = stack;
+    core::TrainConfig tc = bench::standard_train_config();
+    tc.epochs = 18;
+    core::MvGnnTrainer trainer(feats, cfg, tc);
+    trainer.fit(train, {});
+    std::string name = "{";
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      name += (i ? "," : "") + std::to_string(stack[i]);
+    }
+    name += "}";
+    std::printf("%-22s %11.1f%% %12zu\n", name.c_str(),
+                100.0 * trainer.accuracy(test),
+                trainer.model().num_parameters());
+  }
+  std::printf(
+      "\nExpected shape: a single 1-channel layer is too weak; accuracy\n"
+      "peaks at 2-3 layers and flattens or dips as depth oversmooths the\n"
+      "small graphs.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Substrate ablation: blocked/parallel GEMM kernel throughput (the matmul
+// behind every GCN layer). google-benchmark microbench across sizes and
+// transpose modes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "parallel/rng.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+void fill(std::vector<float>& v, std::uint64_t seed) {
+  par::Rng rng(seed);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+}
+
+void BM_GemmSquare(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  fill(a, 1);
+  fill(b, 2);
+  for (auto _ : state) {
+    tensor::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposedB(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  fill(a, 3);
+  fill(b, 4);
+  for (auto _ : state) {
+    tensor::gemm(a.data(), b.data(), c.data(), n, n, n, false, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_GemmTransposedB)->Arg(64)->Arg(128);
+
+/// The GNN-typical shape: tall-skinny (n nodes x small feature dims).
+void BM_GemmGnnShape(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 32;
+  std::vector<float> a(nodes * nodes), x(nodes * dim), y(nodes * dim);
+  fill(a, 5);
+  fill(x, 6);
+  for (auto _ : state) {
+    tensor::gemm(a.data(), x.data(), y.data(), nodes, nodes, dim);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GemmGnnShape)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

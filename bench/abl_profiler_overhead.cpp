@@ -1,0 +1,78 @@
+// Substrate ablation: instrumentation overhead of the dependence profiler —
+// plain interpretation (NullObserver) vs full shadow-memory dependence
+// recording, the classic static-vs-dynamic-analysis cost trade-off the
+// paper's section II discusses.
+#include <benchmark/benchmark.h>
+
+#include "frontend/lower.hpp"
+#include "profiler/dep_recorder.hpp"
+#include "profiler/profile.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+const ir::Module& matmul_module() {
+  static const ir::Module m = frontend::compile(R"(
+const int N = 24;
+void kernel(float[] A, float[] B, float[] C) {
+  for (int i = 0; i < N; i += 1) {
+    for (int j = 0; j < N; j += 1) {
+      float acc = 0.0;
+      for (int k = 0; k < N; k += 1) {
+        acc = acc + A[i * N + k] * B[k * N + j];
+      }
+      C[i * N + j] = acc;
+    }
+  }
+}
+)",
+                                                "bench");
+  return m;
+}
+
+std::vector<profiler::ArgInit> matmul_args() {
+  return {profiler::ArgInit::of_array(24 * 24, 1),
+          profiler::ArgInit::of_array(24 * 24, 2),
+          profiler::ArgInit::of_array(24 * 24, 3)};
+}
+
+void BM_InterpPlain(benchmark::State& state) {
+  const auto& m = matmul_module();
+  const auto args = matmul_args();
+  profiler::NullObserver obs;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto r = profiler::run(m, "kernel", args, obs);
+    steps = r.steps;
+    benchmark::DoNotOptimize(r.return_value);
+  }
+  state.counters["dyn_instrs"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_InterpPlain);
+
+void BM_InterpWithDepRecorder(benchmark::State& state) {
+  const auto& m = matmul_module();
+  const auto args = matmul_args();
+  for (auto _ : state) {
+    profiler::ObjectTable objects;
+    profiler::DepRecorder rec(objects);
+    const auto r = profiler::run(m, "kernel", args, rec, objects);
+    benchmark::DoNotOptimize(r.steps);
+  }
+}
+BENCHMARK(BM_InterpWithDepRecorder);
+
+void BM_FullProfilePipeline(benchmark::State& state) {
+  const auto& m = matmul_module();
+  const auto args = matmul_args();
+  for (auto _ : state) {
+    const auto prof = profiler::profile(m, "kernel", args);
+    benchmark::DoNotOptimize(prof.loops.size());
+  }
+}
+BENCHMARK(BM_FullProfilePipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Design ablation: anonymous-walk sampling parameters (gamma walks per node,
+// walk length l). The paper fixes one setting; this sweep shows how the
+// structural view's value depends on them — short walks can't see patterns,
+// very long walks blur them, few walks are noisy.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  struct Config {
+    std::uint32_t gamma;
+    std::uint32_t length;
+  };
+  const Config configs[] = {{4, 5}, {24, 3}, {24, 5}, {24, 7}, {64, 5}};
+
+  std::printf("Ablation — anonymous-walk parameters (gamma, l)\n");
+  std::printf("%6s %6s %10s %12s %12s\n", "gamma", "l", "aw_vocab",
+              "acc(multi)", "acc(struct)");
+
+  auto programs = data::build_generated_corpus(320, 55);
+  for (const Config& cfg : configs) {
+    data::DatasetOptions opts;
+    opts.seed = 31;
+    opts.walk.gamma = cfg.gamma;
+    opts.walk.length = cfg.length;
+    const data::Dataset ds = data::build_dataset(programs, opts);
+    auto [train, test] = data::split_by_kernel(ds, 0.75, 31);
+    train = data::balance_classes(ds, train, 31);
+
+    const core::Normalizer norm = core::Normalizer::fit(ds, train);
+    core::Featurizer feats(ds, norm);
+    core::TrainConfig tc = bench::standard_train_config();
+    tc.epochs = 18;
+    core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
+    trainer.fit(train, {});
+
+    double acc_multi = 0, acc_struct = 0;
+    for (const std::size_t i : test) {
+      const auto p = trainer.predict(i);
+      acc_multi += p.fused == ds.samples[i].label;
+      acc_struct += p.struct_view == ds.samples[i].label;
+    }
+    const double n = static_cast<double>(test.size());
+    std::printf("%6u %6u %10u %11.1f%% %11.1f%%\n", cfg.gamma, cfg.length,
+                ds.aw_vocab, 100.0 * acc_multi / n, 100.0 * acc_struct / n);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared experiment harness for the table/figure reproduction binaries.
+//
+// Every bench builds the same corpus (Table II benchmark programs plus the
+// generated/transformed programs), the same dataset, and the same train/test
+// protocol: 75:25 split at kernel granularity, training classes balanced,
+// suites too small to split (BOTS) held out entirely into the test side —
+// mirroring how Shen et al. evaluate on benchmarks outside their training
+// set.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "ml/classic.hpp"
+#include "ml/ncc.hpp"
+
+namespace mvgnn::bench {
+
+struct Experiment {
+  data::Dataset ds;
+  std::vector<std::size_t> train;  // balanced
+  std::vector<std::size_t> test;
+};
+
+inline Experiment build_experiment(int generated_loops = 700,
+                                   std::uint64_t seed = 123,
+                                   bool use_ir_variants = false) {
+  Experiment ex;
+  auto programs = data::build_benchmark_corpus(seed);
+  auto gen = data::build_generated_corpus(generated_loops, seed ^ 0x9E97ULL);
+  programs.insert(programs.end(), std::make_move_iterator(gen.begin()),
+                  std::make_move_iterator(gen.end()));
+  data::DatasetOptions opts;
+  opts.seed = seed;
+  opts.use_ir_variants = use_ir_variants;
+  std::size_t skipped = 0;
+  ex.ds = data::build_dataset(programs, opts, &skipped);
+  if (skipped != 0) {
+    std::fprintf(stderr, "warning: %zu programs failed to profile\n", skipped);
+  }
+
+  auto [train, test] = data::split_by_kernel(ex.ds, 0.75, seed);
+  // Hold BOTS out entirely: with two kernels it cannot be split
+  // meaningfully, and the paper's comparison treats it as an unseen suite.
+  std::vector<std::size_t> kept_train;
+  for (const std::size_t i : train) {
+    if (ex.ds.samples[i].suite == "BOTS") {
+      test.push_back(i);
+    } else {
+      kept_train.push_back(i);
+    }
+  }
+  ex.train = data::balance_classes(ex.ds, kept_train, seed);
+  ex.test = std::move(test);
+  return ex;
+}
+
+/// Test indices restricted to one suite.
+inline std::vector<std::size_t> suite_test(const Experiment& ex,
+                                           const std::string& suite) {
+  std::vector<std::size_t> out;
+  for (const std::size_t i : ex.test) {
+    if (ex.ds.samples[i].suite == suite) out.push_back(i);
+  }
+  return out;
+}
+
+/// Standard scaled-down training configuration (DESIGN.md section 5).
+inline core::TrainConfig standard_train_config() {
+  core::TrainConfig tc;
+  tc.epochs = 30;
+  tc.lr = 1e-3f;
+  tc.seed = 7;
+  return tc;
+}
+
+/// Feature rows for the hand-crafted classifiers.
+inline void feature_matrix(const data::Dataset& ds,
+                           const std::vector<std::size_t>& idx,
+                           std::vector<ml::FeatureRow>& x,
+                           std::vector<int>& y) {
+  x.clear();
+  y.clear();
+  for (const std::size_t i : idx) {
+    const auto& f = ds.samples[i].loop_features;
+    x.emplace_back(f.begin(), f.end());
+    y.push_back(ds.samples[i].label);
+  }
+}
+
+inline double pct(double x) { return 100.0 * x; }
+
+}  // namespace mvgnn::bench

@@ -1,0 +1,52 @@
+// Paper future-work extension #3: decouple the dynamic and static features
+// so the model "would be applicable to a wider range of applications" —
+// programs that cannot be linked and executed get no dynamic profile.
+//
+// Protocol: train three MV-GNNs — (a) standard, (b) static-only inputs,
+// (c) standard with random dynamic-feature masking ("decoupled") — and
+// evaluate each with and without dynamic features at inference.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  bench::Experiment ex = bench::build_experiment(500);
+  const core::Normalizer norm = core::Normalizer::fit(ex.ds, ex.train);
+  core::Featurizer full(ex.ds, norm);
+  core::Featurizer no_dyn(ex.ds, norm, core::LabelMode::Binary,
+                          /*zero_dynamic=*/true);
+  core::TrainConfig tc = bench::standard_train_config();
+  tc.epochs = 24;
+
+  std::printf("training (a) standard MV-GNN...\n");
+  core::MvGnnTrainer standard(full, core::default_config(full), tc);
+  standard.fit(ex.train, {});
+
+  std::printf("training (b) static-input MV-GNN...\n");
+  core::MvGnnTrainer static_only(no_dyn, core::default_config(no_dyn), tc);
+  static_only.fit(ex.train, {});
+
+  std::printf("training (c) decoupled MV-GNN (50%% dynamic masking)...\n\n");
+  core::MvGnnTrainer decoupled(full, core::default_config(full), tc);
+  decoupled.set_alternate_inputs(&no_dyn, 0.5f);
+  decoupled.fit(ex.train, {});
+
+  std::printf("Extension — decoupled static/dynamic features (test acc)\n");
+  std::printf("%-36s %14s %14s\n", "model", "with dynamic", "static only");
+  std::printf("%-36s %13.1f%% %13.1f%%\n", "(a) standard training",
+              100 * standard.accuracy_with(full, ex.test),
+              100 * standard.accuracy_with(no_dyn, ex.test));
+  std::printf("%-36s %13.1f%% %13.1f%%\n", "(b) static-only training",
+              100 * static_only.accuracy_with(full, ex.test),
+              100 * static_only.accuracy_with(no_dyn, ex.test));
+  std::printf("%-36s %13.1f%% %13.1f%%\n", "(c) decoupled (random masking)",
+              100 * decoupled.accuracy_with(full, ex.test),
+              100 * decoupled.accuracy_with(no_dyn, ex.test));
+  std::printf(
+      "\nExpected shape: (a) collapses without dynamic features; (c) keeps\n"
+      "most of (a)'s accuracy with them while staying usable without — the\n"
+      "selective-application behaviour the paper's future work asks for.\n");
+  return 0;
+}

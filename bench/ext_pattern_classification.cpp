@@ -1,0 +1,54 @@
+// Paper future-work extension #1: "modifying our resulting classification
+// to specify distinct parallel patterns". Trains the MV-GNN as a 3-way
+// classifier (sequential / DOALL / reduction) and prints per-class metrics
+// and the confusion matrix.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  bench::Experiment ex = bench::build_experiment();
+
+  // Pattern-label distribution of the corpus.
+  int counts[3] = {0, 0, 0};
+  for (const auto& s : ex.ds.samples) counts[s.pattern_label]++;
+  std::printf("pattern labels: sequential=%d doall=%d reduction=%d\n\n",
+              counts[0], counts[1], counts[2]);
+
+  const core::Normalizer norm = core::Normalizer::fit(ex.ds, ex.train);
+  core::Featurizer feats(ex.ds, norm, core::LabelMode::Pattern);
+  core::TrainConfig tc = bench::standard_train_config();
+  std::printf("training 3-class MV-GNN (%zu epochs)...\n\n", tc.epochs);
+  core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
+  trainer.fit(ex.train, {});
+
+  int confusion[3][3] = {};
+  for (const std::size_t i : ex.test) {
+    const int truth = ex.ds.samples[i].pattern_label;
+    const int pred = trainer.predict(i).fused;
+    confusion[truth][pred]++;
+  }
+  const char* names[3] = {"sequential", "doall", "reduction"};
+  std::printf("Extension — parallel-pattern classification (test set)\n");
+  std::printf("%-12s %12s %12s %12s %8s\n", "truth \\ pred", names[0],
+              names[1], names[2], "recall");
+  int correct = 0, total = 0;
+  for (int t = 0; t < 3; ++t) {
+    int row = 0;
+    for (int p = 0; p < 3; ++p) row += confusion[t][p];
+    std::printf("%-12s %12d %12d %12d %7.1f%%\n", names[t], confusion[t][0],
+                confusion[t][1], confusion[t][2],
+                row ? 100.0 * confusion[t][t] / row : 0.0);
+    correct += confusion[t][t];
+    total += row;
+  }
+  std::printf("\noverall 3-class accuracy: %.1f%%  (n=%d)\n",
+              total ? 100.0 * correct / total : 0.0, total);
+  std::printf(
+      "\nWhy it matters (paper conclusion): knowing the pattern lets a\n"
+      "parallelization framework emit `parallel for` vs `reduction(...)`\n"
+      "clauses directly instead of re-deriving them.\n");
+  return 0;
+}

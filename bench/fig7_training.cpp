@@ -1,0 +1,66 @@
+// Reproduces Fig. 7: loss (above) and accuracy (below) of the training
+// process on the generated dataset. Prints the two series plus an ASCII
+// sparkline so the curve shape is visible in a terminal.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+void sparkline(const char* name, const std::vector<double>& ys) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  double lo = ys[0], hi = ys[0];
+  for (const double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  std::printf("%-10s |", name);
+  for (const double y : ys) {
+    const double t = (hi > lo) ? (y - lo) / (hi - lo) : 0.5;
+    std::printf("%s", levels[static_cast<int>(t * 7.0 + 0.5)]);
+  }
+  std::printf("|  min=%.3f max=%.3f\n", lo, hi);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mvgnn;
+
+  // Fig. 7 trains on the generated dataset alone.
+  auto programs = data::build_generated_corpus(700, 321);
+  data::DatasetOptions opts;
+  opts.seed = 17;
+  const data::Dataset ds = data::build_dataset(programs, opts);
+  auto [train, test] = data::split_by_kernel(ds, 0.75, 17);
+  train = data::balance_classes(ds, train, 17);
+  std::printf("generated dataset: %zu samples, train=%zu test=%zu\n\n",
+              ds.samples.size(), train.size(), test.size());
+
+  const core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::TrainConfig tc = bench::standard_train_config();
+  tc.epochs = 40;
+  core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
+  const auto curve = trainer.fit(train, test);
+
+  std::printf("Fig. 7 — training on the generated dataset\n");
+  std::printf("%5s %10s %11s %10s\n", "epoch", "loss", "train_acc",
+              "test_acc");
+  std::vector<double> losses, train_accs, test_accs;
+  for (std::size_t e = 0; e < curve.size(); ++e) {
+    std::printf("%5zu %10.4f %11.4f %10.4f\n", e, curve[e].loss,
+                curve[e].train_acc, curve[e].test_acc);
+    losses.push_back(curve[e].loss);
+    train_accs.push_back(curve[e].train_acc);
+    test_accs.push_back(curve[e].test_acc);
+  }
+  std::printf("\n");
+  sparkline("loss", losses);
+  sparkline("train_acc", train_accs);
+  sparkline("test_acc", test_accs);
+  std::printf(
+      "\nExpected shape (paper Fig. 7): loss decreasing toward a plateau,\n"
+      "accuracy rising and flattening near its final value.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Computational-unit decomposition demo — the paper's Fig. 4: a code block
+// whose statements fold into two read-compute-write CUs, one per variable
+// chain.
+#include <cstdio>
+
+#include "frontend/lower.hpp"
+#include "profiler/cu.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  // The Fig. 4 shape: x's chain spans lines 3/5/6/7, y's spans 4/8/9/11.
+  const char* source = R"(
+void kernel(float a, float b, float[] out) {
+  float x = a * 2.0;
+  float y = b + 1.0;
+  float u = x * x;
+  float v = x + 3.0;
+  x = u + v;
+  float w = y * y;
+  y = w + 2.0;
+  out[0] = x;
+  out[1] = y;
+}
+)";
+  std::printf("source:\n%s\n", source);
+
+  const ir::Module module = frontend::compile(source, "cu_demo");
+  const ir::Function& fn = *module.find("kernel");
+  const auto cus = profiler::build_cus(fn);
+
+  std::printf("CU decomposition (%zu units):\n", cus.size());
+  for (const auto& cu : cus) {
+    std::printf("  CU%u: lines %d..%d, %zu instructions\n", cu.id,
+                cu.start_line, cu.end_line, cu.instrs.size());
+    for (const ir::InstrId id : cu.instrs) {
+      std::printf("    %%%-3u %s (line %d)\n", id,
+                  ir::opcode_name(fn.instr(id).op), fn.instr(id).loc.line);
+    }
+  }
+  std::printf(
+      "\nAs in the paper's Fig. 4, the statements that read, compute and\n"
+      "write one variable group form one CU; the two independent variable\n"
+      "chains (x and y) become two separate PEG vertices.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig. 1 illustration: stencil vs reduction parallelization patterns and
+// why graph *structure* separates them. Builds both kernels, prints their
+// loop sub-PEGs, and shows that their anonymous-walk distributions diverge
+// even though both loops are parallelizable.
+#include <cmath>
+#include <cstdio>
+
+#include "frontend/lower.hpp"
+#include "graph/anon_walk.hpp"
+#include "graph/peg.hpp"
+#include "profiler/profile.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+struct Built {
+  std::unique_ptr<ir::Module> module;
+  profiler::ProfileResult prof;
+  graph::Peg peg;
+  graph::SubPeg sub;  // first for-loop
+};
+
+Built build(const char* source, std::vector<profiler::ArgInit> args) {
+  Built b;
+  b.module = std::make_unique<ir::Module>(frontend::compile(source, "p"));
+  b.prof = profiler::profile(*b.module, "kernel", args);
+  b.peg = graph::build_peg(*b.module, b.prof);
+  b.sub = graph::extract_sub_peg(b.peg, b.prof.loops[0].fn,
+                                 b.prof.loops[0].loop);
+  return b;
+}
+
+std::vector<float> aw_signature(const Built& b, graph::AwVocab& vocab) {
+  graph::WalkGraph g(b.sub.num_nodes());
+  for (const auto& e : b.sub.edges) g.add_edge(e.src, e.dst);
+  graph::AwParams params;
+  params.gamma = 64;
+  params.length = 5;
+  par::Rng rng(9);
+  return graph::graph_aw_distribution(g, params, vocab, /*grow=*/true, rng);
+}
+
+}  // namespace
+
+int main() {
+  const char* stencil_src = R"(
+const int N = 32;
+void kernel(float[] a, float[] b) {
+  for (int i = 1; i < N - 1; i += 1) {
+    b[i] = 0.3 * a[i - 1] + 0.4 * a[i] + 0.3 * a[i + 1];
+  }
+}
+)";
+  const char* reduction_src = R"(
+const int N = 32;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+)";
+
+  Built stencil = build(
+      stencil_src,
+      {profiler::ArgInit::of_array(32, 1), profiler::ArgInit::of_array(32, 2)});
+  Built reduction = build(reduction_src, {profiler::ArgInit::of_array(32, 1)});
+
+  std::printf("Fig. 1 — stencil (left) vs reduction (right) patterns\n\n");
+  std::printf("stencil loop sub-PEG:  %zu nodes, %zu edges\n",
+              stencil.sub.num_nodes(), stencil.sub.edges.size());
+  std::printf("reduction loop sub-PEG: %zu nodes, %zu edges\n\n",
+              reduction.sub.num_nodes(), reduction.sub.edges.size());
+
+  // Structural separability: anonymous-walk distributions over a shared
+  // vocabulary.
+  graph::AwVocab vocab;
+  auto ds = aw_signature(stencil, vocab);
+  auto dr = aw_signature(reduction, vocab);
+  ds.resize(vocab.size(), 0.0f);
+  dr.resize(vocab.size(), 0.0f);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    l1 += std::fabs(ds[i] - dr[i]);
+  }
+  std::printf("anonymous-walk vocabulary: %u walk types\n", vocab.size());
+  std::printf("L1 distance between the two AW signatures: %.3f\n", l1);
+  std::printf(
+      "\nBoth loops are parallelizable, but the reduction's accumulation\n"
+      "cycle and the stencil's fan-in produce different local walk\n"
+      "statistics — the structural view's signal (paper section III-C).\n");
+
+  std::printf("\nstencil sub-PEG (DOT):\n%s\n",
+              graph::to_dot(stencil.peg, stencil.sub, "stencil").c_str());
+  std::printf("reduction sub-PEG (DOT):\n%s\n",
+              graph::to_dot(reduction.peg, reduction.sub, "reduction").c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: the full pipeline on one small program.
+//
+//   MiniC source -> IR -> dependence profile (DiscoPoP phase 1) -> PEG ->
+//   per-loop Table I features, oracle label, and tool verdicts.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "analysis/tools.hpp"
+#include "frontend/lower.hpp"
+#include "graph/peg.hpp"
+#include "profiler/profile.hpp"
+
+int main() {
+  using namespace mvgnn;
+
+  // A tiny program with three characteristically different loops.
+  const char* source = R"(
+const int N = 64;
+float kernel(float[] a, float[] b) {
+  // DOALL: independent iterations.
+  for (int i = 0; i < N; i += 1) {
+    b[i] = a[i] * 2.0 + 1.0;
+  }
+  // Reduction: loop-carried, but parallelizable with a reduction clause.
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + b[i];
+  }
+  // Recurrence: genuinely sequential.
+  for (int i = 1; i < N; i += 1) {
+    a[i] = a[i - 1] * 0.5 + b[i];
+  }
+  return s;
+}
+)";
+
+  std::printf("== 1. compile (lex / parse / sema / lower / verify)\n");
+  const ir::Module module = frontend::compile(source, "quickstart");
+  std::printf("   module '%s': %zu function(s), %zu loops\n\n",
+              module.name.c_str(), module.functions.size(),
+              module.functions[0]->num_loops());
+
+  std::printf("== 2. profile (instrumented execution, shadow-memory deps)\n");
+  const std::vector<profiler::ArgInit> args = {
+      profiler::ArgInit::of_array(64, 1), profiler::ArgInit::of_array(64, 2)};
+  const profiler::ProfileResult prof =
+      profiler::profile(module, "kernel", args);
+  std::printf("   %llu dynamic instructions, %zu dependence edges, %zu CUs\n\n",
+              static_cast<unsigned long long>(prof.run.steps),
+              prof.dep.edges.size(), prof.cus.size());
+
+  std::printf("== 3. program execution graph\n");
+  const graph::Peg peg = graph::build_peg(module, prof);
+  std::printf("   PEG: %zu nodes, %zu edges\n\n", peg.nodes.size(),
+              peg.edges.size());
+
+  std::printf("== 4. per-loop features and verdicts\n");
+  std::printf("%6s %7s %10s %6s %6s %9s | %7s %8s %6s %6s\n", "line",
+              "N_Inst", "exec", "CFL", "ESP", "carried", "oracle", "DiscoPoP",
+              "AutoPar", "Pluto");
+  for (const profiler::LoopSample& loop : prof.loops) {
+    const auto& f = loop.features;
+    const auto oracle =
+        analysis::oracle_classify(*loop.fn, loop.loop, prof.dep);
+    const auto dp = analysis::discopop_classify(*loop.fn, loop.loop, prof.dep);
+    const auto ap = analysis::autopar_classify(*loop.fn, loop.loop);
+    const auto pl = analysis::pluto_classify(*loop.fn, loop.loop);
+    std::printf("%6d %7llu %10llu %6.0f %6.2f %9llu | %7s %8s %6s %6s\n",
+                loop.fn->loops[loop.loop].start_line,
+                static_cast<unsigned long long>(f.n_inst),
+                static_cast<unsigned long long>(f.exec_times), f.cfl, f.esp,
+                static_cast<unsigned long long>(f.internal_dep),
+                oracle.parallel ? "PAR" : "SEQ", dp.parallel ? "PAR" : "SEQ",
+                ap.parallel ? "PAR" : "SEQ", pl.parallel ? "PAR" : "SEQ");
+    if (!oracle.parallel) {
+      std::printf("         reason: %s\n", oracle.reason.c_str());
+    }
+  }
+  std::printf(
+      "\nNext steps: examples/peg_dump renders the PEG (paper Fig. 5),\n"
+      "examples/classify_loops trains the MV-GNN and classifies a file.\n");
+  return 0;
+}

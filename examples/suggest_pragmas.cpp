@@ -1,0 +1,83 @@
+// Parallelization suggestions (DiscoPoP phases 2-3): profiles a MiniC
+// program and prints ranked OpenMP pragma suggestions per loop, with
+// reduction/private clauses filled in and coverage/speedup-based ranking.
+//
+//   ./build/examples/suggest_pragmas [program.minic]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/suggest.hpp"
+#include "frontend/lower.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mvgnn;
+
+  std::string source = R"(
+const int N = 96;
+float kernel(float[] a, float[] b, float[] h, int[] idx) {
+  // hot DOALL with a privatizable temporary
+  float t = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    t = a[i] * 0.5 + 1.0;
+    b[i] = t * t;
+  }
+  // histogram: array reduction through an indirect subscript
+  for (int i = 0; i < N; i += 1) {
+    h[idx[i]] += 1.0;
+  }
+  // min/max reduction pair
+  float lo = 1000000.0;
+  float hi = -1000000.0;
+  for (int i = 0; i < N; i += 1) {
+    lo = fmin(lo, b[i]);
+    hi = fmax(hi, b[i]);
+  }
+  // genuinely sequential recurrence
+  for (int i = 1; i < N; i += 1) {
+    a[i] = a[i - 1] * 0.25 + b[i];
+  }
+  return lo + hi;
+}
+)";
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  const ir::Module module = frontend::compile(source, "suggest");
+  const ir::Function* kernel = module.find("kernel");
+  if (!kernel) {
+    std::fprintf(stderr, "no `kernel` function found\n");
+    return 1;
+  }
+  std::vector<profiler::ArgInit> args;
+  for (const auto& p : kernel->params) {
+    if (ir::is_array(p.type)) {
+      args.push_back(profiler::ArgInit::of_array(4096, args.size() + 1));
+    } else if (p.type == ir::TypeKind::Int) {
+      args.push_back(profiler::ArgInit::of_int(8));
+    } else {
+      args.push_back(profiler::ArgInit::of_float(1.0));
+    }
+  }
+  const auto prof = profiler::profile(module, "kernel", args);
+  const auto suggestions = analysis::suggest_openmp(module, prof);
+
+  std::printf("ranked parallelization suggestions:\n\n");
+  for (const auto& s : suggestions) {
+    std::printf("  %s\n", analysis::to_string(s).c_str());
+  }
+  std::printf(
+      "\nEvery pragma is derived from the dynamic dependence profile: the\n"
+      "clauses name the recognized reduction accumulators and write-first\n"
+      "privatizable scalars; ranking weighs loop coverage by the Amdahl\n"
+      "gain of its estimated speedup.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Static affine analysis of array subscripts and loop bounds.
+//
+// This is the machinery behind the Pluto-like and AutoPar-like baseline
+// classifiers: a subscript is affine when it is an integer-linear function
+// of enclosing induction variables plus loop-invariant symbols; loops with
+// only affine subscripts admit exact dependence tests, anything else forces
+// the static tools to be conservative — which is exactly the behaviour gap
+// the paper's Table III measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::analysis {
+
+/// Affine form: constant + sum(coeff * induction-slot) + sum(coeff * symbol)
+/// where symbols are loop-invariant scalar slots or integer arguments.
+struct AffineExpr {
+  bool affine = false;
+  std::int64_t constant = 0;
+  std::map<ir::InstrId, std::int64_t> iv_coeffs;   // induction slot -> coeff
+  std::map<std::uint64_t, std::int64_t> symbols;   // symbol key -> coeff
+
+  [[nodiscard]] bool same_symbols(const AffineExpr& o) const {
+    return symbols == o.symbols;
+  }
+  [[nodiscard]] std::int64_t coeff_of(ir::InstrId iv) const {
+    const auto it = iv_coeffs.find(iv);
+    return it == iv_coeffs.end() ? 0 : it->second;
+  }
+};
+
+/// Static identity of an array (parameter index or local AllocArr).
+struct ArrayKey {
+  enum class Kind : std::uint8_t { Arg, Local, Unknown } kind = Kind::Unknown;
+  std::uint32_t arg = 0;
+  ir::InstrId alloca_id = ir::kNoInstr;
+
+  friend bool operator==(const ArrayKey&, const ArrayKey&) = default;
+  friend bool operator<(const ArrayKey& a, const ArrayKey& b) {
+    return std::tie(a.kind, a.arg, a.alloca_id) <
+           std::tie(b.kind, b.arg, b.alloca_id);
+  }
+};
+
+/// Resolves the base operand of a LoadIdx/StoreIdx to its static array.
+[[nodiscard]] ArrayKey array_of(const ir::Function& fn, const ir::Value& base);
+
+/// One array access inside a loop, with its analyzed subscript.
+struct ArrayAccess {
+  ir::InstrId instr = ir::kNoInstr;
+  bool is_write = false;
+  ArrayKey array;
+  AffineExpr index;
+};
+
+/// All array accesses statically inside loop `l`.
+[[nodiscard]] std::vector<ArrayAccess> collect_array_accesses(
+    const ir::Function& fn, ir::LoopId l);
+
+/// Analyzes `v` (the index operand context is loop `l`) as an affine
+/// expression. Induction slots of `l` and its ancestors/descendants are the
+/// variables; scalar slots never stored inside `l`'s outermost enclosing
+/// loop are symbols; anything else (loads of loop-varying scalars, array
+/// element loads, float math, user calls) makes the result non-affine.
+[[nodiscard]] AffineExpr analyze_affine(const ir::Function& fn, ir::LoopId l,
+                                        const ir::Value& v);
+
+/// Statically recovered loop bounds: for (iv = lo; iv </<= hi; iv += step).
+struct LoopBounds {
+  bool known = false;         // init/step constant, bound const or symbolic
+  bool constant_trip = false; // lo and hi both integer constants
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;        // exclusive upper bound when constant_trip
+  std::int64_t step = 1;
+};
+
+/// Pattern-matches the canonical for-loop shape out of the IR (init store
+/// before the preheader, compare in the header, increment in the latch).
+[[nodiscard]] LoopBounds derive_bounds(const ir::Function& fn, ir::LoopId l);
+
+/// True when loop `l`'s body can leave the loop other than through the
+/// header test: a `break` (branch to an exit block from a non-header block)
+/// or a `return` inside the body.
+[[nodiscard]] bool has_early_exit(const ir::Function& fn, ir::LoopId l);
+
+/// True when the loop body (subtree) contains a call to a non-builtin.
+[[nodiscard]] bool has_user_call(const ir::Function& fn, ir::LoopId l);
+
+}  // namespace mvgnn::analysis

@@ -1,0 +1,70 @@
+#include "analysis/dep_test.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace mvgnn::analysis {
+
+DepVerdict test_pair(const ir::Function& fn, ir::LoopId l,
+                     const ArrayAccess& a, const ArrayAccess& b,
+                     const LoopBounds& bounds, bool use_banerjee) {
+  if (!a.index.affine || !b.index.affine) return DepVerdict::Unknown;
+  if (!a.index.same_symbols(b.index)) return DepVerdict::Unknown;
+
+  const ir::InstrId iv = fn.loops[l].induction_slot;
+  // Coefficients of every *other* induction variable must agree; otherwise
+  // the single-variable tests below do not apply.
+  for (const auto& [slot, coeff] : a.index.iv_coeffs) {
+    if (slot != iv && coeff != b.index.coeff_of(slot)) {
+      return DepVerdict::Unknown;
+    }
+  }
+  for (const auto& [slot, coeff] : b.index.iv_coeffs) {
+    if (slot != iv && coeff != a.index.coeff_of(slot)) {
+      return DepVerdict::Unknown;
+    }
+  }
+
+  const std::int64_t cf = a.index.coeff_of(iv);
+  const std::int64_t cg = b.index.coeff_of(iv);
+  const std::int64_t delta = b.index.constant - a.index.constant;
+
+  // ZIV: subscript does not involve l's induction variable at all — either
+  // the same cell is touched every iteration (carried) or never the same
+  // cell (independent).
+  if (cf == 0 && cg == 0) {
+    return delta == 0 ? DepVerdict::Carried : DepVerdict::NoDep;
+  }
+
+  // Strong SIV: equal coefficients; the dependence distance is constant.
+  if (cf == cg) {
+    if (delta % cf != 0) return DepVerdict::NoDep;
+    const std::int64_t d = delta / cf;
+    if (d == 0) return DepVerdict::NotCarried;
+    if (use_banerjee && bounds.constant_trip) {
+      const std::int64_t trip = (bounds.hi - bounds.lo) / bounds.step;
+      if (std::llabs(d) >= trip) return DepVerdict::NoDep;
+    }
+    return DepVerdict::Carried;
+  }
+
+  // General SIV / MIV: GCD test, then a Banerjee-style range check.
+  const std::int64_t g = std::gcd(std::llabs(cf), std::llabs(cg));
+  if (g != 0 && delta % g != 0) return DepVerdict::NoDep;
+  if (use_banerjee && bounds.constant_trip) {
+    // Range of cf*i - cg*i' over i, i' in [lo, hi).
+    auto span = [&](std::int64_t c) {
+      const std::int64_t at_lo = c * bounds.lo;
+      const std::int64_t at_hi = c * (bounds.hi - 1);
+      return std::make_pair(std::min(at_lo, at_hi), std::max(at_lo, at_hi));
+    };
+    const auto [flo, fhi] = span(cf);
+    const auto [glo, ghi] = span(cg);
+    const std::int64_t lo = flo - ghi;
+    const std::int64_t hi = fhi - glo;
+    if (delta < lo || delta > hi) return DepVerdict::NoDep;
+  }
+  return DepVerdict::Unknown;
+}
+
+}  // namespace mvgnn::analysis

@@ -1,0 +1,137 @@
+#include "analysis/reduction.hpp"
+
+#include <optional>
+
+#include "profiler/dep_graph.hpp"
+
+namespace mvgnn::analysis {
+
+namespace {
+
+using ir::InstrId;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+std::optional<ReductionOp> reduction_op(const ir::Function& fn,
+                                        const Instruction& val) {
+  switch (val.op) {
+    case Opcode::Add:
+    case Opcode::FAdd:
+    case Opcode::Sub:
+    case Opcode::FSub:
+      return ReductionOp::Sum;  // s -= x folds into a sum reduction
+    case Opcode::Mul:
+    case Opcode::FMul:
+      return ReductionOp::Product;
+    case Opcode::Call:
+      if (val.callee == "fmin" || val.callee == "imin") return ReductionOp::Min;
+      if (val.callee == "fmax" || val.callee == "imax") return ReductionOp::Max;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+  (void)fn;
+}
+
+/// For `s = s op x` the accumulator load must be the left operand of a Sub
+/// (s - x is a reduction, x - s is not); for commutative ops either side.
+bool load_position_ok(const Instruction& val, std::size_t operand_index) {
+  if (val.op == Opcode::Sub || val.op == Opcode::FSub) {
+    return operand_index == 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ReductionChain> detect_reductions(const ir::Function& fn,
+                                              ir::LoopId l) {
+  std::vector<ReductionChain> chains;
+
+  // Pass 1: find candidate chains at every store inside the loop.
+  for (InstrId id = 0; id < fn.instrs.size(); ++id) {
+    const Instruction& st = fn.instr(id);
+    if (!profiler::loop_contains(fn, l, st.loop)) continue;
+
+    if (st.op == Opcode::Store && st.operands[0].is_reg() &&
+        st.operands[1].is_reg()) {
+      const InstrId slot = st.operands[0].reg;
+      if (slot == fn.loops[l].induction_slot) continue;
+      const Instruction& val = fn.instr(st.operands[1].reg);
+      const auto op = reduction_op(fn, val);
+      if (!op) continue;
+      for (std::size_t oi = 0; oi < val.operands.size(); ++oi) {
+        const Value& v = val.operands[oi];
+        if (!v.is_reg()) continue;
+        const Instruction& ld = fn.instr(v.reg);
+        if (ld.op == Opcode::Load && ld.operands[0].is_reg() &&
+            ld.operands[0].reg == slot && load_position_ok(val, oi) &&
+            profiler::loop_contains(fn, l, ld.loop)) {
+          ReductionChain c;
+          c.load = v.reg;
+          c.store = id;
+          c.op = *op;
+          c.scalar_slot = slot;
+          chains.push_back(c);
+          break;
+        }
+      }
+    } else if (st.op == Opcode::StoreIdx && st.operands[2].is_reg()) {
+      const ArrayKey arr = array_of(fn, st.operands[0]);
+      if (arr.kind == ArrayKey::Kind::Unknown) continue;
+      const Instruction& val = fn.instr(st.operands[2].reg);
+      const auto op = reduction_op(fn, val);
+      if (!op) continue;
+      for (std::size_t oi = 0; oi < val.operands.size(); ++oi) {
+        const Value& v = val.operands[oi];
+        if (!v.is_reg()) continue;
+        const Instruction& ld = fn.instr(v.reg);
+        // Same array AND the identical base/index values (the lowering of
+        // `A[e] op= x` reuses the evaluated base and index registers).
+        if (ld.op == Opcode::LoadIdx && ld.operands[0] == st.operands[0] &&
+            ld.operands[1] == st.operands[1] && load_position_ok(val, oi) &&
+            profiler::loop_contains(fn, l, ld.loop)) {
+          ReductionChain c;
+          c.load = v.reg;
+          c.store = id;
+          c.op = *op;
+          c.is_array = true;
+          c.array = arr;
+          chains.push_back(c);
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: reject accumulators with stray accesses inside the loop.
+  auto in_chain = [&chains](InstrId id) {
+    for (const ReductionChain& c : chains) {
+      if (c.load == id || c.store == id) return true;
+    }
+    return false;
+  };
+  std::vector<ReductionChain> confirmed;
+  for (const ReductionChain& cand : chains) {
+    bool clean = true;
+    for (InstrId id = 0; id < fn.instrs.size() && clean; ++id) {
+      const Instruction& in = fn.instr(id);
+      if (!profiler::loop_contains(fn, l, in.loop)) continue;
+      bool touches = false;
+      if (cand.is_array) {
+        touches = (in.op == Opcode::LoadIdx || in.op == Opcode::StoreIdx) &&
+                  array_of(fn, in.operands[0]) == cand.array;
+      } else {
+        touches = (in.op == Opcode::Load || in.op == Opcode::Store) &&
+                  in.operands[0].is_reg() &&
+                  in.operands[0].reg == cand.scalar_slot;
+      }
+      if (touches && !in_chain(id)) clean = false;
+    }
+    if (clean) confirmed.push_back(cand);
+  }
+  return confirmed;
+}
+
+}  // namespace mvgnn::analysis

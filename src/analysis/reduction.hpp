@@ -1,0 +1,32 @@
+// Static reduction-chain recognition: `s = s op expr` (scalar) and
+// `A[idx] = A[idx] op expr` (array element), with op in {+,-,*,fmin,fmax}.
+// Both the expert label oracle and the tool simulators consume these; the
+// simulators differ in *which* ops they recognize (DiscoPoPSim deliberately
+// misses fmin/fmax, a characteristic real-tool blind spot).
+#pragma once
+
+#include <vector>
+
+#include "analysis/affine.hpp"
+
+namespace mvgnn::analysis {
+
+enum class ReductionOp : std::uint8_t { Sum, Product, Min, Max };
+
+struct ReductionChain {
+  ir::InstrId load = ir::kNoInstr;   // Load / LoadIdx of the accumulator
+  ir::InstrId store = ir::kNoInstr;  // Store / StoreIdx closing the chain
+  ReductionOp op = ReductionOp::Sum;
+  bool is_array = false;
+  ir::InstrId scalar_slot = ir::kNoInstr;  // scalar chains
+  ArrayKey array;                          // array chains
+};
+
+/// Detects reduction chains inside loop `l`. A chain is only reported when
+/// every access to the accumulator inside the loop belongs to some chain on
+/// it (a stray read or write disqualifies the variable — its value is then
+/// order-dependent).
+[[nodiscard]] std::vector<ReductionChain> detect_reductions(
+    const ir::Function& fn, ir::LoopId l);
+
+}  // namespace mvgnn::analysis

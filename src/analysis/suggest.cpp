@@ -1,0 +1,160 @@
+#include "analysis/suggest.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "analysis/reduction.hpp"
+
+namespace mvgnn::analysis {
+
+namespace {
+
+const char* reduction_symbol(ReductionOp op) {
+  switch (op) {
+    case ReductionOp::Sum: return "+";
+    case ReductionOp::Product: return "*";
+    case ReductionOp::Min: return "min";
+    case ReductionOp::Max: return "max";
+  }
+  return "?";
+}
+
+std::string accumulator_name(const ir::Function& fn, const ReductionChain& c) {
+  if (!c.is_array) return fn.instr(c.scalar_slot).name;
+  if (c.array.kind == ArrayKey::Kind::Arg) return fn.params[c.array.arg].name;
+  if (c.array.kind == ArrayKey::Kind::Local) {
+    return fn.instr(c.array.alloca_id).name;
+  }
+  return "?";
+}
+
+/// Scalar slots the pragma must privatize: written inside the loop, not the
+/// induction variable, not a reduction accumulator, first access a write.
+std::vector<std::string> private_scalars(
+    const ir::Function& fn, ir::LoopId l,
+    const std::vector<ReductionChain>& chains) {
+  std::unordered_set<ir::InstrId> accumulators;
+  for (const ReductionChain& c : chains) {
+    if (!c.is_array) accumulators.insert(c.scalar_slot);
+  }
+  struct Use {
+    bool store = false;
+    bool first_is_store = false;
+  };
+  std::map<ir::InstrId, Use> uses;  // ordered: stable output
+  for (ir::InstrId id = 0; id < fn.instrs.size(); ++id) {
+    const ir::Instruction& in = fn.instr(id);
+    if ((in.op != ir::Opcode::Load && in.op != ir::Opcode::Store) ||
+        !in.operands[0].is_reg() ||
+        !profiler::loop_contains(fn, l, in.loop)) {
+      continue;
+    }
+    const ir::InstrId slot = in.operands[0].reg;
+    auto [it, fresh] = uses.try_emplace(slot);
+    if (fresh) it->second.first_is_store = (in.op == ir::Opcode::Store);
+    if (in.op == ir::Opcode::Store) it->second.store = true;
+  }
+  std::vector<std::string> out;
+  for (const auto& [slot, use] : uses) {
+    if (!use.store || !use.first_is_store) continue;
+    if (slot == fn.loops[l].induction_slot) continue;
+    if (accumulators.count(slot)) continue;
+    // Inner-loop induction variables are handled by their own loops.
+    bool is_inner_iv = false;
+    for (const ir::LoopInfo& other : fn.loops) {
+      if (other.induction_slot == slot) is_inner_iv = true;
+    }
+    if (is_inner_iv) continue;
+    out.push_back(fn.instr(slot).name);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Suggestion> suggest_openmp(const ir::Module& m,
+                                       const profiler::ProfileResult& prof) {
+  std::vector<Suggestion> out;
+  const double total_steps =
+      std::max<double>(1.0, static_cast<double>(prof.run.steps));
+
+  for (const profiler::LoopSample& ls : prof.loops) {
+    Suggestion s;
+    s.fn = ls.fn;
+    s.loop = ls.loop;
+    s.start_line = ls.fn->loops[ls.loop].start_line;
+    s.end_line = ls.fn->loops[ls.loop].end_line;
+    s.kind = oracle_pattern(*ls.fn, ls.loop, prof.dep);
+    s.est_speedup = ls.features.esp;
+
+    // Coverage: dynamic instructions attributed to the loop subtree.
+    double steps_in_loop = 0.0;
+    if (const auto it = prof.dep.instr_counts.find(ls.fn);
+        it != prof.dep.instr_counts.end()) {
+      for (ir::InstrId id = 0; id < it->second.size(); ++id) {
+        if (profiler::instr_in_loop(*ls.fn, id, ls.loop)) {
+          steps_in_loop += static_cast<double>(it->second[id]);
+        }
+      }
+    }
+    s.coverage = steps_in_loop / total_steps;
+
+    if (s.kind == ParKind::Sequential) {
+      s.explanation = oracle_classify(*ls.fn, ls.loop, prof.dep).reason;
+      s.rank = 0.0;
+    } else {
+      const auto chains = detect_reductions(*ls.fn, ls.loop);
+      std::ostringstream pragma;
+      pragma << "#pragma omp parallel for";
+      // One clause per (op, variable), deduplicated.
+      std::unordered_set<std::string> emitted;
+      for (const ReductionChain& c : chains) {
+        std::ostringstream clause;
+        clause << " reduction(" << reduction_symbol(c.op) << ":"
+               << accumulator_name(*ls.fn, c) << ")";
+        if (emitted.insert(clause.str()).second) pragma << clause.str();
+      }
+      const auto privs = private_scalars(*ls.fn, ls.loop, chains);
+      if (!privs.empty()) {
+        pragma << " private(";
+        for (std::size_t i = 0; i < privs.size(); ++i) {
+          pragma << (i ? "," : "") << privs[i];
+        }
+        pragma << ")";
+      }
+      s.pragma = pragma.str();
+      s.explanation = (s.kind == ParKind::Reduction)
+                          ? "parallel with reduction clause(s)"
+                          : "independent iterations (DOALL)";
+      // Amdahl gain of parallelizing just this loop, weighted by coverage.
+      s.rank = s.coverage * (1.0 - 1.0 / std::max(1.0, s.est_speedup));
+    }
+    out.push_back(std::move(s));
+  }
+  (void)m;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     return a.rank > b.rank;
+                   });
+  return out;
+}
+
+std::string to_string(const Suggestion& s) {
+  std::ostringstream os;
+  os << "line " << s.start_line << ".." << s.end_line << " ["
+     << par_kind_name(s.kind) << "]";
+  if (!s.pragma.empty()) {
+    os << "  " << s.pragma;
+  } else {
+    os << "  (not parallelizable: " << s.explanation << ")";
+  }
+  os << "  // coverage " << static_cast<int>(100.0 * s.coverage + 0.5)
+     << "%, est x";
+  os.precision(2);
+  os << std::fixed << s.est_speedup;
+  return os.str();
+}
+
+}  // namespace mvgnn::analysis

@@ -1,0 +1,39 @@
+// OpenMP parallelization suggestions — the consumer-facing output of a
+// DiscoPoP-style pipeline (the paper's Fig. 2 phases 2-3): for each
+// parallelizable loop, the pragma that realizes the detected pattern, with
+// reduction and privatization clauses filled in, plus a ranking metric
+// (coverage x estimated speedup, the paper's "sorted according to various
+// metrics including coverage and speed-up").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/tools.hpp"
+#include "profiler/profile.hpp"
+
+namespace mvgnn::analysis {
+
+struct Suggestion {
+  const ir::Function* fn = nullptr;
+  ir::LoopId loop = ir::kNoLoop;
+  int start_line = 0;
+  int end_line = 0;
+  ParKind kind = ParKind::Sequential;
+  std::string pragma;       // "" when sequential
+  std::string explanation;  // why / why not
+  double coverage = 0.0;    // fraction of dynamic instructions in the loop
+  double est_speedup = 1.0; // Table I ESP
+  double rank = 0.0;        // coverage-weighted speedup gain
+};
+
+/// Builds suggestions for every for-loop of the profiled module, ranked by
+/// expected whole-program benefit (descending).
+[[nodiscard]] std::vector<Suggestion> suggest_openmp(
+    const ir::Module& m, const profiler::ProfileResult& prof);
+
+/// Renders one suggestion as the pragma line + a comment, e.g.
+///   #pragma omp parallel for reduction(+:s)   // coverage 61%, est x2.4
+[[nodiscard]] std::string to_string(const Suggestion& s);
+
+}  // namespace mvgnn::analysis

@@ -1,0 +1,309 @@
+#include "analysis/tools.hpp"
+
+#include <unordered_set>
+
+#include "analysis/dep_test.hpp"
+
+namespace mvgnn::analysis {
+
+namespace {
+
+using ir::InstrId;
+using ir::Instruction;
+using ir::LoopId;
+using ir::Opcode;
+
+/// Instruction-id sets of the reduction chains (accumulator loads/stores).
+struct ChainSets {
+  std::unordered_set<InstrId> loads;
+  std::unordered_set<InstrId> stores;
+  std::unordered_set<InstrId> scalar_slots;
+
+  explicit ChainSets(const std::vector<ReductionChain>& chains) {
+    for (const ReductionChain& c : chains) {
+      loads.insert(c.load);
+      stores.insert(c.store);
+      if (!c.is_array) scalar_slots.insert(c.scalar_slot);
+    }
+  }
+  [[nodiscard]] bool covers(InstrId a, InstrId b) const {
+    return (stores.count(a) && loads.count(b)) ||
+           (loads.count(a) && stores.count(b)) ||
+           (stores.count(a) && stores.count(b));
+  }
+};
+
+/// Scalar slots touched inside loop `l`, with the access pattern needed for
+/// the write-first privatization rule.
+struct ScalarUse {
+  bool has_store = false;
+  bool first_is_store = false;
+  std::string name;
+};
+
+std::unordered_map<InstrId, ScalarUse> scalar_uses(const ir::Function& fn,
+                                                   LoopId l) {
+  std::unordered_map<InstrId, ScalarUse> uses;
+  for (InstrId id = 0; id < fn.instrs.size(); ++id) {
+    const Instruction& in = fn.instr(id);
+    if ((in.op != Opcode::Load && in.op != Opcode::Store) ||
+        !in.operands[0].is_reg()) {
+      continue;
+    }
+    if (!profiler::loop_contains(fn, l, in.loop)) continue;
+    const InstrId slot = in.operands[0].reg;
+    auto [it, fresh] = uses.try_emplace(slot);
+    if (fresh) {
+      it->second.first_is_store = (in.op == Opcode::Store);
+      it->second.name = fn.instr(slot).name;
+    }
+    if (in.op == Opcode::Store) it->second.has_store = true;
+  }
+  return uses;
+}
+
+/// Tests every conflicting array pair; returns the first blocking pair's
+/// description, or empty when all pairs are independent / reduction-covered.
+std::string check_array_pairs(const ir::Function& fn, LoopId l,
+                              const LoopBounds& bounds,
+                              const ChainSets& chains,
+                              bool use_banerjee) {
+  const auto accesses = collect_array_accesses(fn, l);
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    for (std::size_t j = i; j < accesses.size(); ++j) {
+      const ArrayAccess& a = accesses[i];
+      const ArrayAccess& b = accesses[j];
+      if (!(a.is_write || b.is_write)) continue;
+      if (!(a.array == b.array)) continue;
+      if (a.array.kind == ArrayKey::Kind::Unknown) {
+        return "unresolvable array base";
+      }
+      const DepVerdict v = test_pair(fn, l, a, b, bounds, use_banerjee);
+      if (v == DepVerdict::Carried || v == DepVerdict::Unknown) {
+        if (chains.covers(a.instr, b.instr)) continue;
+        return std::string("carried array dependence (") +
+               (v == DepVerdict::Unknown ? "assumed" : "proven") + ") at line " +
+               std::to_string(fn.instr(a.instr).loc.line);
+      }
+    }
+  }
+  return {};
+}
+
+/// Is object `obj_id` live-out of loop `l`: some value stored inside the
+/// loop is read after it (RAW edge from a store inside `l` to a load
+/// outside). Privatizing a live-out object with order-dependent final
+/// contents (conditional scalar writes, colliding scatters) would change
+/// program results, so WAR/WAW-privatization requires not-live-out.
+bool live_out(const ir::Function& fn, LoopId l,
+              const profiler::DepProfile& prof, std::uint32_t obj_id) {
+  for (const profiler::DepEdge& e : prof.edges) {
+    if (e.type != profiler::DepType::RAW || e.object != obj_id) continue;
+    const bool src_in =
+        e.src.fn == &fn && profiler::instr_in_loop(fn, e.src.id, l);
+    const bool dst_in =
+        e.dst.fn == &fn && profiler::instr_in_loop(fn, e.dst.id, l);
+    if (src_in && !dst_in) return true;
+  }
+  return false;
+}
+
+bool is_any_induction_slot(const ir::Function& fn, InstrId slot) {
+  for (const ir::LoopInfo& loop : fn.loops) {
+    if (loop.induction_slot == slot) return true;
+  }
+  return false;
+}
+
+std::vector<ReductionChain> chains_with_ops(const ir::Function& fn, LoopId l,
+                                            bool allow_minmax) {
+  std::vector<ReductionChain> chains = detect_reductions(fn, l);
+  if (!allow_minmax) {
+    std::erase_if(chains, [](const ReductionChain& c) {
+      return c.op == ReductionOp::Min || c.op == ReductionOp::Max;
+    });
+  }
+  return chains;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AutoPar
+// ---------------------------------------------------------------------------
+
+ToolVerdict autopar_classify(const ir::Function& fn, LoopId l) {
+  const LoopBounds bounds = derive_bounds(fn, l);
+  if (!bounds.known) return {false, "unrecognized loop shape"};
+  if (has_early_exit(fn, l)) return {false, "early exit from loop"};
+  if (has_user_call(fn, l)) return {false, "call to user function"};
+
+  const ChainSets chains(chains_with_ops(fn, l, /*allow_minmax=*/true));
+  if (std::string r =
+          check_array_pairs(fn, l, bounds, chains, /*use_banerjee=*/false);
+      !r.empty()) {
+    return {false, r};
+  }
+  for (const auto& [slot, use] : scalar_uses(fn, l)) {
+    if (slot == fn.loops[l].induction_slot) continue;
+    if (!use.has_store) continue;            // read-only shared scalar
+    if (chains.scalar_slots.count(slot)) continue;  // reduction
+    if (use.first_is_store) continue;        // privatizable (write-first)
+    return {false, "carried scalar dependence on '" + use.name + "'"};
+  }
+  return {true, {}};
+}
+
+// ---------------------------------------------------------------------------
+// Pluto
+// ---------------------------------------------------------------------------
+
+ToolVerdict pluto_classify(const ir::Function& fn, LoopId l) {
+  const LoopBounds bounds = derive_bounds(fn, l);
+  if (!bounds.known) return {false, "non-affine loop bounds"};
+  if (has_early_exit(fn, l)) return {false, "non-static control flow"};
+  if (has_user_call(fn, l)) return {false, "opaque function call"};
+  for (const ir::LoopInfo& inner : fn.loops) {
+    if (!inner.is_for && profiler::loop_contains(fn, l, inner.id)) {
+      return {false, "while loop breaks static control"};
+    }
+  }
+
+  const auto accesses = collect_array_accesses(fn, l);
+  for (const ArrayAccess& a : accesses) {
+    if (!a.index.affine) return {false, "non-affine subscript"};
+    if (a.array.kind == ArrayKey::Kind::Unknown) {
+      return {false, "unresolvable array base"};
+    }
+  }
+  // Pluto's polyhedral model has no reduction support by default: any write
+  // to a non-induction scalar leaves the SCoP.
+  for (const auto& [slot, use] : scalar_uses(fn, l)) {
+    if (is_any_induction_slot(fn, slot)) continue;
+    if (use.has_store) {
+      return {false, "scalar write to '" + use.name + "' outside the model"};
+    }
+  }
+  const ChainSets no_chains{std::vector<ReductionChain>{}};
+  if (std::string r =
+          check_array_pairs(fn, l, bounds, no_chains, /*use_banerjee=*/true);
+      !r.empty()) {
+    return {false, r};
+  }
+  return {true, {}};
+}
+
+// ---------------------------------------------------------------------------
+// DiscoPoP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ToolVerdict dynamic_classify(const ir::Function& fn, LoopId l,
+                             const profiler::DepProfile& prof,
+                             bool allow_minmax, bool array_privatization) {
+  const profiler::LoopRef ref{&fn, l};
+  const auto rt = prof.loop_runtime.find(ref);
+  if (rt == prof.loop_runtime.end() || rt->second.iterations == 0) {
+    return {false, "loop never executed under the profiling input"};
+  }
+  if (has_early_exit(fn, l)) return {false, "early exit from loop"};
+
+  const ChainSets chains(chains_with_ops(fn, l, allow_minmax));
+  const auto objs = prof.loop_objects.find(ref);
+  if (objs == prof.loop_objects.end()) return {true, {}};
+
+  for (const auto& [obj_id, summary] : objs->second) {
+    const profiler::MemObject& obj = prof.objects.object(obj_id);
+    const bool is_scalar = obj.kind == profiler::ObjKind::ScalarLocal;
+    if (is_scalar && obj.fn == &fn &&
+        obj.alloca_id == fn.loops[l].induction_slot) {
+      continue;  // the loop's own induction variable
+    }
+    if (summary.carried_raw) {
+      bool all_reduction = true;
+      for (const auto& [src, dst] : summary.carried_raw_pairs) {
+        if (src.fn != &fn || dst.fn != &fn ||
+            !chains.covers(src.id, dst.id)) {
+          all_reduction = false;
+          break;
+        }
+      }
+      if (!all_reduction) {
+        return {false, "loop-carried RAW dependence on '" + obj.name + "'"};
+      }
+    } else {
+      // WAR/WAW only: write-first in every iteration, hence privatizable —
+      // if the tool supports privatization for this object class and the
+      // object's final contents are not consumed after the loop.
+      if (!is_scalar && !array_privatization) {
+        return {false, "array '" + obj.name + "' needs privatization"};
+      }
+      if (live_out(fn, l, prof, obj_id)) {
+        return {false, "'" + obj.name +
+                           "' is written across iterations and read after "
+                           "the loop (order-dependent final value)"};
+      }
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace
+
+ToolVerdict discopop_classify(const ir::Function& fn, LoopId l,
+                              const profiler::DepProfile& prof) {
+  return dynamic_classify(fn, l, prof, /*allow_minmax=*/false,
+                          /*array_privatization=*/false);
+}
+
+ToolVerdict oracle_classify(const ir::Function& fn, LoopId l,
+                            const profiler::DepProfile& prof) {
+  const profiler::LoopRef ref{&fn, l};
+  const auto rt = prof.loop_runtime.find(ref);
+  if (rt == prof.loop_runtime.end() || rt->second.iterations == 0) {
+    // Static expert fallback for unexecuted loops.
+    return autopar_classify(fn, l);
+  }
+  return dynamic_classify(fn, l, prof, /*allow_minmax=*/true,
+                          /*array_privatization=*/true);
+}
+
+const char* par_kind_name(ParKind k) {
+  switch (k) {
+    case ParKind::Sequential: return "sequential";
+    case ParKind::DoAll: return "doall";
+    case ParKind::Reduction: return "reduction";
+  }
+  return "?";
+}
+
+ParKind oracle_pattern(const ir::Function& fn, LoopId l,
+                       const profiler::DepProfile& prof) {
+  if (!oracle_classify(fn, l, prof).parallel) return ParKind::Sequential;
+
+  const profiler::LoopRef ref{&fn, l};
+  const auto rt = prof.loop_runtime.find(ref);
+  if (rt == prof.loop_runtime.end() || rt->second.iterations == 0) {
+    // Static fallback: parallelizable with chains present -> Reduction.
+    return detect_reductions(fn, l).empty() ? ParKind::DoAll
+                                            : ParKind::Reduction;
+  }
+  // Parallelizable and executed: any carried RAW on a non-induction object
+  // must have been reduction-covered (that is what made it parallelizable),
+  // so its presence is exactly the Reduction signature.
+  const auto objs = prof.loop_objects.find(ref);
+  if (objs != prof.loop_objects.end()) {
+    for (const auto& [obj_id, summary] : objs->second) {
+      const profiler::MemObject& obj = prof.objects.object(obj_id);
+      if (obj.kind == profiler::ObjKind::ScalarLocal && obj.fn == &fn &&
+          obj.alloca_id == fn.loops[l].induction_slot) {
+        continue;
+      }
+      if (summary.carried_raw) return ParKind::Reduction;
+    }
+  }
+  return ParKind::DoAll;
+}
+
+}  // namespace mvgnn::analysis

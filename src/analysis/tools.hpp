@@ -1,0 +1,66 @@
+// The auto-parallelization tool baselines of Table III, plus the label
+// oracle.
+//
+// Each simulator reproduces the decision procedure *and the characteristic
+// blind spots* of its namesake (documented per function), which is what
+// creates the accuracy ordering the paper reports — the tools disagree with
+// the expert labels exactly where their models run out.
+#pragma once
+
+#include <string>
+
+#include "analysis/affine.hpp"
+#include "analysis/reduction.hpp"
+#include "profiler/dep_graph.hpp"
+
+namespace mvgnn::analysis {
+
+struct ToolVerdict {
+  bool parallel = false;
+  std::string reason;  // first blocking finding (empty when parallel)
+};
+
+/// AutoPar-like static classifier: recognizable canonical loop, no early
+/// exit, no user calls (no interprocedural analysis), GCD/Banerjee tests on
+/// array pairs (conservative on non-affine subscripts), scalar privatization
+/// by write-first, scalar and array reductions over {+,-,*,min,max}.
+[[nodiscard]] ToolVerdict autopar_classify(const ir::Function& fn,
+                                           ir::LoopId l);
+
+/// Pluto-like polyhedral classifier: demands *static control parts* — known
+/// affine bounds, affine subscripts everywhere, no user calls, no early
+/// exit, no while loops inside — and rejects non-induction scalar writes
+/// (no reduction support, Pluto's classic default). Within its model the
+/// dependence test is exact.
+[[nodiscard]] ToolVerdict pluto_classify(const ir::Function& fn, ir::LoopId l);
+
+/// DiscoPoP-like hybrid classifier: uses the *dynamic* dependence profile.
+/// Parallelizable iff the loop executed, has no early exit, and every
+/// carried dependence is a recognized {+,*} reduction or a privatizable
+/// *scalar* (no array privatization, no min/max reductions — its
+/// characteristic gaps vs. the expert).
+[[nodiscard]] ToolVerdict discopop_classify(const ir::Function& fn,
+                                            ir::LoopId l,
+                                            const profiler::DepProfile& prof);
+
+/// Expert label oracle (ground truth for the dataset): dynamic dependences
+/// with full privatization (scalars *and* arrays), the full reduction set,
+/// and induction-variable exclusion. Loops that never executed fall back to
+/// the static expert rules (autopar + full reductions).
+[[nodiscard]] ToolVerdict oracle_classify(const ir::Function& fn, ir::LoopId l,
+                                          const profiler::DepProfile& prof);
+
+/// The parallelization *pattern* of a loop — the paper's future-work
+/// extension ("modifying our resulting classification to specify distinct
+/// parallel patterns"). DoAll covers independent iterations including
+/// privatizable temporaries; Reduction covers loops whose only carried
+/// dependences are recognized reduction chains (they need a reduction
+/// clause or atomics when parallelized).
+enum class ParKind : std::uint8_t { Sequential, DoAll, Reduction };
+
+[[nodiscard]] const char* par_kind_name(ParKind k);
+
+[[nodiscard]] ParKind oracle_pattern(const ir::Function& fn, ir::LoopId l,
+                                     const profiler::DepProfile& prof);
+
+}  // namespace mvgnn::analysis

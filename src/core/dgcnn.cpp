@@ -1,0 +1,105 @@
+#include "core/dgcnn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mvgnn::core {
+
+using ag::Tensor;
+
+ag::Tensor make_ahat(
+    std::uint32_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  return nn::dgcnn_adjacency(n, edges);
+}
+
+Dgcnn::Dgcnn(const DgcnnConfig& cfg, par::Rng& rng) : cfg_(cfg) {
+  if (cfg.gcn_channels.empty() || cfg.gcn_channels.back() != 1) {
+    throw std::invalid_argument(
+        "DGCNN: the final GCN layer must have 1 channel (SortPooling sorts "
+        "on it)");
+  }
+  std::size_t in = cfg.in_dim;
+  for (const std::size_t ch : cfg.gcn_channels) {
+    if (cfg.relational) {
+      rconvs_.emplace_back(in, ch, cfg.relations, rng);
+    } else {
+      convs_.emplace_back(in, ch, rng);
+    }
+    concat_dim_ += ch;
+    in = ch;
+  }
+  const float s1 = std::sqrt(2.0f / static_cast<float>(concat_dim_));
+  conv1_w_ = Tensor::randn(
+      {cfg.conv1_channels, concat_dim_}, rng, s1);
+  conv1_b_ = Tensor::zeros({1, cfg.conv1_channels}, true);
+  const float s2 =
+      std::sqrt(2.0f / static_cast<float>(cfg.conv1_channels *
+                                          cfg.conv2_kernel));
+  conv2_w_ = Tensor::randn(
+      {cfg.conv2_channels, cfg.conv1_channels * cfg.conv2_kernel}, rng, s2);
+  conv2_b_ = Tensor::zeros({1, cfg.conv2_channels}, true);
+
+  const std::size_t pooled_len = cfg.sort_k / 2;
+  if (pooled_len < cfg.conv2_kernel) {
+    throw std::invalid_argument("DGCNN: sort_k/2 smaller than conv2 kernel");
+  }
+  rep_dim_ = cfg.conv2_channels * (pooled_len - cfg.conv2_kernel + 1);
+  dense_ = std::make_unique<nn::Linear>(rep_dim_, cfg.dense_hidden, rng);
+  head_ = std::make_unique<nn::Linear>(cfg.dense_hidden, cfg.num_classes, rng);
+}
+
+Dgcnn::Output Dgcnn::forward(const GraphInput& g, bool training,
+                             par::Rng& rng) const {
+  // Stacked graph convolutions with tanh; concatenate every layer's output.
+  Tensor x = g.features;
+  Tensor z;
+  const std::size_t layers = cfg_.relational ? rconvs_.size() : convs_.size();
+  for (std::size_t i = 0; i < layers; ++i) {
+    x = cfg_.relational
+            ? ag::tanh_t(rconvs_[i].forward(g.rel_ahats, x))
+            : ag::tanh_t(convs_[i].forward(g.ahat, x));
+    z = (i == 0) ? x : ag::concat_cols(z, x);
+  }
+
+  Output out_partial;
+  out_partial.nodes = z;
+
+  // SortPooling to a fixed-size [k, concat_dim] representation.
+  Tensor sp = ag::sort_pool(z, cfg_.sort_k);
+
+  // 1-D convolution stage 1: one input channel over the flattened rows,
+  // kernel = stride = concat_dim, i.e. one step per pooled node.
+  Tensor flat = ag::reshape(sp, {1, cfg_.sort_k * concat_dim_});
+  Tensor c1 = ag::relu(ag::conv1d(flat, conv1_w_, conv1_b_, concat_dim_,
+                                  concat_dim_));           // [c1, k]
+  Tensor p1 = ag::maxpool1d(c1, 2);                         // [c1, k/2]
+  Tensor c2 = ag::relu(ag::conv1d(p1, conv2_w_, conv2_b_, cfg_.conv2_kernel,
+                                  1));                      // [c2, L]
+
+  Output out = std::move(out_partial);
+  out.pooled = ag::reshape(c2, {1, rep_dim_});
+  Tensor h = ag::relu(dense_->forward(out.pooled));
+  h = ag::dropout(h, cfg_.dropout, training, rng);
+  out.logits = head_->forward(h);
+  return out;
+}
+
+std::vector<ag::Tensor> Dgcnn::parameters() const {
+  std::vector<ag::Tensor> ps;
+  for (const auto& c : convs_) {
+    for (const auto& p : c.parameters()) ps.push_back(p);
+  }
+  for (const auto& c : rconvs_) {
+    for (const auto& p : c.parameters()) ps.push_back(p);
+  }
+  ps.push_back(conv1_w_);
+  ps.push_back(conv1_b_);
+  ps.push_back(conv2_w_);
+  ps.push_back(conv2_b_);
+  for (const auto& p : dense_->parameters()) ps.push_back(p);
+  for (const auto& p : head_->parameters()) ps.push_back(p);
+  return ps;
+}
+
+}  // namespace mvgnn::core

@@ -1,0 +1,79 @@
+// DGCNN (Zhang et al. 2018) — the per-view graph network of the paper's
+// Fig. 6: stacked graph convolutions with tanh, channel concatenation,
+// SortPooling to a fixed k, two 1-D convolution stages with max-pooling,
+// and a dense head. The MV-GNN takes the *input of the fully connected
+// layer* from each view (section III-D), so forward() exposes both the
+// pooled representation and the classification logits.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace mvgnn::core {
+
+struct DgcnnConfig {
+  std::size_t in_dim = 16;        // node feature width
+  /// Typed-edge extension: replace the merged-adjacency GCN layers with
+  /// relational convolutions (one weight bank per PEG edge relation).
+  bool relational = false;
+  std::size_t relations = 4;
+  std::vector<std::size_t> gcn_channels = {32, 32, 1};  // last must be 1
+                                  // (SortPooling sorts on the final channel)
+  std::size_t sort_k = 16;        // SortPooling k (paper: 135, scaled down)
+  std::size_t conv1_channels = 16;  // first 1-D conv output channels
+  std::size_t conv2_channels = 32;  // second 1-D conv output channels
+  std::size_t conv2_kernel = 5;
+  std::size_t dense_hidden = 64;  // dense layer before the logits
+  std::size_t num_classes = 2;
+  float dropout = 0.1f;
+};
+
+/// One graph as the network consumes it: a normalized adjacency and a node
+/// feature matrix.
+struct GraphInput {
+  ag::Tensor ahat;      // [n, n]
+  ag::Tensor features;  // [n, in_dim]
+  /// Per-relation adjacencies (relational mode only), size = relations.
+  std::vector<ag::Tensor> rel_ahats;
+};
+
+class Dgcnn final : public nn::Module {
+ public:
+  Dgcnn(const DgcnnConfig& cfg, par::Rng& rng);
+
+  struct Output {
+    ag::Tensor pooled;  // [1, rep_dim] — input of the FC layer (for MV-GNN)
+    ag::Tensor logits;  // [1, num_classes]
+    ag::Tensor nodes;   // [n, concat_dim] — per-node embeddings before
+                        // SortPooling (the GraphSAGE-style unsupervised
+                        // objective trains on these)
+  };
+
+  [[nodiscard]] Output forward(const GraphInput& g, bool training,
+                               par::Rng& rng) const;
+
+  /// Width of `Output::pooled`.
+  [[nodiscard]] std::size_t rep_dim() const { return rep_dim_; }
+
+  [[nodiscard]] std::vector<ag::Tensor> parameters() const override;
+
+ private:
+  DgcnnConfig cfg_;
+  std::vector<nn::GcnConv> convs_;
+  std::vector<nn::RgcnConv> rconvs_;  // relational mode
+  std::size_t concat_dim_ = 0;  // sum of gcn channel widths
+  ag::Tensor conv1_w_, conv1_b_;
+  ag::Tensor conv2_w_, conv2_b_;
+  std::size_t rep_dim_ = 0;
+  std::unique_ptr<nn::Linear> dense_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Builds the [n,n] row-normalized adjacency for a sample's edge list.
+[[nodiscard]] ag::Tensor make_ahat(
+    std::uint32_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+}  // namespace mvgnn::core

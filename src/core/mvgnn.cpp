@@ -1,0 +1,68 @@
+#include "core/mvgnn.hpp"
+
+#include <cmath>
+
+namespace mvgnn::core {
+
+using ag::Tensor;
+
+MvGnn::MvGnn(MvGnnConfig cfg, par::Rng& rng) : cfg_(std::move(cfg)) {
+  cfg_.struct_view.in_dim = cfg_.aw_embed_dim;
+  cfg_.node_view.relational = cfg_.typed_edges;
+  cfg_.struct_view.relational = false;
+  node_view_ = std::make_unique<Dgcnn>(cfg_.node_view, rng);
+  struct_view_ = std::make_unique<Dgcnn>(cfg_.struct_view, rng);
+  const float scale = std::sqrt(2.0f / static_cast<float>(cfg_.aw_vocab +
+                                                          cfg_.aw_embed_dim));
+  aw_embed_ = Tensor::randn({cfg_.aw_vocab, cfg_.aw_embed_dim}, rng, scale);
+  fusion_ = std::make_unique<nn::Linear>(
+      node_view_->rep_dim() + struct_view_->rep_dim(), cfg_.num_classes, rng);
+}
+
+MvGnn::Output MvGnn::forward(const SampleInput& in, bool training,
+                             par::Rng& rng) const {
+  // Structural-view node features: AW distribution x learned embedding
+  // table (the "embedding table lookup" of section III-C).
+  GraphInput gs;
+  gs.ahat = in.ahat;
+  gs.features = ag::matmul(in.aw_dist, aw_embed_);
+  GraphInput gn;
+  gn.ahat = in.ahat;
+  gn.features = in.node_feats;
+  if (cfg_.typed_edges) gn.rel_ahats = in.rel_ahats;
+
+  const Dgcnn::Output on = node_view_->forward(gn, training, rng);
+  const Dgcnn::Output os = struct_view_->forward(gs, training, rng);
+
+  // Eq. 5: h = W * tanh(h_n (+) h_s) + b.
+  const Tensor fused = ag::tanh_t(ag::concat_cols(on.pooled, os.pooled));
+
+  Output out;
+  out.logits = fusion_->forward(fused);
+  out.node_logits = on.logits;
+  out.struct_logits = os.logits;
+  out.node_embed = on.nodes;
+  out.struct_embed = os.nodes;
+  return out;
+}
+
+std::vector<ag::Tensor> MvGnn::parameters() const {
+  std::vector<ag::Tensor> ps = node_view_->parameters();
+  const auto sp = struct_view_->parameters();
+  ps.insert(ps.end(), sp.begin(), sp.end());
+  ps.push_back(aw_embed_);
+  const auto fp = fusion_->parameters();
+  ps.insert(ps.end(), fp.begin(), fp.end());
+  return ps;
+}
+
+SingleViewGnn::SingleViewGnn(const DgcnnConfig& cfg, par::Rng& rng)
+    : view_(std::make_unique<Dgcnn>(cfg, rng)) {}
+
+ag::Tensor SingleViewGnn::forward(const ag::Tensor& ahat,
+                                  const ag::Tensor& feats, bool training,
+                                  par::Rng& rng) const {
+  return view_->forward({ahat, feats}, training, rng).logits;
+}
+
+}  // namespace mvgnn::core

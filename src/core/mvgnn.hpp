@@ -1,0 +1,84 @@
+// MV-GNN — the paper's primary contribution (section III, Fig. 3).
+//
+// Two independent DGCNNs examine each loop sub-PEG from two views:
+//  * node-feature view: inst2vec static embeddings concatenated with the
+//    Table I dynamic features per node;
+//  * structural view: per-node anonymous-walk distributions pushed through
+//    a learned AW embedding table (eq. 3/4).
+// The fusion layer (eq. 5) is h = W · tanh(h_n ⊕ h_s) + b over the two
+// pooled representations, followed by the softmax classifier. The per-view
+// heads stay attached so the Fig. 8 view-importance probes can read
+// single-view predictions off the jointly trained model.
+#pragma once
+
+#include "core/dgcnn.hpp"
+
+namespace mvgnn::core {
+
+struct MvGnnConfig {
+  DgcnnConfig node_view;
+  DgcnnConfig struct_view;
+  /// Typed-edge extension: run the node view relationally over the PEG's
+  /// {hierarchy, RAW, WAR, WAW} relations (struct view stays untyped).
+  bool typed_edges = false;
+  std::size_t aw_vocab = 0;      // structural input width (set from dataset)
+  std::size_t aw_embed_dim = 16; // AW embedding table width
+  std::size_t num_classes = 2;
+};
+
+/// Model input for one loop sample. `ahat` is shared by both views.
+struct SampleInput {
+  ag::Tensor ahat;        // [n, n]
+  ag::Tensor node_feats;  // [n, node_view.in_dim]
+  ag::Tensor aw_dist;     // [n, aw_vocab]
+  /// Per-relation adjacencies (built only when the featurizer's typed-edge
+  /// mode is on).
+  std::vector<ag::Tensor> rel_ahats;
+  int label = 0;
+};
+
+class MvGnn final : public nn::Module {
+ public:
+  MvGnn(MvGnnConfig cfg, par::Rng& rng);
+
+  struct Output {
+    ag::Tensor logits;         // fused prediction [1, classes]
+    ag::Tensor node_logits;    // node-feature view head
+    ag::Tensor struct_logits;  // structural view head
+    ag::Tensor node_embed;     // node-view per-node embeddings [n, c]
+    ag::Tensor struct_embed;   // structural-view per-node embeddings [n, c]
+  };
+
+  [[nodiscard]] Output forward(const SampleInput& in, bool training,
+                               par::Rng& rng) const;
+
+  [[nodiscard]] std::vector<ag::Tensor> parameters() const override;
+  [[nodiscard]] const MvGnnConfig& config() const { return cfg_; }
+
+ private:
+  MvGnnConfig cfg_;
+  std::unique_ptr<Dgcnn> node_view_;
+  std::unique_ptr<Dgcnn> struct_view_;
+  ag::Tensor aw_embed_;  // [aw_vocab, aw_embed_dim]
+  std::unique_ptr<nn::Linear> fusion_;
+};
+
+/// Single-view GNN classifier (used for the "GNNs with static information"
+/// baseline of Shen et al. and the per-view ablations): one DGCNN over a
+/// caller-chosen node feature matrix.
+class SingleViewGnn final : public nn::Module {
+ public:
+  SingleViewGnn(const DgcnnConfig& cfg, par::Rng& rng);
+
+  [[nodiscard]] ag::Tensor forward(const ag::Tensor& ahat,
+                                   const ag::Tensor& feats, bool training,
+                                   par::Rng& rng) const;
+  [[nodiscard]] std::vector<ag::Tensor> parameters() const override {
+    return view_->parameters();
+  }
+
+ private:
+  std::unique_ptr<Dgcnn> view_;
+};
+
+}  // namespace mvgnn::core

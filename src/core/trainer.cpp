@@ -1,0 +1,357 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/optim.hpp"
+
+namespace mvgnn::core {
+
+using ag::Tensor;
+
+namespace {
+
+int argmax_row(const Tensor& logits) {
+  int best = 0;
+  for (std::size_t c = 1; c < logits.cols(); ++c) {
+    if (logits.at(0, c) > logits.at(0, best)) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+}  // namespace
+
+Normalizer Normalizer::fit(const data::Dataset& ds,
+                           const std::vector<std::size_t>& train_idx) {
+  Normalizer n;
+  std::array<double, 7> sum{}, sq{};
+  std::size_t count = 0;
+  for (const std::size_t i : train_idx) {
+    for (const auto& row : ds.samples[i].node_dynamic) {
+      for (int k = 0; k < 7; ++k) {
+        sum[k] += row[k];
+        sq[k] += row[k] * row[k];
+      }
+      ++count;
+    }
+  }
+  if (count == 0) count = 1;
+  for (int k = 0; k < 7; ++k) {
+    n.mean[k] = sum[k] / static_cast<double>(count);
+    const double var =
+        sq[k] / static_cast<double>(count) - n.mean[k] * n.mean[k];
+    n.stdev[k] = std::sqrt(std::max(var, 1e-8));
+  }
+  return n;
+}
+
+std::array<float, 7> Normalizer::apply(const std::array<double, 7>& v) const {
+  std::array<float, 7> out{};
+  for (int k = 0; k < 7; ++k) {
+    out[k] = static_cast<float>((v[k] - mean[k]) / stdev[k]);
+  }
+  return out;
+}
+
+SampleInput build_input(const data::GraphSample& s,
+                        const data::Dataset& reference,
+                        const Normalizer& norm, bool use_pattern_label,
+                        bool zero_dynamic, bool typed_edges) {
+  SampleInput in;
+  in.ahat = make_ahat(s.n, s.edges);
+  in.label = use_pattern_label ? s.pattern_label : s.label;
+
+  const std::size_t nd = reference.static_dim + 7;
+  std::vector<float> feats(s.n * nd, 0.0f);
+  for (std::uint32_t k = 0; k < s.n; ++k) {
+    float* row = feats.data() + k * nd;
+    std::copy(s.node_static[k].begin(), s.node_static[k].end(), row);
+    if (!zero_dynamic) {
+      const auto dyn = norm.apply(s.node_dynamic[k]);
+      std::copy(dyn.begin(), dyn.end(), row + reference.static_dim);
+    }
+  }
+  in.node_feats = Tensor::from_data({s.n, nd}, std::move(feats));
+
+  std::vector<float> aw(s.n * reference.aw_vocab, 0.0f);
+  for (std::uint32_t k = 0; k < s.n; ++k) {
+    std::copy(s.aw_dist[k].begin(), s.aw_dist[k].end(),
+              aw.data() + k * reference.aw_vocab);
+  }
+  in.aw_dist = Tensor::from_data({s.n, reference.aw_vocab}, std::move(aw));
+  if (typed_edges) {
+    for (std::uint8_t r = 0; r < data::GraphSample::kNumRelations; ++r) {
+      in.rel_ahats.push_back(
+          nn::relation_adjacency(s.n, s.edges, s.edge_kinds, r));
+    }
+  }
+  return in;
+}
+
+const SampleInput& Featurizer::get(std::size_t i) const {
+  if (cache_[i]) return *cache_[i];
+  cache_[i] = std::make_unique<SampleInput>(
+      build_input(ds_->samples[i], *ds_, norm_, mode_ == LabelMode::Pattern,
+                  zero_dynamic_, typed_edges_));
+  return *cache_[i];
+}
+
+MvGnnConfig default_config(const Featurizer& feats) {
+  MvGnnConfig cfg;
+  cfg.num_classes = feats.num_classes();
+  cfg.node_view.num_classes = feats.num_classes();
+  cfg.struct_view.num_classes = feats.num_classes();
+  cfg.node_view.in_dim = feats.node_dim();
+  cfg.node_view.gcn_channels = {32, 32, 1};
+  cfg.node_view.sort_k = 16;
+  cfg.struct_view.gcn_channels = {24, 24, 1};
+  cfg.struct_view.sort_k = 16;
+  cfg.aw_vocab = feats.dataset().aw_vocab;
+  cfg.aw_embed_dim = 16;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// MvGnnTrainer
+// ---------------------------------------------------------------------------
+
+MvGnnTrainer::MvGnnTrainer(const Featurizer& feats, MvGnnConfig cfg,
+                           const TrainConfig& tc)
+    : feats_(&feats), tc_(tc), rng_(tc.seed) {
+  par::Rng init_rng(tc.seed ^ 0x11117777ULL);
+  model_ = std::make_unique<MvGnn>(std::move(cfg), init_rng);
+}
+
+std::vector<EpochStat> MvGnnTrainer::fit(
+    const std::vector<std::size_t>& train_idx,
+    const std::vector<std::size_t>& test_idx) {
+  ag::Adam opt(tc_.lr, 0.9f, 0.999f, 1e-8f, tc_.weight_decay);
+  opt.add_params(model_->parameters());
+
+  std::vector<std::size_t> order = train_idx;
+  std::vector<EpochStat> curve;
+  for (std::size_t epoch = 0; epoch < tc_.epochs; ++epoch) {
+    // Step schedule: drop the rate at 60% and 85% of the budget so late
+    // epochs settle instead of oscillating.
+    float lr = tc_.lr;
+    if (epoch >= tc_.epochs * 6 / 10) lr *= 0.3f;
+    if (epoch >= tc_.epochs * 85 / 100) lr *= 0.3f;
+    opt.set_lr(lr);
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    const std::size_t batch = std::max<std::size_t>(1, tc_.batch_size);
+    std::size_t in_batch = 0;
+    opt.zero_grad();
+    for (const std::size_t i : order) {
+      const bool use_alt =
+          alt_feats_ && rng_.uniform() < static_cast<double>(alt_prob_);
+      const SampleInput& in = use_alt ? alt_feats_->get(i) : feats_->get(i);
+      const auto out = model_->forward(in, /*training=*/true, rng_);
+      const std::vector<int> label = {in.label};
+      Tensor loss = ag::cross_entropy_logits(out.logits, label);
+      if (tc_.aux_weight > 0.0f) {
+        loss = ag::add(
+            loss,
+            ag::scale(
+                ag::add(ag::cross_entropy_logits(out.node_logits, label),
+                        ag::cross_entropy_logits(out.struct_logits, label)),
+                tc_.aux_weight));
+      }
+      // Average over the mini-batch: gradients accumulate between steps.
+      if (batch > 1) loss = ag::scale(loss, 1.0f / static_cast<float>(batch));
+      loss.backward();
+      if (++in_batch == batch) {
+        opt.step();
+        opt.zero_grad();
+        in_batch = 0;
+      }
+      loss_sum += loss.item() * (batch > 1 ? batch : 1);
+      correct += (argmax_row(out.logits) == in.label);
+    }
+    if (in_batch > 0) {
+      opt.step();  // trailing partial batch
+      opt.zero_grad();
+    }
+    EpochStat st;
+    st.loss = loss_sum / std::max<std::size_t>(1, order.size());
+    st.train_acc =
+        static_cast<double>(correct) / std::max<std::size_t>(1, order.size());
+    st.test_acc = test_idx.empty() ? 0.0 : accuracy(test_idx);
+    if (tc_.verbose) {
+      std::printf("epoch %3zu  loss %.4f  train_acc %.4f  test_acc %.4f\n",
+                  epoch, st.loss, st.train_acc, st.test_acc);
+    }
+    curve.push_back(st);
+  }
+  return curve;
+}
+
+void MvGnnTrainer::pretrain_unsupervised(const std::vector<std::size_t>& idx,
+                                         std::size_t epochs,
+                                         std::size_t negatives) {
+  // Gentle rate: the unsupervised phase should shape the GCN embeddings,
+  // not push the whole network far from its init before fine-tuning.
+  ag::Adam opt(tc_.lr * 0.2f);
+  opt.add_params(model_->parameters());
+  std::vector<std::size_t> order = idx;
+
+  // -log(sigmoid(sign * z_u . z_v)) averaged over the pair batch.
+  auto pair_loss = [](const Tensor& z, const std::vector<std::uint32_t>& us,
+                      const std::vector<std::uint32_t>& vs, float sign) {
+    const Tensor u = ag::gather_rows(z, us);
+    const Tensor v = ag::gather_rows(z, vs);
+    const Tensor ones = Tensor::full({z.cols(), 1}, 1.0f);
+    const Tensor dots = ag::matmul(ag::mul(u, v), ones);  // [m, 1]
+    return ag::scale(
+        ag::mean(ag::log_t(ag::sigmoid(ag::scale(dots, sign)))), -1.0f);
+  };
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    for (const std::size_t i : order) {
+      const data::GraphSample& s = feats_->dataset().samples[i];
+      if (s.edges.empty() || s.n < 2) continue;
+      std::vector<std::uint32_t> us, vs, nus, nvs;
+      for (std::size_t e = 0; e < s.edges.size() && us.size() < 32; ++e) {
+        us.push_back(s.edges[e].first);
+        vs.push_back(s.edges[e].second);
+      }
+      for (std::size_t k = 0; k < negatives * us.size(); ++k) {
+        nus.push_back(static_cast<std::uint32_t>(rng_.uniform_u64(s.n)));
+        nvs.push_back(static_cast<std::uint32_t>(rng_.uniform_u64(s.n)));
+      }
+      const SampleInput& in = feats_->get(i);
+      const auto out = model_->forward(in, /*training=*/true, rng_);
+      Tensor loss =
+          ag::add(ag::add(pair_loss(out.node_embed, us, vs, 1.0f),
+                          pair_loss(out.node_embed, nus, nvs, -1.0f)),
+                  ag::add(pair_loss(out.struct_embed, us, vs, 1.0f),
+                          pair_loss(out.struct_embed, nus, nvs, -1.0f)));
+      opt.zero_grad();
+      loss.backward();
+      opt.clip_gradients(2.0f);
+      opt.step();
+    }
+  }
+}
+
+double MvGnnTrainer::accuracy_with(const Featurizer& feats,
+                                   const std::vector<std::size_t>& idx) const {
+  if (idx.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const std::size_t i : idx) {
+    const SampleInput& in = feats.get(i);
+    const auto out = model_->forward(in, /*training=*/false, rng_);
+    correct += (argmax_row(out.logits) == in.label);
+  }
+  return static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+MvGnnTrainer::ViewPrediction MvGnnTrainer::predict_input(
+    const SampleInput& in) const {
+  const auto out = model_->forward(in, /*training=*/false, rng_);
+  ViewPrediction p;
+  p.fused = argmax_row(out.logits);
+  p.node_view = argmax_row(out.node_logits);
+  p.struct_view = argmax_row(out.struct_logits);
+  return p;
+}
+
+MvGnnTrainer::ViewPrediction MvGnnTrainer::predict(std::size_t i) const {
+  const SampleInput& in = feats_->get(i);
+  const auto out = model_->forward(in, /*training=*/false, rng_);
+  ViewPrediction p;
+  p.fused = argmax_row(out.logits);
+  p.node_view = argmax_row(out.node_logits);
+  p.struct_view = argmax_row(out.struct_logits);
+  return p;
+}
+
+double MvGnnTrainer::accuracy(const std::vector<std::size_t>& idx) const {
+  if (idx.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const std::size_t i : idx) {
+    correct += (predict(i).fused == feats_->get(i).label);
+  }
+  return static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+// ---------------------------------------------------------------------------
+// StaticGnnTrainer
+// ---------------------------------------------------------------------------
+
+StaticGnnTrainer::StaticGnnTrainer(const Featurizer& feats, DgcnnConfig cfg,
+                                   const TrainConfig& tc)
+    : feats_(&feats), tc_(tc), rng_(tc.seed) {
+  cfg.in_dim = feats.dataset().static_dim;  // static columns only
+  par::Rng init_rng(tc.seed ^ 0x22225555ULL);
+  model_ = std::make_unique<SingleViewGnn>(cfg, init_rng);
+  opt_ = std::make_unique<ag::Adam>(tc.lr, 0.9f, 0.999f, 1e-8f,
+                                    tc.weight_decay);
+  opt_->add_params(model_->parameters());
+}
+
+ag::Tensor StaticGnnTrainer::static_feats(std::size_t i) const {
+  const data::GraphSample& s = feats_->dataset().samples[i];
+  const std::size_t d = feats_->dataset().static_dim;
+  std::vector<float> f(s.n * d);
+  for (std::uint32_t k = 0; k < s.n; ++k) {
+    std::copy(s.node_static[k].begin(), s.node_static[k].end(),
+              f.data() + k * d);
+  }
+  return Tensor::from_data({s.n, d}, std::move(f));
+}
+
+std::vector<EpochStat> StaticGnnTrainer::fit(
+    const std::vector<std::size_t>& train_idx,
+    const std::vector<std::size_t>& test_idx) {
+  std::vector<std::size_t> order = train_idx;
+  std::vector<EpochStat> curve;
+  for (std::size_t epoch = 0; epoch < tc_.epochs; ++epoch) {
+    float lr = tc_.lr;
+    if (epoch >= tc_.epochs * 6 / 10) lr *= 0.3f;
+    if (epoch >= tc_.epochs * 85 / 100) lr *= 0.3f;
+    opt_->set_lr(lr);
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (const std::size_t i : order) {
+      const SampleInput& in = feats_->get(i);
+      const Tensor logits =
+          model_->forward(in.ahat, static_feats(i), /*training=*/true, rng_);
+      Tensor loss = ag::cross_entropy_logits(logits, {in.label});
+      opt_->zero_grad();
+      loss.backward();
+      opt_->step();
+      loss_sum += loss.item();
+      correct += (argmax_row(logits) == in.label);
+    }
+    EpochStat st;
+    st.loss = loss_sum / std::max<std::size_t>(1, order.size());
+    st.train_acc =
+        static_cast<double>(correct) / std::max<std::size_t>(1, order.size());
+    st.test_acc = test_idx.empty() ? 0.0 : accuracy(test_idx);
+    curve.push_back(st);
+  }
+  return curve;
+}
+
+int StaticGnnTrainer::predict(std::size_t i) const {
+  const SampleInput& in = feats_->get(i);
+  const Tensor logits =
+      model_->forward(in.ahat, static_feats(i), /*training=*/false, rng_);
+  return argmax_row(logits);
+}
+
+double StaticGnnTrainer::accuracy(const std::vector<std::size_t>& idx) const {
+  if (idx.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const std::size_t i : idx) {
+    correct += (predict(i) == feats_->get(i).label);
+  }
+  return static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+}  // namespace mvgnn::core

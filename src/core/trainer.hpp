@@ -1,0 +1,182 @@
+// Training harnesses: featurization (with train-set z-normalization of the
+// dynamic features), supervised training with the softmax loss (section
+// IV-B), accuracy evaluation, and the Fig. 7 loss/accuracy curves.
+#pragma once
+
+#include <array>
+
+#include "core/mvgnn.hpp"
+#include "data/dataset.hpp"
+#include "tensor/optim.hpp"
+
+namespace mvgnn::core {
+
+/// Z-score normalizer for the 7 dynamic features, fit on training nodes.
+struct Normalizer {
+  std::array<double, 7> mean{};
+  std::array<double, 7> stdev{};
+
+  static Normalizer fit(const data::Dataset& ds,
+                        const std::vector<std::size_t>& train_idx);
+  [[nodiscard]] std::array<float, 7> apply(
+      const std::array<double, 7>& v) const;
+};
+
+/// Builds one model input from a (possibly dataset-external) graph sample,
+/// against a reference dataset's widths. This is the deployment path: a
+/// sample produced by data::featurize_program feeds a trained model
+/// directly.
+[[nodiscard]] SampleInput build_input(const data::GraphSample& s,
+                                      const data::Dataset& reference,
+                                      const Normalizer& norm,
+                                      bool use_pattern_label = false,
+                                      bool zero_dynamic = false,
+                                      bool typed_edges = false);
+
+/// Which dataset label the model inputs carry: the binary parallelizable
+/// flag (the paper's main task) or the 3-way parallel-pattern label (the
+/// paper's future-work extension).
+enum class LabelMode { Binary, Pattern };
+
+/// Builds model inputs from dataset samples. Inputs are cached: the graph
+/// tensors are constants, only the model parameters change across epochs.
+class Featurizer {
+ public:
+  /// `zero_dynamic` zeroes the 7 dynamic-feature columns — the decoupled
+  /// inference mode of the paper's future work #3 (classify programs that
+  /// cannot be executed, using static information only).
+  /// `typed_edges` additionally builds the per-relation adjacencies the
+  /// relational (typed-edge) MV-GNN consumes.
+  Featurizer(const data::Dataset& ds, Normalizer norm,
+             LabelMode mode = LabelMode::Binary, bool zero_dynamic = false,
+             bool typed_edges = false)
+      : ds_(&ds),
+        norm_(norm),
+        mode_(mode),
+        zero_dynamic_(zero_dynamic),
+        typed_edges_(typed_edges),
+        cache_(ds.samples.size()) {}
+
+  [[nodiscard]] const SampleInput& get(std::size_t sample_index) const;
+  [[nodiscard]] std::size_t node_dim() const { return ds_->static_dim + 7; }
+  [[nodiscard]] const data::Dataset& dataset() const { return *ds_; }
+  [[nodiscard]] const Normalizer& normalizer() const { return norm_; }
+  [[nodiscard]] LabelMode label_mode() const { return mode_; }
+  /// Class count implied by the label mode.
+  [[nodiscard]] std::size_t num_classes() const {
+    return mode_ == LabelMode::Binary ? 2 : 3;
+  }
+
+ private:
+  const data::Dataset* ds_;
+  Normalizer norm_;
+  LabelMode mode_ = LabelMode::Binary;
+  bool zero_dynamic_ = false;
+  bool typed_edges_ = false;
+  mutable std::vector<std::unique_ptr<SampleInput>> cache_;
+};
+
+struct TrainConfig {
+  std::size_t epochs = 30;
+  float lr = 1e-3f;        // paper: 1e-5 at 200-dim/200-epoch GPU scale
+  float aux_weight = 0.3f; // weight of the per-view auxiliary losses
+  float weight_decay = 1e-4f;
+  /// Gradient-accumulation mini-batch: the optimizer steps once per
+  /// `batch_size` samples on the averaged gradient (1 = pure SGD-style).
+  std::size_t batch_size = 1;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct EpochStat {
+  double loss = 0.0;
+  double train_acc = 0.0;
+  double test_acc = 0.0;
+};
+
+/// MV-GNN trainer. Owns the model; exposes fused and per-view predictions
+/// (the latter drive the Fig. 8 view-importance analysis).
+class MvGnnTrainer {
+ public:
+  MvGnnTrainer(const Featurizer& feats, MvGnnConfig cfg,
+               const TrainConfig& tc);
+
+  /// Trains on `train_idx`; `test_idx` is evaluated per epoch for the
+  /// curve (pass {} to skip). Returns per-epoch stats (Fig. 7).
+  std::vector<EpochStat> fit(const std::vector<std::size_t>& train_idx,
+                             const std::vector<std::size_t>& test_idx);
+
+  /// GraphSAGE-style unsupervised pretraining (the objective the paper
+  /// adopts in section III-E): neighbouring PEG nodes get similar
+  /// embeddings, random pairs dissimilar, in both views. Needs no labels —
+  /// run it before fit() when labeled data is scarce.
+  void pretrain_unsupervised(const std::vector<std::size_t>& idx,
+                             std::size_t epochs, std::size_t negatives = 3);
+
+  /// During fit(), substitute each sample's input with `alt`'s version with
+  /// probability `prob` (the decoupled static/dynamic training of future
+  /// work #3: randomly hiding the dynamic features teaches the model to
+  /// survive their absence at inference).
+  void set_alternate_inputs(const Featurizer* alt, float prob) {
+    alt_feats_ = alt;
+    alt_prob_ = prob;
+  }
+
+  /// Accuracy when predictions are made from another featurizer's inputs
+  /// (e.g. the zero-dynamic one).
+  [[nodiscard]] double accuracy_with(const Featurizer& feats,
+                                     const std::vector<std::size_t>& idx) const;
+
+  struct ViewPrediction {
+    int fused = 0;
+    int node_view = 0;
+    int struct_view = 0;
+  };
+  [[nodiscard]] ViewPrediction predict(std::size_t sample_index) const;
+  [[nodiscard]] double accuracy(const std::vector<std::size_t>& idx) const;
+
+  [[nodiscard]] const MvGnn& model() const { return *model_; }
+  /// Mutable access for weight loading (nn::load_weights).
+  [[nodiscard]] MvGnn& model_mutable() { return *model_; }
+
+  /// Prediction on a dataset-external input (built via build_input from a
+  /// data::featurize_program sample) — the deployment path.
+  [[nodiscard]] ViewPrediction predict_input(const SampleInput& in) const;
+
+ private:
+  const Featurizer* feats_;
+  const Featurizer* alt_feats_ = nullptr;
+  float alt_prob_ = 0.0f;
+  TrainConfig tc_;
+  std::unique_ptr<MvGnn> model_;
+  mutable par::Rng rng_;
+};
+
+/// Single-view GNN trainer for the "Static GNN" baseline (inst2vec node
+/// features only, no dynamic features, no structural view).
+class StaticGnnTrainer {
+ public:
+  StaticGnnTrainer(const Featurizer& feats, DgcnnConfig cfg,
+                   const TrainConfig& tc);
+
+  std::vector<EpochStat> fit(const std::vector<std::size_t>& train_idx,
+                             const std::vector<std::size_t>& test_idx);
+  [[nodiscard]] int predict(std::size_t sample_index) const;
+  [[nodiscard]] double accuracy(const std::vector<std::size_t>& idx) const;
+
+ private:
+  /// Static-only node features (strips the 7 dynamic columns).
+  [[nodiscard]] ag::Tensor static_feats(std::size_t sample_index) const;
+
+  const Featurizer* feats_;
+  TrainConfig tc_;
+  std::unique_ptr<SingleViewGnn> model_;
+  std::unique_ptr<ag::Adam> opt_;
+  mutable par::Rng rng_;
+};
+
+/// Default scaled-down model configuration for a dataset (node/struct view
+/// widths follow DESIGN.md section 5).
+[[nodiscard]] MvGnnConfig default_config(const Featurizer& feats);
+
+}  // namespace mvgnn::core

@@ -1,0 +1,236 @@
+#include "data/corpus.hpp"
+
+namespace mvgnn::data {
+
+namespace {
+
+using P = Pattern;
+
+/// NPB solver-style mix: dominated by DOALL sweeps and reductions with a
+/// tail of recurrences, privatizable temporaries and cold paths.
+std::vector<std::pair<P, double>> npb_solver_mix() {
+  return {
+      {P::VecMap, 2.5},        {P::Saxpy, 1.5},
+      {P::Pipeline3, 2.5},   {P::Timestepped, 1.5},
+      {P::VecScaleInPlace, 1.2}, {P::StencilCopy, 1.5},
+      {P::PrivTemp, 1.2},      {P::PrivArrayTemp, 2.0},
+      {P::ReduceSum, 1.2},     {P::ReduceMax, 0.8},
+      {P::DotProduct, 1.0},    {P::MatMulNest, 0.8},
+      {P::Recurrence, 1.5},    {P::ScalarCarried, 1.0},
+      {P::TriangularUpdate, 0.5}, {P::CondUpdateMax, 0.4},
+      {P::ColdPath, 0.4},      {P::CallMapPure, 4.2},
+      {P::DisjointCopy, 3.4},
+      {P::OffsetStencil, 3.0},  {P::OffsetRecurrence, 2.5},
+      {P::ParamOffset, 2.5},
+  };
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& table2_apps() {
+  static const std::vector<AppSpec> apps = {
+      // ---- NPB ----
+      {"BT", "NPB", 184, npb_solver_mix()},
+      {"SP", "NPB", 252, npb_solver_mix()},
+      {"LU", "NPB", 173,
+       {
+           {P::VecMap, 2.0},          {P::Saxpy, 1.5},
+           {P::StencilCopy, 1.5},     {P::PrivTemp, 1.0},
+           {P::TriangularUpdate, 1.5}, {P::Recurrence, 1.2},
+           {P::ReduceSum, 1.0},       {P::MatMulNest, 0.8},
+           {P::ScalarCarried, 0.6},   {P::PrivArrayTemp, 0.8},
+           {P::ReduceMax, 0.5},       {P::ColdPath, 0.3},
+           {P::OffsetStencil, 2.0},   {P::OffsetRecurrence, 1.5},
+           {P::ParamOffset, 1.5},
+       }},
+      {"IS", "NPB", 25,
+       {
+           {P::IndirectHistogram, 2.0}, {P::IndirectScatter, 1.5},
+           {P::IndirectGather, 2.0},    {P::VecMap, 1.0},
+           {P::EarlyExit, 0.8},         {P::ReduceSum, 0.7},
+       }},
+      {"EP", "NPB", 10,
+       {
+           {P::ReduceSum, 2.0}, {P::ReduceMax, 1.0},
+           {P::VecMap, 1.0},    {P::CallMapPure, 1.5},
+       }},
+      {"CG", "NPB", 32,
+       {
+           {P::DotProduct, 2.0},     {P::Saxpy, 2.0},
+           {P::IndirectGather, 1.5}, {P::VecMap, 1.0},
+           {P::ReduceSum, 1.0},      {P::Recurrence, 0.6},
+           {P::ScalarCarried, 0.4},  {P::ParamOffset, 1.2},
+           {P::OffsetRecurrence, 1.0}, {P::SpMV, 2.0},
+       }},
+      {"MG", "NPB", 74,
+       {
+           {P::Jacobi2D, 2.0},     {P::StencilCopy, 2.0},
+           {P::VecMap, 1.5},       {P::ReduceSum, 1.0},
+           {P::PrivArrayTemp, 1.0}, {P::ReduceMax, 0.6},
+           {P::Seidel2D, 0.6},     {P::Recurrence, 0.4},
+           {P::OffsetStencil, 2.0}, {P::ParamOffset, 1.2},
+           {P::SeparableStencil, 1.0}, {P::Timestepped, 1.5},
+       }},
+      {"FT", "NPB", 37,
+       {
+           {P::VecMap, 2.0},       {P::DisjointCopy, 1.5},
+           {P::CallMapPure, 1.0},  {P::ReduceSum, 1.0},
+           {P::WhileWrapped, 0.8}, {P::VecScaleInPlace, 1.0},
+           {P::Recurrence, 0.5},   {P::ParamOffset, 1.5},
+           {P::OffsetStencil, 1.2}, {P::Transpose, 1.2},
+       }},
+      // ---- PolyBench ----
+      {"2mm", "PolyBench", 17,
+       {
+           {P::ArrayAccumNest, 1.6},
+           {P::MatMulNest, 0.5},
+           {P::Jacobi2D, 1.2},
+           {P::VecScaleInPlace, 1.0},
+           {P::PrivArrayTemp, 1.0},
+           {P::DisjointCopy, 1.4},
+           {P::ColdPath, 1.0},
+           {P::OffsetStencil, 1.2},
+           {P::ParamOffset, 1.0},
+       }},
+      {"jacobi-2d", "PolyBench", 10,
+       {
+           {P::Jacobi2D, 2.0},
+           {P::Seidel2D, 1.5},
+           {P::StencilCopy, 1.0},
+           {P::OffsetStencil, 1.2},
+       }},
+      {"syr2k", "PolyBench", 11,
+       {
+           {P::ArrayAccumNest, 2.0},
+           {P::VecScaleInPlace, 1.0},
+           {P::PrivArrayTemp, 0.8},
+           {P::DisjointCopy, 1.2},
+           {P::ColdPath, 0.8},
+       }},
+      {"trmm", "PolyBench", 9,
+       {
+           {P::TriangularUpdate, 2.0},
+           {P::ArrayAccumNest, 1.0},
+           {P::VecScaleInPlace, 1.2},
+           {P::DisjointCopy, 0.8},
+       }},
+      // ---- BOTS ----
+      {"fib", "BOTS", 2, {{P::FibDriver, 1.0}}},
+      {"nqueens", "BOTS", 4, {{P::NQueensStyle, 1.0}}},
+  };
+  return apps;
+}
+
+namespace {
+
+Pattern sample_pattern(const std::vector<std::pair<Pattern, double>>& mix,
+                       int remaining, par::Rng& rng) {
+  double total = 0.0;
+  for (const auto& [p, w] : mix) {
+    if (pattern_loops(p) <= remaining) total += w;
+  }
+  if (total <= 0.0) return Pattern::ChecksumOnly;
+  double pick = rng.uniform() * total;
+  for (const auto& [p, w] : mix) {
+    if (pattern_loops(p) > remaining) continue;
+    pick -= w;
+    if (pick <= 0.0) return p;
+  }
+  return Pattern::ChecksumOnly;
+}
+
+}  // namespace
+
+std::vector<ProgramSpec> build_app(const AppSpec& spec, std::uint64_t seed) {
+  par::Rng rng(seed);
+  std::vector<ProgramSpec> out;
+  int remaining = spec.target_loops;
+  int idx = 0;
+  while (remaining > 0) {
+    const Pattern p = sample_pattern(spec.mix, remaining, rng);
+    ProgramSpec ps;
+    ps.suite = spec.suite;
+    ps.app = spec.app;
+    ps.pattern = p;
+    ps.kernel = generate_kernel(
+        p, spec.app + "_k" + std::to_string(idx++), rng);
+    remaining -= ps.kernel.for_loops;
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+std::vector<ProgramSpec> build_benchmark_corpus(std::uint64_t seed) {
+  std::vector<ProgramSpec> out;
+  std::uint64_t app_seed = seed;
+  for (const AppSpec& spec : table2_apps()) {
+    auto programs = build_app(spec, ++app_seed * 7919 + seed);
+    out.insert(out.end(), std::make_move_iterator(programs.begin()),
+               std::make_move_iterator(programs.end()));
+  }
+  return out;
+}
+
+std::vector<ProgramSpec> build_generated_corpus(int target_loops,
+                                                std::uint64_t seed) {
+  // Uniform sweep over all patterns, repeated until the loop budget is met:
+  // the transformed dataset's goal is coverage and balance, not realism of
+  // any single application.
+  static const Pattern kAll[] = {
+      P::VecMap,        P::VecScaleInPlace, P::Saxpy,
+      P::StencilCopy,   P::ReduceSum,       P::ReduceMax,
+      P::DotProduct,    P::PrivTemp,        P::PrivArrayTemp,
+      P::Recurrence,    P::ScalarCarried,   P::CondUpdateMax,
+      P::EarlyExit,     P::CallMapPure,     P::CallAccumShared,
+      P::IndirectGather, P::IndirectHistogram, P::IndirectScatter,
+      P::DisjointCopy,  P::MatMulNest,      P::Jacobi2D,
+      P::Seidel2D,      P::TriangularUpdate, P::ArrayAccumNest,
+      P::ColdPath,      P::WhileWrapped,
+      P::FibDriver,     P::NQueensStyle,
+      P::SpMV,          P::Transpose,       P::SeparableStencil,
+      P::Pipeline3,     P::Pipeline3,       P::Pipeline3,
+      P::Timestepped,   P::Timestepped,
+      // Heavy share of the parameter-dependent patterns: the transformed
+      // dataset is where template memorization must stop working.
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+      P::OffsetStencil, P::OffsetRecurrence, P::ParamOffset,
+  };
+  par::Rng rng(seed ^ 0xD1CEBA5EULL);
+  std::vector<ProgramSpec> out;
+  int remaining = target_loops;
+  int idx = 0;
+  std::size_t cursor = 0;
+  while (remaining > 0) {
+    const Pattern p = kAll[cursor++ % std::size(kAll)];
+    if (pattern_loops(p) > remaining) {
+      if (remaining < 1) break;
+      ProgramSpec ps;
+      ps.suite = "Generated";
+      ps.app = "gen";
+      ps.pattern = Pattern::ChecksumOnly;
+      ps.kernel = generate_kernel(Pattern::ChecksumOnly,
+                                  "gen_k" + std::to_string(idx++), rng);
+      remaining -= ps.kernel.for_loops;
+      out.push_back(std::move(ps));
+      continue;
+    }
+    ProgramSpec ps;
+    ps.suite = "Generated";
+    ps.app = "gen";
+    ps.pattern = p;
+    ps.kernel = generate_kernel(p, "gen_k" + std::to_string(idx++), rng);
+    remaining -= ps.kernel.for_loops;
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+}  // namespace mvgnn::data

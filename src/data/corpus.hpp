@@ -1,0 +1,50 @@
+// Benchmark corpus: per-application kernel populations sized to Table II
+// (BT 184 loops, SP 252, ..., fib 2, nqueens 4; 840 for-loops total), plus
+// the augmented "Generated" population (section IV-A's transformed dataset).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/kernels.hpp"
+
+namespace mvgnn::data {
+
+/// One single-kernel MiniC program attributed to a benchmark application.
+struct ProgramSpec {
+  std::string suite;  // "NPB", "PolyBench", "BOTS", "Generated"
+  std::string app;    // "BT", "2mm", "fib", ...
+  GenKernel kernel;
+  Pattern pattern = Pattern::VecMap;
+};
+
+/// Application target from Table II.
+struct AppSpec {
+  std::string app;
+  std::string suite;
+  int target_loops = 0;
+  /// Pattern mix: (pattern, relative weight).
+  std::vector<std::pair<Pattern, double>> mix;
+};
+
+/// The fourteen applications of Table II with suite-characteristic pattern
+/// mixes (NPB: DOALL-heavy; PolyBench: affine polyhedral; BOTS: task
+/// recursion).
+[[nodiscard]] const std::vector<AppSpec>& table2_apps();
+
+/// Instantiates `spec` into programs whose for-loop counts sum exactly to
+/// `spec.target_loops` (1-loop fillers pad the tail).
+[[nodiscard]] std::vector<ProgramSpec> build_app(const AppSpec& spec,
+                                                 std::uint64_t seed);
+
+/// The full benchmark corpus (every Table II application).
+[[nodiscard]] std::vector<ProgramSpec> build_benchmark_corpus(
+    std::uint64_t seed);
+
+/// Additional "Generated" programs: fresh pattern instantiations with
+/// mutated operators/sizes/offsets, drawn uniformly across all patterns,
+/// with approximately `target_loops` for-loops in total.
+[[nodiscard]] std::vector<ProgramSpec> build_generated_corpus(
+    int target_loops, std::uint64_t seed);
+
+}  // namespace mvgnn::data

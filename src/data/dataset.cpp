@@ -1,0 +1,398 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "analysis/tools.hpp"
+#include "parallel/parallel_for.hpp"
+#include "frontend/lower.hpp"
+#include "graph/peg.hpp"
+#include "profiler/profile.hpp"
+#include "transform/passes.hpp"
+
+namespace mvgnn::data {
+
+namespace {
+
+/// One compiled+profiled program variant held during dataset construction.
+struct Built {
+  const ProgramSpec* spec = nullptr;
+  std::string variant;
+  ir::Module module;
+  profiler::ProfileResult prof;        // clean: labels + tool verdicts
+  profiler::ProfileResult noisy_prof;  // degraded: model-visible features
+  graph::Peg peg;                      // built from the degraded profile
+};
+
+/// Simulates input sensitivity: drops aggregated dependence edges with
+/// probability `p`. Loop runtime, CU structure and object tables stay.
+profiler::ProfileResult degrade_profile(const profiler::ProfileResult& prof,
+                                        double p, par::Rng& rng) {
+  profiler::ProfileResult out = prof;
+  if (p <= 0.0) return out;
+  std::erase_if(out.dep.edges, [&](const profiler::DepEdge&) {
+    return rng.uniform() < p;
+  });
+  return out;
+}
+
+/// log1p squashing for count-like dynamic features (exec counts span many
+/// orders of magnitude; GCNs want tame inputs).
+std::array<double, 7> squash(const profiler::LoopFeatures& f) {
+  const auto v = f.as_vector();
+  std::array<double, 7> out{};
+  out[0] = std::log1p(v[0]);  // n_inst
+  out[1] = std::log1p(v[1]);  // exec_times
+  out[2] = std::log1p(v[2]);  // cfl
+  out[3] = v[3];              // esp (already a small ratio)
+  out[4] = std::log1p(v[4]);  // incoming
+  out[5] = std::log1p(v[5]);  // internal
+  out[6] = std::log1p(v[6]);  // outgoing
+  return out;
+}
+
+
+/// Sparse anonymous-walk ids per node of one sample (densified by the
+/// caller once the vocabulary size is final).
+using AwIds = std::vector<std::vector<std::uint32_t>>;
+
+struct BuiltSamples {
+  std::vector<GraphSample> samples;
+  std::vector<AwIds> aw_ids;  // parallel to samples
+};
+
+/// Shared sample-construction core: one GraphSample per for-loop of `b`,
+/// using (and, when `grow`, extending) the dataset's vocabularies and
+/// inst2vec table. Does NOT densify the AW distributions.
+BuiltSamples samples_of_built(const Built& b, Dataset& ds,
+                              const DatasetOptions& opts, bool grow,
+                              par::Rng& walk_rng) {
+  BuiltSamples out;
+  const std::uint32_t i2v_dim = ds.inst2vec.dim();
+  const std::uint32_t kind_dims = 3;  // CU / Loop / Function one-hot
+
+  // Per-loop dynamic features for every loop in the module (loop nodes of
+  // inner loops need them too). Model-visible features come from the
+  // degraded profile.
+  std::unordered_map<const ir::Function*, std::vector<profiler::LoopFeatures>>
+      loop_feats;
+  for (const auto& fn : b.module.functions) {
+    auto& v = loop_feats[fn.get()];
+    v.reserve(fn->loops.size());
+    for (const ir::LoopInfo& l : fn->loops) {
+      v.push_back(
+          profiler::compute_loop_features(*fn, l.id, b.noisy_prof.dep));
+    }
+  }
+
+  // Token ids per instruction (for node static embeddings).
+  std::unordered_map<const ir::Function*, std::vector<std::uint32_t>> toks;
+  for (const auto& fn : b.module.functions) {
+    auto& t = toks[fn.get()];
+    t.reserve(fn->instrs.size());
+    for (const ir::Instruction& in : fn->instrs) {
+      t.push_back(ds.token_vocab.id_of(embedding::normalize(in), grow));
+    }
+  }
+
+  for (const profiler::LoopSample& ls : b.prof.loops) {
+    const graph::SubPeg sub = graph::extract_sub_peg(b.peg, ls.fn, ls.loop);
+    GraphSample s;
+    s.n = static_cast<std::uint32_t>(sub.num_nodes());
+    for (const graph::PegEdge& e : sub.edges) {
+      s.edges.emplace_back(e.src, e.dst);
+      if (e.kind == graph::EdgeKind::Hierarchy) {
+        s.edge_kinds.push_back(0);
+      } else {
+        switch (e.dep) {
+          case profiler::DepType::RAW: s.edge_kinds.push_back(1); break;
+          case profiler::DepType::WAR: s.edge_kinds.push_back(2); break;
+          case profiler::DepType::WAW: s.edge_kinds.push_back(3); break;
+        }
+      }
+    }
+
+    // Node features.
+    s.node_static.resize(s.n);
+    s.node_dynamic.resize(s.n);
+    for (std::uint32_t k = 0; k < s.n; ++k) {
+      const graph::PegNode& node = b.peg.nodes[sub.nodes[k]];
+      std::vector<std::uint32_t> node_tokens;
+      profiler::LoopFeatures dyn;
+      if (node.kind == graph::NodeKind::CU) {
+        const profiler::CU& cu = b.peg.cus[node.cu];
+        for (const ir::InstrId id : cu.instrs) {
+          node_tokens.push_back(toks[node.fn][id]);
+        }
+        if (node.loop != ir::kNoLoop) {
+          dyn = loop_feats[node.fn][node.loop];
+        }
+        // A CU's own cost signal: mean execution count of its members.
+        std::uint64_t total = 0;
+        for (const ir::InstrId id : cu.instrs) {
+          total += b.prof.dep.exec_count(node.fn, id);
+        }
+        dyn.exec_times = cu.instrs.empty() ? 0 : total / cu.instrs.size();
+      } else if (node.kind == graph::NodeKind::Loop) {
+        for (ir::InstrId id = 0; id < node.fn->instrs.size(); ++id) {
+          if (profiler::instr_in_loop(*node.fn, id, node.loop)) {
+            node_tokens.push_back(toks[node.fn][id]);
+          }
+        }
+        dyn = loop_feats[node.fn][node.loop];
+        if (k == 0) s.token_seq = node_tokens;  // root loop body sequence
+      }
+      std::vector<float> st = ds.inst2vec.mean_of(node_tokens);
+      st.resize(ds.static_dim, 0.0f);
+      st[i2v_dim + static_cast<std::uint32_t>(node.kind)] = 1.0f;
+      st[i2v_dim + kind_dims] =
+          std::log1p(static_cast<float>(node_tokens.size()));
+      s.node_static[k] = std::move(st);
+      s.node_dynamic[k] = squash(dyn);
+    }
+
+    // Structural view: sample walks, keep sparse ids.
+    graph::WalkGraph wg(s.n);
+    for (const auto& [a, bb] : s.edges) wg.add_edge(a, bb);
+    AwIds ids_per_node(s.n);
+    for (std::uint32_t k = 0; k < s.n; ++k) {
+      const auto dist = graph::node_aw_distribution(
+          wg, k, opts.walk, ds.aw_vocab_table, grow, walk_rng);
+      std::vector<std::uint32_t> ids;
+      for (std::uint32_t id = 0; id < dist.size(); ++id) {
+        const auto cnt = static_cast<std::uint32_t>(
+            std::lround(dist[id] * opts.walk.gamma));
+        for (std::uint32_t c = 0; c < cnt; ++c) ids.push_back(id);
+      }
+      ids_per_node[k] = std::move(ids);
+    }
+    out.aw_ids.push_back(std::move(ids_per_node));
+
+    // Labels, baselines, provenance. Labels and tool verdicts use the
+    // clean profile; the stored hand-crafted features are the degraded
+    // ones (what a real profiling run would have produced).
+    s.loop_features = squash(loop_feats[ls.fn][ls.loop]);
+    s.label =
+        analysis::oracle_classify(*ls.fn, ls.loop, b.prof.dep).parallel ? 1
+                                                                        : 0;
+    s.pattern_label = static_cast<int>(
+        analysis::oracle_pattern(*ls.fn, ls.loop, b.prof.dep));
+    s.tool_autopar = analysis::autopar_classify(*ls.fn, ls.loop).parallel;
+    s.tool_pluto = analysis::pluto_classify(*ls.fn, ls.loop).parallel;
+    s.tool_discopop =
+        analysis::discopop_classify(*ls.fn, ls.loop, b.prof.dep).parallel;
+    s.suite = b.spec->suite;
+    s.app = b.spec->app;
+    s.kernel = b.spec->kernel.name;
+    s.variant = b.variant;
+    s.loop_line = ls.fn->loops[ls.loop].start_line;
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Densifies one sample's AW distribution over `vocab_size` slots.
+void densify_aw(GraphSample& s, const AwIds& ids, std::uint32_t vocab_size) {
+  s.aw_dist.resize(s.n);
+  for (std::uint32_t k = 0; k < s.n; ++k) {
+    std::vector<float> d(vocab_size, 0.0f);
+    if (!ids[k].empty()) {
+      const float inv = 1.0f / static_cast<float>(ids[k].size());
+      for (const std::uint32_t id : ids[k]) d[id] += inv;
+    }
+    s.aw_dist[k] = std::move(d);
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> Dataset::suite_indices(const std::string& suite) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (suite.empty() || samples[i].suite == suite) out.push_back(i);
+  }
+  return out;
+}
+
+Dataset build_dataset(const std::vector<ProgramSpec>& programs,
+                      const DatasetOptions& opts, std::size_t* skipped) {
+  Dataset ds;
+  std::size_t skip_count = 0;
+
+  // ---- Phase 1: compile (with variants) and profile --------------------
+  // Every (program, variant) item is independent, so this fans out over the
+  // global thread pool; results are collected in item order and each item
+  // derives its own noise stream from its index, keeping the dataset
+  // bit-identical regardless of scheduling.
+  const auto& pipelines = transform::variant_pipelines();
+  const std::size_t n_variants = opts.use_ir_variants ? pipelines.size() : 1;
+  const std::size_t n_items = programs.size() * n_variants;
+  std::vector<std::unique_ptr<Built>> slots(n_items);
+  std::atomic<std::size_t> skipped_atomic{0};
+  par::parallel_for(
+      0, n_items,
+      [&](std::size_t item) {
+        const ProgramSpec& spec = programs[item / n_variants];
+        const std::size_t v = item % n_variants;
+        auto b = std::make_unique<Built>();
+        b->spec = &spec;
+        try {
+          b->module = frontend::compile(spec.kernel.source, spec.kernel.name);
+          if (opts.use_ir_variants) {
+            transform::run_pipeline(b->module, pipelines[v]);
+            b->variant = pipelines[v].name;
+          }
+          b->prof = profiler::profile(b->module, "kernel", spec.kernel.args);
+          par::Rng noise_rng(opts.seed ^ (0x0DE9'0A0DULL + item * 0x9E37ULL));
+          b->noisy_prof = degrade_profile(b->prof, opts.dep_noise, noise_rng);
+          b->peg = graph::build_peg(b->module, b->noisy_prof);
+        } catch (const std::exception&) {
+          ++skipped_atomic;
+          return;
+        }
+        slots[item] = std::move(b);
+      },
+      par::ThreadPool::global(), /*grain=*/1);
+  skip_count = skipped_atomic.load();
+  std::vector<Built> built;
+  built.reserve(n_items);
+  for (auto& slot : slots) {
+    if (slot) built.push_back(std::move(*slot));
+  }
+  slots.clear();
+
+  // ---- Phase 2: train the inst2vec embedding over the whole corpus -----
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const Built& b : built) {
+    for (const auto& fn : b.module.functions) {
+      auto p = embedding::context_pairs(*fn, ds.token_vocab, /*grow=*/true);
+      pairs.insert(pairs.end(), p.begin(), p.end());
+    }
+  }
+  ds.token_vocab.freeze();
+  embedding::SkipGramParams sg;
+  sg.dim = opts.inst2vec_dim;
+  sg.epochs = opts.skipgram_epochs;
+  par::Rng sg_rng(opts.seed ^ 0x5EEDULL);
+  ds.inst2vec = embedding::train_skipgram(ds.token_vocab.size(), pairs, sg,
+                                          sg_rng);
+
+  // ---- Phase 3: one sample per for-loop --------------------------------
+  // Anonymous-walk ids are collected sparse first (the vocabulary grows
+  // while sampling); distributions are densified after the freeze.
+  std::vector<AwIds> pending_ids;
+  par::Rng walk_rng(opts.seed ^ 0xA110C8ULL);
+
+  const std::uint32_t kind_dims = 3;  // CU / Loop / Function one-hot
+  ds.static_dim = opts.inst2vec_dim + kind_dims + 1;
+
+  for (const Built& b : built) {
+    BuiltSamples bs = samples_of_built(b, ds, opts, /*grow=*/true, walk_rng);
+    for (std::size_t i = 0; i < bs.samples.size(); ++i) {
+      ds.samples.push_back(std::move(bs.samples[i]));
+      pending_ids.push_back(std::move(bs.aw_ids[i]));
+    }
+  }
+
+  // ---- Phase 4: freeze the AW vocabulary and densify -------------------
+  ds.aw_vocab_table.freeze();
+  ds.aw_vocab = ds.aw_vocab_table.size();
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    densify_aw(ds.samples[i], pending_ids[i], ds.aw_vocab);
+  }
+
+  if (skipped) *skipped = skip_count;
+  return ds;
+}
+
+std::vector<GraphSample> featurize_program(const ProgramSpec& program,
+                                            const Dataset& reference,
+                                            const DatasetOptions& opts) {
+  Built b;
+  b.spec = &program;
+  b.module = frontend::compile(program.kernel.source, program.kernel.name);
+  b.prof = profiler::profile(b.module, "kernel", program.kernel.args);
+  par::Rng noise_rng(opts.seed ^ 0xF007'0A0DULL);
+  b.noisy_prof = degrade_profile(b.prof, opts.dep_noise, noise_rng);
+  b.peg = graph::build_peg(b.module, b.noisy_prof);
+
+  // The vocabularies are frozen, so grow=false cannot mutate them; the
+  // const_cast only satisfies the shared helper's signature.
+  Dataset& ref = const_cast<Dataset&>(reference);
+  par::Rng walk_rng(opts.seed ^ 0xF00D'C8ULL);
+  BuiltSamples bs =
+      samples_of_built(b, ref, opts, /*grow=*/false, walk_rng);
+  for (std::size_t i = 0; i < bs.samples.size(); ++i) {
+    densify_aw(bs.samples[i], bs.aw_ids[i], reference.aw_vocab);
+  }
+  return std::move(bs.samples);
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_by_kernel(
+    const Dataset& ds, double train_fraction, std::uint64_t seed) {
+  // Stable kernel list in first-appearance order.
+  std::vector<std::string> kernels;
+  for (const GraphSample& s : ds.samples) {
+    if (std::find(kernels.begin(), kernels.end(), s.kernel) == kernels.end()) {
+      kernels.push_back(s.kernel);
+    }
+  }
+  par::Rng rng(seed);
+  std::shuffle(kernels.begin(), kernels.end(), rng.engine());
+  const std::size_t n_train = static_cast<std::size_t>(
+      std::llround(train_fraction * static_cast<double>(kernels.size())));
+  std::vector<std::string> train_kernels(kernels.begin(),
+                                         kernels.begin() + n_train);
+
+  std::pair<std::vector<std::size_t>, std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    const bool in_train =
+        std::find(train_kernels.begin(), train_kernels.end(),
+                  ds.samples[i].kernel) != train_kernels.end();
+    (in_train ? out.first : out.second).push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> balance_classes(const Dataset& ds,
+                                         const std::vector<std::size_t>& idx,
+                                         std::uint64_t seed) {
+  std::vector<std::size_t> pos, neg;
+  for (const std::size_t i : idx) {
+    (ds.samples[i].label ? pos : neg).push_back(i);
+  }
+  par::Rng rng(seed);
+  std::shuffle(pos.begin(), pos.end(), rng.engine());
+  std::shuffle(neg.begin(), neg.end(), rng.engine());
+  const std::size_t n = std::min(pos.size(), neg.size());
+  std::vector<std::size_t> out;
+  out.reserve(2 * n);
+  out.insert(out.end(), pos.begin(), pos.begin() + n);
+  out.insert(out.end(), neg.begin(), neg.begin() + n);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> oversample_balance(
+    const Dataset& ds, const std::vector<std::size_t>& idx,
+    std::uint64_t seed) {
+  std::vector<std::size_t> pos, neg;
+  for (const std::size_t i : idx) {
+    (ds.samples[i].label ? pos : neg).push_back(i);
+  }
+  if (pos.empty() || neg.empty()) return idx;
+  par::Rng rng(seed ^ 0x05E2ULL);
+  std::vector<std::size_t>& minority = pos.size() < neg.size() ? pos : neg;
+  const std::size_t target = std::max(pos.size(), neg.size());
+  std::vector<std::size_t> out = idx;
+  while (minority.size() < target) {
+    const std::size_t pick = minority[rng.uniform_u64(minority.size())];
+    out.push_back(pick);
+    minority.push_back(pick);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mvgnn::data

@@ -1,0 +1,126 @@
+// Dataset construction: corpus programs -> labeled graph samples.
+//
+// Pipeline (paper Fig. 2 + section IV-A):
+//   compile every program (optionally through the six IR variant
+//   pipelines), profile it, build its PEG, and emit one GraphSample per
+//   `for` loop: the loop's sub-PEG, the two view inputs (inst2vec+dynamic
+//   node features; anonymous-walk distributions), the expert oracle label,
+//   and the baseline tool verdicts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "embedding/normalizer.hpp"
+#include "embedding/skipgram.hpp"
+#include "graph/anon_walk.hpp"
+
+namespace mvgnn::data {
+
+struct GraphSample {
+  // Graph structure (local node indices; node 0 is the loop node).
+  std::uint32_t n = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  /// Edge relation per entry of `edges`: 0 = hierarchy, 1 = RAW, 2 = WAR,
+  /// 3 = WAW (consumed by the typed-edge / relational-GCN extension).
+  std::vector<std::uint8_t> edge_kinds;
+  static constexpr std::size_t kNumRelations = 4;
+
+  // Node-feature view input: inst2vec mean + node-kind one-hot + size, and
+  // the Table I dynamic features per node.
+  std::vector<std::vector<float>> node_static;      // [n][static_dim]
+  std::vector<std::array<double, 7>> node_dynamic;  // [n][7]
+
+  // Structural view input: anonymous-walk distribution per node (dense over
+  // the frozen AW vocabulary).
+  std::vector<std::vector<float>> aw_dist;  // [n][aw_vocab]
+
+  // Root-loop Table I features (the hand-crafted classifier input).
+  std::array<double, 7> loop_features{};
+
+  // Normalized-token sequence of the loop body in program order (the NCC
+  // baseline consumes this through the inst2vec embedding + LSTM).
+  std::vector<std::uint32_t> token_seq;
+
+  // Labels and baselines.
+  int label = 0;  // 1 = parallelizable (oracle)
+  // Parallel-pattern label (paper future work): 0 = sequential, 1 = DOALL,
+  // 2 = reduction.
+  int pattern_label = 0;
+  bool tool_autopar = false;
+  bool tool_pluto = false;
+  bool tool_discopop = false;
+
+  // Provenance.
+  std::string suite, app, kernel, variant;
+  int loop_line = 0;
+};
+
+struct DatasetOptions {
+  bool use_ir_variants = false;  // run the six transform pipelines
+  graph::AwParams walk;          // anonymous-walk sampling parameters
+  std::uint32_t inst2vec_dim = 32;
+  std::uint32_t skipgram_epochs = 2;
+  std::uint64_t seed = 42;
+  /// Input-sensitivity of the dynamic analysis: each aggregated dependence
+  /// edge is dropped from the *model-visible* profile with this probability
+  /// (labels and tool verdicts always use the clean profile). Real dynamic
+  /// profilers only see the dependences the profiling input exercises; this
+  /// is what keeps the learned models below 100% on template-recognizable
+  /// code.
+  double dep_noise = 0.08;
+};
+
+struct Dataset {
+  std::vector<GraphSample> samples;
+  std::uint32_t static_dim = 0;  // node_static width
+  std::uint32_t aw_vocab = 0;    // aw_dist width
+  embedding::EmbeddingTable inst2vec;
+  embedding::Vocab token_vocab;
+  graph::AwVocab aw_vocab_table;
+
+  /// Indices of samples belonging to `suite` (empty suite = all).
+  [[nodiscard]] std::vector<std::size_t> suite_indices(
+      const std::string& suite) const;
+};
+
+/// Builds the dataset from `programs`. Programs whose profiling faults are
+/// skipped (counted in `skipped` when non-null) — with the stock corpus
+/// none should fault.
+[[nodiscard]] Dataset build_dataset(const std::vector<ProgramSpec>& programs,
+                                    const DatasetOptions& opts,
+                                    std::size_t* skipped = nullptr);
+
+/// Featurizes one (possibly unseen) program against an existing dataset's
+/// frozen vocabularies and inst2vec table — the inference path: profile the
+/// program, build its PEG, and emit one GraphSample per for-loop whose
+/// feature widths match `reference` (so a model trained on it applies
+/// directly). The reference dataset must be fully built (vocabularies
+/// frozen). Throws on compile/profile faults.
+[[nodiscard]] std::vector<GraphSample> featurize_program(
+    const ProgramSpec& program, const Dataset& reference,
+    const DatasetOptions& opts);
+
+/// Deterministic 75:25 split at kernel granularity ("no common objects in
+/// the training and testing sets"): all samples of one kernel land on the
+/// same side. Returns (train, test) index lists over ds.samples.
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_by_kernel(
+    const Dataset& ds, double train_fraction, std::uint64_t seed);
+
+/// Balances a sample index list to equal positive/negative counts by
+/// truncating the majority class (deterministic given `seed`).
+[[nodiscard]] std::vector<std::size_t> balance_classes(
+    const Dataset& ds, const std::vector<std::size_t>& indices,
+    std::uint64_t seed);
+
+/// Balances by repeating minority-class indices instead of discarding
+/// majority ones — keeps every sample while equalizing the class prior
+/// (duplicated indices simply appear more often per epoch).
+[[nodiscard]] std::vector<std::size_t> oversample_balance(
+    const Dataset& ds, const std::vector<std::size_t>& indices,
+    std::uint64_t seed);
+
+}  // namespace mvgnn::data

@@ -1,0 +1,931 @@
+#include "data/kernels.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace mvgnn::data {
+
+namespace {
+
+using profiler::ArgInit;
+
+/// Tiny source assembler with rng-backed variation helpers.
+struct Src {
+  std::ostringstream os;
+  par::Rng& rng;
+
+  explicit Src(par::Rng& r) : rng(r) {}
+
+  Src& line(const std::string& s) {
+    os << s << "\n";
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return os.str(); }
+
+  /// A problem size in [16, 64], multiple of 8 so halves stay integral.
+  std::int64_t size() { return 16 + 8 * rng.uniform_int(0, 6); }
+  /// A small 2-D edge length.
+  std::int64_t size2d() { return 8 + 2 * rng.uniform_int(0, 4); }
+  /// A float literal like "0.371".
+  std::string weight() {
+    std::ostringstream w;
+    w << (0.05 + 0.9 * rng.uniform());
+    return w.str();
+  }
+  /// One of the commutative float ops.
+  std::string fop() {
+    static const char* ops[] = {"+", "-", "*"};
+    return ops[rng.uniform_u64(3)];
+  }
+  /// A pure unary builtin wrapper, sometimes identity.
+  std::string wrap(const std::string& e) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0: return "sqrt(fabs(" + e + "))";
+      case 1: return "fabs(" + e + ")";
+      default: return e;
+    }
+  }
+};
+
+std::string I(std::int64_t v) { return std::to_string(v); }
+
+GenKernel finish(const std::string& name, const Src& src,
+                 std::vector<ArgInit> args, int loops) {
+  GenKernel k;
+  k.name = name;
+  k.source = src.str();
+  k.args = std::move(args);
+  k.for_loops = loops;
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern emitters. Every kernel's entry function is `kernel`.
+// ---------------------------------------------------------------------------
+
+GenKernel vec_map(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  const std::string op = s.fop();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, float[] b, float[] c) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  if (rng.bernoulli(0.5)) {
+    s.line("    c[i] = " + s.wrap("a[i]") + " " + op + " b[i];");
+  } else {
+    s.line("    c[i] = a[i] " + op + " b[i] * " + s.weight() + ";");
+  }
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2),
+                 ArgInit::of_array(n, 3)},
+                1);
+}
+
+GenKernel vec_scale(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  if (rng.bernoulli(0.5)) {
+    s.line("    a[i] = a[i] * " + s.weight() + ";");
+  } else {
+    s.line("    a[i] = a[i] + " + s.weight() + ";");
+  }
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1)}, 1);
+}
+
+GenKernel saxpy(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] x, float[] y, float alpha) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    y[i] = y[i] + alpha * x[i];");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2),
+                 ArgInit::of_float(1.0 + rng.uniform())},
+                1);
+}
+
+GenKernel stencil_copy(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  for (int i = 1; i < N - 1; i += 1) {");
+  s.line("    b[i] = " + s.weight() + " * a[i - 1] + " + s.weight() +
+         " * a[i] + " + s.weight() + " * a[i + 1];");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel reduce_sum(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  const bool squared = rng.bernoulli(0.5);
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a) {");
+  s.line("  float s = 0.0;");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line(squared ? "    s = s + a[i] * a[i];" : "    s = s + a[i];");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1)}, 1);
+}
+
+GenKernel reduce_max(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  const bool use_min = rng.bernoulli(0.3);
+  const std::string f = use_min ? "fmin" : "fmax";
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a) {");
+  s.line(std::string("  float s = ") + (use_min ? "1000000.0;" : "-1000000.0;"));
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    s = " + f + "(s, a[i]);");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1)}, 1);
+}
+
+GenKernel dot_product(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a, float[] b) {");
+  s.line("  float s = 0.0;");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    s = s + a[i] * b[i];");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel priv_temp(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  float t = 0.0;");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    t = a[i] * " + s.weight() + ";");
+  s.line("    b[i] = t * t + t;");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel priv_array_temp(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  const std::int64_t m = 4 + rng.uniform_int(0, 4);
+  s.line("const int N = " + I(n) + ";");
+  s.line("const int M = " + I(m) + ";");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  float t[M];");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    for (int j = 0; j < M; j += 1) {");
+  s.line("      t[j] = a[i] * (" + s.weight() + " + (float) j);");
+  s.line("    }");
+  s.line("    float acc = 0.0;");
+  s.line("    for (int j = 0; j < M; j += 1) {");
+  s.line("      acc = acc + t[j];");
+  s.line("    }");
+  s.line("    b[i] = acc;");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                3);
+}
+
+GenKernel recurrence(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  for (int i = 1; i < N; i += 1) {");
+  if (rng.bernoulli(0.5)) {
+    s.line("    a[i] = a[i - 1] * " + s.weight() + " + b[i];");
+  } else {
+    s.line("    a[i] = a[i] + a[i - 1];");
+  }
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel scalar_carried(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  float s = 0.0;");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    s = s * " + s.weight() + " + a[i];");
+  s.line("    b[i] = s;");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel cond_update_max(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a) {");
+  s.line("  float s = -1000000.0;");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    if (a[i] > s) {");
+  s.line("      s = a[i];");
+  s.line("    }");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1)}, 1);
+}
+
+GenKernel early_exit(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("int kernel(float[] a, float t) {");
+  s.line("  int found = -1;");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    if (a[i] > t) {");
+  s.line("      found = i;");
+  s.line("      break;");
+  s.line("    }");
+  s.line("  }");
+  s.line("  return found;");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(n, 1), ArgInit::of_float(1.45)}, 1);
+}
+
+GenKernel call_map_pure(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float helper(float x) {");
+  if (rng.bernoulli(0.5)) {
+    s.line("  return x * x + " + s.weight() + ";");
+  } else {
+    s.line("  float y = sqrt(fabs(x)) + " + s.weight() + ";");
+    s.line("  return y * x;");
+  }
+  s.line("}");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    b[i] = helper(a[i]);");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel call_accum_shared(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void helper(float[] acc, float x) {");
+  s.line("  acc[0] = acc[0] + x;");
+  s.line("}");
+  s.line("void kernel(float[] a, float[] acc) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    helper(acc, a[i]);");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(4, 2)},
+                1);
+}
+
+GenKernel indirect_gather(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, int[] idx, float[] b) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    b[i] = a[idx[i]] * " + s.weight() + ";");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2),
+                 ArgInit::of_array(n, 3)},
+                1);
+}
+
+GenKernel indirect_histogram(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(int[] idx, float[] h) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    h[idx[i]] += 1.0;");
+  s.line("  }");
+  s.line("  float s = 0.0;");
+  s.line("  for (int j = 0; j < N; j += 1) {");
+  s.line("    s = s + h[j];");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                2);
+}
+
+GenKernel indirect_scatter(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(int[] idx, float[] a, float[] b) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    a[idx[i]] = b[i] + " + s.weight() + ";");
+  s.line("  }");
+  s.line("  float s = 0.0;");
+  s.line("  for (int j = 0; j < N; j += 1) {");
+  s.line("    s = s + a[j];");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2),
+                 ArgInit::of_array(n, 3)},
+                2);
+}
+
+GenKernel disjoint_copy(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto h = s.size();
+  s.line("const int H = " + I(h) + ";");
+  s.line("void kernel(float[] a) {");
+  s.line("  for (int i = 0; i < H; i += 1) {");
+  s.line("    a[i] = a[i + H] * " + s.weight() + ";");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(2 * h, 1)}, 1);
+}
+
+GenKernel matmul_nest(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size2d();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] A, float[] B, float[] C) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    for (int j = 0; j < N; j += 1) {");
+  s.line("      float acc = 0.0;");
+  s.line("      for (int k = 0; k < N; k += 1) {");
+  s.line("        acc = acc + A[i * N + k] * B[k * N + j];");
+  s.line("      }");
+  s.line("      C[i * N + j] = acc;");
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  const auto sz = static_cast<std::uint64_t>(n * n);
+  return finish(name, s,
+                {ArgInit::of_array(sz, 1), ArgInit::of_array(sz, 2),
+                 ArgInit::of_array(sz, 3)},
+                3);
+}
+
+GenKernel jacobi2d(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size2d();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  for (int i = 1; i < N - 1; i += 1) {");
+  s.line("    for (int j = 1; j < N - 1; j += 1) {");
+  s.line("      b[i * N + j] = 0.2 * (a[i * N + j] + a[(i - 1) * N + j]");
+  s.line("          + a[(i + 1) * N + j] + a[i * N + j - 1] + a[i * N + j + 1]);");
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  const auto sz = static_cast<std::uint64_t>(n * n);
+  return finish(name, s, {ArgInit::of_array(sz, 1), ArgInit::of_array(sz, 2)},
+                2);
+}
+
+GenKernel seidel2d(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size2d();
+  // Two flavours: the full Gauss-Seidel sweep (left + up neighbours) makes
+  // both loops sequential; the vertical-only sweep leaves the inner row
+  // loop parallel — a useful hard positive.
+  const bool full_sweep = rng.bernoulli(0.6);
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a) {");
+  s.line("  for (int i = 1; i < N - 1; i += 1) {");
+  s.line("    for (int j = 1; j < N - 1; j += 1) {");
+  if (full_sweep) {
+    s.line("      a[i * N + j] = (a[i * N + j - 1] + a[i * N + j]");
+    s.line("          + a[(i - 1) * N + j]) * 0.3333;");
+  } else {
+    s.line("      a[i * N + j] = (a[(i - 1) * N + j] + a[i * N + j]");
+    s.line("          + a[(i + 1) * N + j]) * 0.3333;");
+  }
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(static_cast<std::uint64_t>(n * n), 1)}, 2);
+}
+
+GenKernel triangular_update(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size2d();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] L, float[] x) {");
+  s.line("  for (int i = 1; i < N; i += 1) {");
+  s.line("    for (int j = 0; j < i; j += 1) {");
+  s.line("      x[i] = x[i] - L[i * N + j] * x[j];");
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(static_cast<std::uint64_t>(n * n), 1),
+                 ArgInit::of_array(static_cast<std::uint64_t>(n), 2)},
+                2);
+}
+
+GenKernel array_accum_nest(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size2d();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] A, float[] B, float[] C, float alpha) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    for (int j = 0; j < N; j += 1) {");
+  s.line("      for (int k = 0; k < N; k += 1) {");
+  s.line("        C[i * N + j] += alpha * A[i * N + k] * B[j * N + k];");
+  s.line("      }");
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  const auto sz = static_cast<std::uint64_t>(n * n);
+  return finish(name, s,
+                {ArgInit::of_array(sz, 1), ArgInit::of_array(sz, 2),
+                 ArgInit::of_array(sz, 3), ArgInit::of_float(0.5)},
+                3);
+}
+
+GenKernel cold_path(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  const bool cold_is_parallel = rng.bernoulli(0.7);
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] a, float[] b, int flag) {");
+  s.line("  if (flag > 0) {");
+  s.line("    for (int i = 1; i < N; i += 1) {");
+  if (cold_is_parallel) {
+    s.line("      b[i] = a[i] * " + s.weight() + ";");
+  } else {
+    s.line("      b[i] = b[i - 1] + a[i];");
+  }
+  s.line("    }");
+  s.line("  }");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    b[i] = a[i] + " + s.weight() + ";");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2),
+                 ArgInit::of_int(0)},
+                2);
+}
+
+GenKernel while_wrapped(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a, float[] b) {");
+  s.line("  float err = 1000.0;");
+  s.line("  int iter = 0;");
+  s.line("  while (err > 1.0 && iter < 6) {");
+  s.line("    err = 0.0;");
+  s.line("    for (int i = 0; i < N; i += 1) {");
+  s.line("      b[i] = 0.5 * (a[i] + b[i]);");
+  s.line("      err = err + fabs(a[i] - b[i]);");
+  s.line("    }");
+  s.line("    iter = iter + 1;");
+  s.line("  }");
+  s.line("  return err;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel fib_driver(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const std::int64_t k = 10 + rng.uniform_int(0, 4);
+  s.line("const int K = " + I(k) + ";");
+  s.line("int fib(int n) {");
+  s.line("  if (n < 2) {");
+  s.line("    return n;");
+  s.line("  }");
+  s.line("  return fib(n - 1) + fib(n - 2);");
+  s.line("}");
+  s.line("void kernel(int[] r) {");
+  s.line("  for (int i = 0; i < K; i += 1) {");
+  s.line("    r[i] = 0;");
+  s.line("  }");
+  s.line("  for (int i = 0; i < K; i += 1) {");
+  s.line("    r[i] = fib(i % 10 + 3);");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(static_cast<std::uint64_t>(k), 1)},
+                2);
+}
+
+GenKernel nqueens_style(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const std::int64_t q = 5 + rng.uniform_int(0, 1);  // 5 or 6 queens
+  s.line("const int Q = " + I(q) + ";");
+  s.line("int place(int[] board, int row) {");
+  s.line("  if (row == Q) {");
+  s.line("    return 1;");
+  s.line("  }");
+  s.line("  int count = 0;");
+  s.line("  for (int c = 0; c < Q; c += 1) {");
+  s.line("    int ok = 1;");
+  s.line("    for (int r = 0; r < row; r += 1) {");
+  s.line("      if (board[r] == c || iabs(board[r] - c) == row - r) {");
+  s.line("        ok = 0;");
+  s.line("      }");
+  s.line("    }");
+  s.line("    if (ok == 1) {");
+  s.line("      board[row] = c;");
+  s.line("      count = count + place(board, row + 1);");
+  s.line("    }");
+  s.line("  }");
+  s.line("  return count;");
+  s.line("}");
+  s.line("int kernel(int[] board) {");
+  s.line("  for (int i = 0; i < Q; i += 1) {");
+  s.line("    board[i] = -1;");
+  s.line("  }");
+  s.line("  int total = 0;");
+  s.line("  for (int i = 0; i < Q; i += 1) {");
+  s.line("    board[0] = i;");
+  s.line("    total = total + place(board, 1);");
+  s.line("  }");
+  s.line("  return total;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(static_cast<std::uint64_t>(q), 1)},
+                4);
+}
+
+GenKernel checksum_only(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a) {");
+  s.line("  float s = 0.0;");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    s = s + a[i] * " + s.weight() + ";");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1)}, 1);
+}
+
+GenKernel offset_stencil(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  // Half the instances are the OFF=0 (parallel) flavour so a token-only
+  // model faces a genuine coin flip on this template.
+  static const std::int64_t offs[] = {0, 0, 0, 0, 1, -1, 2, -2};
+  const std::int64_t off = offs[rng.uniform_u64(std::size(offs))];
+  // Identical token stream for every OFF; only the dependence distance
+  // changes. The trailing checksum makes `a` live-out so non-zero offsets
+  // are genuinely order-dependent.
+  s.line("const int N = " + I(n) + ";");
+  s.line("const int OFF = " + I(off) + ";");
+  s.line("float kernel(float[] a) {");
+  s.line("  for (int i = 2; i < N - 2; i += 1) {");
+  s.line("    a[i] = a[i + OFF] * " + s.weight() + " + 0.01;");
+  s.line("  }");
+  s.line("  float s = 0.0;");
+  s.line("  for (int j = 0; j < N; j += 1) {");
+  s.line("    s = s + a[j];");
+  s.line("  }");
+  s.line("  return s;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1)}, 2);
+}
+
+GenKernel offset_recurrence(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  static const std::int64_t ks[] = {0, 0, 0, 1, 1, 2};
+  const std::int64_t k = ks[rng.uniform_u64(std::size(ks))];
+  s.line("const int N = " + I(n) + ";");
+  s.line("const int K = " + I(k) + ";");
+  s.line("void kernel(float[] a, float[] b) {");
+  s.line("  for (int i = 2; i < N; i += 1) {");
+  s.line("    a[i] = a[i - K] * " + s.weight() + " + b[i];");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                1);
+}
+
+GenKernel param_offset(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  // The offset is a runtime argument: token stream, static analysis and
+  // graph topology are identical across instances — only the dynamic
+  // dependence profile reveals whether the loop is parallelizable.
+  static const std::int64_t svals[] = {0, 0, 0, 1, 2, 1};
+  const std::int64_t sval = svals[rng.uniform_u64(std::size(svals))];
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a, int s) {");
+  s.line("  for (int i = 0; i < N - 2; i += 1) {");
+  s.line("    a[i] = a[i + s] * " + s.weight() + " + 0.02;");
+  s.line("  }");
+  s.line("  float c = 0.0;");
+  s.line("  for (int j = 0; j < N; j += 1) {");
+  s.line("    c = c + a[j];");
+  s.line("  }");
+  s.line("  return c;");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_int(sval)}, 2);
+}
+
+GenKernel spmv(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const std::int64_t rows = 8 + 2 * rng.uniform_int(0, 4);
+  const std::int64_t nnz_per_row = 4;
+  const std::int64_t nnz = rows * nnz_per_row;
+  // CSR with a fixed row width keeps the row_ptr arithmetic affine while the
+  // column indices stay data-dependent — the real SpMV situation.
+  s.line("const int ROWS = " + I(rows) + ";");
+  s.line("const int W = " + I(nnz_per_row) + ";");
+  s.line("void kernel(float[] val, int[] col, float[] x, float[] y) {");
+  s.line("  for (int r = 0; r < ROWS; r += 1) {");
+  s.line("    float acc = 0.0;");
+  s.line("    for (int k = r * W; k < r * W + W; k += 1) {");
+  s.line("      acc = acc + val[k] * x[col[k]];");
+  s.line("    }");
+  s.line("    y[r] = acc;");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(static_cast<std::uint64_t>(nnz), 1),
+                 ArgInit::of_array(static_cast<std::uint64_t>(nnz), 2),
+                 ArgInit::of_array(static_cast<std::uint64_t>(nnz), 3),
+                 ArgInit::of_array(static_cast<std::uint64_t>(rows), 4)},
+                2);
+}
+
+GenKernel transpose(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size2d();
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] A, float[] B) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    for (int j = 0; j < N; j += 1) {");
+  s.line("      B[j * N + i] = A[i * N + j];");
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  const auto sz = static_cast<std::uint64_t>(n * n);
+  return finish(name, s, {ArgInit::of_array(sz, 1), ArgInit::of_array(sz, 2)},
+                2);
+}
+
+GenKernel separable_stencil(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size2d();
+  // Row sweep is parallel over rows but sequential inside each row (a
+  // running IIR filter); the column sweep mirrors it — a realistic mix of
+  // parallel and sequential loops over the same grid.
+  s.line("const int N = " + I(n) + ";");
+  s.line("void kernel(float[] g) {");
+  s.line("  for (int i = 0; i < N; i += 1) {");
+  s.line("    for (int j = 1; j < N; j += 1) {");
+  s.line("      g[i * N + j] = g[i * N + j] * 0.6 + g[i * N + j - 1] * 0.4;");
+  s.line("    }");
+  s.line("  }");
+  s.line("  for (int j = 0; j < N; j += 1) {");
+  s.line("    for (int i = 1; i < N; i += 1) {");
+  s.line("      g[i * N + j] = g[i * N + j] * 0.6 + g[(i - 1) * N + j] * 0.4;");
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s,
+                {ArgInit::of_array(static_cast<std::uint64_t>(n * n), 1)}, 4);
+}
+
+GenKernel pipeline3(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  s.line("const int N = " + I(n) + ";");
+  s.line("float kernel(float[] a, float[] b) {");
+  // Scalars some stages need, declared up front like real code.
+  s.line("  float acc = 0.0;");
+  s.line("  float top = -1000000.0;");
+  s.line("  float run = 0.0;");
+  // Three stages drawn independently; they share a and b, so each loop sees
+  // realistic incoming/outgoing dependences from its neighbours.
+  for (int stage = 0; stage < 3; ++stage) {
+    switch (rng.uniform_int(0, 6)) {
+      case 0:  // map a -> b
+        s.line("  for (int i = 0; i < N; i += 1) {");
+        s.line("    b[i] = " + s.wrap("a[i]") + " + " + s.weight() + ";");
+        s.line("  }");
+        break;
+      case 1:  // in-place scale of b
+        s.line("  for (int i = 0; i < N; i += 1) {");
+        s.line("    b[i] = b[i] * " + s.weight() + ";");
+        s.line("  }");
+        break;
+      case 2:  // stencil b -> a (out of place)
+        s.line("  for (int i = 1; i < N - 1; i += 1) {");
+        s.line("    a[i] = " + s.weight() + " * (b[i - 1] + b[i + 1]);");
+        s.line("  }");
+        break;
+      case 3:  // sum reduction over b
+        s.line("  for (int i = 0; i < N; i += 1) {");
+        s.line("    acc = acc + b[i];");
+        s.line("  }");
+        break;
+      case 4:  // max reduction over b
+        s.line("  for (int i = 0; i < N; i += 1) {");
+        s.line("    top = fmax(top, b[i]);");
+        s.line("  }");
+        break;
+      case 5:  // forward recurrence on b
+        s.line("  for (int i = 1; i < N; i += 1) {");
+        s.line("    b[i] = b[i] + b[i - 1] * " + s.weight() + ";");
+        s.line("  }");
+        break;
+      default:  // carried scalar chain into b
+        s.line("  for (int i = 0; i < N; i += 1) {");
+        s.line("    run = run * " + s.weight() + " + a[i];");
+        s.line("    b[i] = run;");
+        s.line("  }");
+        break;
+    }
+  }
+  s.line("  return acc + top + run + b[N - 1];");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                3);
+}
+
+GenKernel timestepped(const std::string& name, par::Rng& rng) {
+  Src s(rng);
+  const auto n = s.size();
+  const std::int64_t steps = 3 + rng.uniform_int(0, 5);
+  s.line("const int N = " + I(n) + ";");
+  s.line("const int STEPS = " + I(steps) + ";");
+  s.line("void kernel(float[] u, float[] tmp) {");
+  s.line("  for (int t = 0; t < STEPS; t += 1) {");
+  s.line("    for (int i = 1; i < N - 1; i += 1) {");
+  s.line("      tmp[i] = u[i] + " + s.weight() +
+         " * (u[i - 1] - 2.0 * u[i] + u[i + 1]);");
+  s.line("    }");
+  s.line("    for (int i = 1; i < N - 1; i += 1) {");
+  s.line("      u[i] = tmp[i];");
+  s.line("    }");
+  s.line("  }");
+  s.line("}");
+  return finish(name, s, {ArgInit::of_array(n, 1), ArgInit::of_array(n, 2)},
+                3);
+}
+
+}  // namespace
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::VecMap: return "vec_map";
+    case Pattern::VecScaleInPlace: return "vec_scale";
+    case Pattern::Saxpy: return "saxpy";
+    case Pattern::StencilCopy: return "stencil_copy";
+    case Pattern::ReduceSum: return "reduce_sum";
+    case Pattern::ReduceMax: return "reduce_max";
+    case Pattern::DotProduct: return "dot_product";
+    case Pattern::PrivTemp: return "priv_temp";
+    case Pattern::PrivArrayTemp: return "priv_array_temp";
+    case Pattern::Recurrence: return "recurrence";
+    case Pattern::ScalarCarried: return "scalar_carried";
+    case Pattern::CondUpdateMax: return "cond_update_max";
+    case Pattern::EarlyExit: return "early_exit";
+    case Pattern::CallMapPure: return "call_map_pure";
+    case Pattern::CallAccumShared: return "call_accum_shared";
+    case Pattern::IndirectGather: return "indirect_gather";
+    case Pattern::IndirectHistogram: return "indirect_histogram";
+    case Pattern::IndirectScatter: return "indirect_scatter";
+    case Pattern::DisjointCopy: return "disjoint_copy";
+    case Pattern::MatMulNest: return "matmul_nest";
+    case Pattern::Jacobi2D: return "jacobi2d";
+    case Pattern::Seidel2D: return "seidel2d";
+    case Pattern::TriangularUpdate: return "triangular";
+    case Pattern::ArrayAccumNest: return "array_accum_nest";
+    case Pattern::ColdPath: return "cold_path";
+    case Pattern::WhileWrapped: return "while_wrapped";
+    case Pattern::FibDriver: return "fib_driver";
+    case Pattern::NQueensStyle: return "nqueens_style";
+    case Pattern::ChecksumOnly: return "checksum_only";
+    case Pattern::OffsetStencil: return "offset_stencil";
+    case Pattern::ParamOffset: return "param_offset";
+    case Pattern::SpMV: return "spmv";
+    case Pattern::Transpose: return "transpose";
+    case Pattern::SeparableStencil: return "separable_stencil";
+    case Pattern::Pipeline3: return "pipeline3";
+    case Pattern::Timestepped: return "timestepped";
+    case Pattern::OffsetRecurrence: return "offset_recurrence";
+  }
+  return "?";
+}
+
+int pattern_loops(Pattern p) {
+  switch (p) {
+    case Pattern::PrivArrayTemp: return 3;
+    case Pattern::IndirectHistogram:
+    case Pattern::IndirectScatter:
+    case Pattern::Jacobi2D:
+    case Pattern::Seidel2D:
+    case Pattern::TriangularUpdate:
+    case Pattern::ColdPath:
+    case Pattern::FibDriver:
+      return 2;
+    case Pattern::MatMulNest:
+    case Pattern::ArrayAccumNest:
+      return 3;
+    case Pattern::NQueensStyle:
+      return 4;
+    case Pattern::OffsetStencil:
+    case Pattern::ParamOffset:
+    case Pattern::SpMV:
+    case Pattern::Transpose:
+      return 2;
+    case Pattern::SeparableStencil:
+      return 4;
+    case Pattern::Pipeline3:
+    case Pattern::Timestepped:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+GenKernel generate_kernel(Pattern p, const std::string& name, par::Rng& rng) {
+  GenKernel k;
+  switch (p) {
+    case Pattern::VecMap: k = vec_map(name, rng); break;
+    case Pattern::VecScaleInPlace: k = vec_scale(name, rng); break;
+    case Pattern::Saxpy: k = saxpy(name, rng); break;
+    case Pattern::StencilCopy: k = stencil_copy(name, rng); break;
+    case Pattern::ReduceSum: k = reduce_sum(name, rng); break;
+    case Pattern::ReduceMax: k = reduce_max(name, rng); break;
+    case Pattern::DotProduct: k = dot_product(name, rng); break;
+    case Pattern::PrivTemp: k = priv_temp(name, rng); break;
+    case Pattern::PrivArrayTemp: k = priv_array_temp(name, rng); break;
+    case Pattern::Recurrence: k = recurrence(name, rng); break;
+    case Pattern::ScalarCarried: k = scalar_carried(name, rng); break;
+    case Pattern::CondUpdateMax: k = cond_update_max(name, rng); break;
+    case Pattern::EarlyExit: k = early_exit(name, rng); break;
+    case Pattern::CallMapPure: k = call_map_pure(name, rng); break;
+    case Pattern::CallAccumShared: k = call_accum_shared(name, rng); break;
+    case Pattern::IndirectGather: k = indirect_gather(name, rng); break;
+    case Pattern::IndirectHistogram: k = indirect_histogram(name, rng); break;
+    case Pattern::IndirectScatter: k = indirect_scatter(name, rng); break;
+    case Pattern::DisjointCopy: k = disjoint_copy(name, rng); break;
+    case Pattern::MatMulNest: k = matmul_nest(name, rng); break;
+    case Pattern::Jacobi2D: k = jacobi2d(name, rng); break;
+    case Pattern::Seidel2D: k = seidel2d(name, rng); break;
+    case Pattern::TriangularUpdate: k = triangular_update(name, rng); break;
+    case Pattern::ArrayAccumNest: k = array_accum_nest(name, rng); break;
+    case Pattern::ColdPath: k = cold_path(name, rng); break;
+    case Pattern::WhileWrapped: k = while_wrapped(name, rng); break;
+    case Pattern::FibDriver: k = fib_driver(name, rng); break;
+    case Pattern::NQueensStyle: k = nqueens_style(name, rng); break;
+    case Pattern::ChecksumOnly: k = checksum_only(name, rng); break;
+    case Pattern::OffsetStencil: k = offset_stencil(name, rng); break;
+    case Pattern::ParamOffset: k = param_offset(name, rng); break;
+    case Pattern::SpMV: k = spmv(name, rng); break;
+    case Pattern::Transpose: k = transpose(name, rng); break;
+    case Pattern::SeparableStencil: k = separable_stencil(name, rng); break;
+    case Pattern::Pipeline3: k = pipeline3(name, rng); break;
+    case Pattern::Timestepped: k = timestepped(name, rng); break;
+    case Pattern::OffsetRecurrence: k = offset_recurrence(name, rng); break;
+  }
+  assert(k.for_loops == pattern_loops(p));
+  return k;
+}
+
+}  // namespace mvgnn::data

@@ -1,0 +1,83 @@
+// MiniC kernel-pattern generators — the stand-in for the NPB / PolyBench /
+// BOTS sources (see DESIGN.md, substitutions table).
+//
+// Each pattern emits one MiniC program with a known number of `for` loops
+// and a characteristic parallelism profile (DOALL, reduction, recurrence,
+// indirect, call-based, ...). Variation (sizes, operators, offsets,
+// statement order) is drawn from the Rng, which is how the paper's
+// "transformed dataset" loop-order/operation mutations are realized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parallel/rng.hpp"
+#include "profiler/interp.hpp"
+
+namespace mvgnn::data {
+
+enum class Pattern : std::uint8_t {
+  VecMap,            // c[i] = f(a[i], b[i])                    P
+  VecScaleInPlace,   // a[i] = a[i] * k                         P
+  Saxpy,             // y[i] = y[i] + alpha * x[i]              P
+  StencilCopy,       // b[i] = w*a[i-1] + ... (out of place)    P
+  ReduceSum,         // s += a[i]                               P (reduction)
+  ReduceMax,         // s = fmax(s, a[i])                       P (DiscoPoP miss)
+  DotProduct,        // s += a[i] * b[i]                        P (reduction)
+  PrivTemp,          // t = ...; b[i] = g(t)                    P (privatizable)
+  PrivArrayTemp,     // fill t[] then consume, t outside loop   P (array priv)
+  Recurrence,        // a[i] = a[i-1] op x                      N
+  ScalarCarried,     // s = phi(s, a[i]); b[i] = s              N
+  CondUpdateMax,     // if (a[i] > s) s = a[i]                  N (unrecognized)
+  EarlyExit,         // search loop with break                  N
+  CallMapPure,       // b[i] = helper(a[i]), helper pure        P (static tools miss)
+  CallAccumShared,   // helper accumulates into shared cell     N
+  IndirectGather,    // b[i] = a[idx[i]]                        P (non-affine)
+  IndirectHistogram, // h[idx[i]] += 1                          P (array reduction)
+  IndirectScatter,   // a[idx[i]] = b[i] (+ checksum)           N (order-dep)
+  DisjointCopy,      // a[i] = a[i + HALF], halves disjoint     P (needs Banerjee)
+  MatMulNest,        // 3-deep nest, scalar acc                 P/P/P(red)
+  Jacobi2D,          // out-of-place 5-point stencil, flat 2-D  P
+  Seidel2D,          // in-place stencil                        N
+  TriangularUpdate,  // for i, for j < i: L-solve style         N inner
+  ArrayAccumNest,    // C[i*N+j] += A..*B.. (syr2k-like)        P (array red)
+  ColdPath,          // loop behind a false flag                (never executed)
+  WhileWrapped,      // while(conv) around a DOALL for          P inner
+  FibDriver,         // r[i] = fib(i) recursion driver          P (call)
+  NQueensStyle,      // backtracking recursion, shared board    N + driver
+  ChecksumOnly,      // single reduction loop                   P (filler)
+  // Parameter-dependent labels: the token stream is identical across the
+  // variants, only the dependence behaviour differs — these force models
+  // to use the dynamic/structural views rather than memorize templates.
+  OffsetStencil,     // a[i] = a[i+OFF]..., OFF in {-2..2}      P iff OFF==0
+  OffsetRecurrence,  // a[i] = a[i-K] op b[i], K in {0,1,2}     P iff K==0
+  ParamOffset,       // a[i] = a[i+s]..., s a *runtime* argument P iff s==0
+                     // (invisible to every static analysis and to tokens)
+  SpMV,              // CSR sparse mat-vec: row loop P, indirect columns
+  Transpose,         // B[j*N+i] = A[i*N+j]                     P (strided)
+  SeparableStencil,  // row sweep then column sweep, same grid  P/P + N pair
+  Pipeline3,         // three random stages over shared arrays (multi-loop
+                     // kernels: realistic cross-loop dependence signatures)
+  Timestepped,       // for t { out-of-place sweep; copy-back }: sequential
+                     // timestep loop around two parallel sweeps (jacobi/heat)
+};
+
+[[nodiscard]] const char* pattern_name(Pattern p);
+
+/// A generated single-kernel MiniC program.
+struct GenKernel {
+  std::string name;
+  std::string source;
+  std::vector<profiler::ArgInit> args;  // entry arguments, in order
+  int for_loops = 0;                    // `for` statements in the source
+};
+
+/// Number of `for` loops pattern `p` emits (fixed per pattern).
+[[nodiscard]] int pattern_loops(Pattern p);
+
+/// Instantiates pattern `p` with rng-driven variation. The entry function
+/// is always called `kernel`.
+[[nodiscard]] GenKernel generate_kernel(Pattern p, const std::string& name,
+                                        par::Rng& rng);
+
+}  // namespace mvgnn::data

@@ -1,0 +1,249 @@
+#include "data/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mvgnn::data {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D56'4453;  // "MVDS"
+constexpr std::uint32_t kVersion = 1;
+
+// ---- primitive writers/readers ------------------------------------------
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_i32(std::ostream& os, std::int32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_string(std::ostream& os, const std::string& s) {
+  put_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void put_f32_vec(std::ostream& os, const std::vector<float>& v) {
+  put_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("dataset stream truncated (u32)");
+  return v;
+}
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("dataset stream truncated (u64)");
+  return v;
+}
+std::int32_t get_i32(std::istream& is) {
+  std::int32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("dataset stream truncated (i32)");
+  return v;
+}
+double get_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("dataset stream truncated (f64)");
+  return v;
+}
+std::string get_string(std::istream& is) {
+  const std::uint64_t n = get_u64(is);
+  if (n > (1u << 24)) throw std::runtime_error("dataset string too large");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("dataset stream truncated (string)");
+  return s;
+}
+std::vector<float> get_f32_vec(std::istream& is) {
+  const std::uint64_t n = get_u64(is);
+  if (n > (1u << 28)) throw std::runtime_error("dataset vector too large");
+  std::vector<float> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw std::runtime_error("dataset stream truncated (f32 vec)");
+  return v;
+}
+
+void put_sample(std::ostream& os, const GraphSample& s) {
+  put_u32(os, s.n);
+  put_u64(os, s.edges.size());
+  for (std::size_t e = 0; e < s.edges.size(); ++e) {
+    put_u32(os, s.edges[e].first);
+    put_u32(os, s.edges[e].second);
+    os.put(static_cast<char>(s.edge_kinds[e]));
+  }
+  put_u64(os, s.node_static.size());
+  for (const auto& row : s.node_static) put_f32_vec(os, row);
+  put_u64(os, s.node_dynamic.size());
+  for (const auto& row : s.node_dynamic) {
+    for (const double x : row) put_f64(os, x);
+  }
+  put_u64(os, s.aw_dist.size());
+  for (const auto& row : s.aw_dist) put_f32_vec(os, row);
+  for (const double x : s.loop_features) put_f64(os, x);
+  put_u64(os, s.token_seq.size());
+  for (const std::uint32_t t : s.token_seq) put_u32(os, t);
+  put_i32(os, s.label);
+  put_i32(os, s.pattern_label);
+  os.put(static_cast<char>(s.tool_autopar));
+  os.put(static_cast<char>(s.tool_pluto));
+  os.put(static_cast<char>(s.tool_discopop));
+  put_string(os, s.suite);
+  put_string(os, s.app);
+  put_string(os, s.kernel);
+  put_string(os, s.variant);
+  put_i32(os, s.loop_line);
+}
+
+GraphSample get_sample(std::istream& is) {
+  GraphSample s;
+  s.n = get_u32(is);
+  const std::uint64_t n_edges = get_u64(is);
+  for (std::uint64_t e = 0; e < n_edges; ++e) {
+    const std::uint32_t a = get_u32(is);
+    const std::uint32_t b = get_u32(is);
+    s.edges.emplace_back(a, b);
+    s.edge_kinds.push_back(static_cast<std::uint8_t>(is.get()));
+  }
+  s.node_static.resize(get_u64(is));
+  for (auto& row : s.node_static) row = get_f32_vec(is);
+  s.node_dynamic.resize(get_u64(is));
+  for (auto& row : s.node_dynamic) {
+    for (double& x : row) x = get_f64(is);
+  }
+  s.aw_dist.resize(get_u64(is));
+  for (auto& row : s.aw_dist) row = get_f32_vec(is);
+  for (double& x : s.loop_features) x = get_f64(is);
+  s.token_seq.resize(get_u64(is));
+  for (auto& t : s.token_seq) t = get_u32(is);
+  s.label = get_i32(is);
+  s.pattern_label = get_i32(is);
+  s.tool_autopar = is.get() != 0;
+  s.tool_pluto = is.get() != 0;
+  s.tool_discopop = is.get() != 0;
+  s.suite = get_string(is);
+  s.app = get_string(is);
+  s.kernel = get_string(is);
+  s.variant = get_string(is);
+  s.loop_line = get_i32(is);
+  return s;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& ds, std::ostream& os) {
+  put_u32(os, kMagic);
+  put_u32(os, kVersion);
+  put_u32(os, ds.static_dim);
+  put_u32(os, ds.aw_vocab);
+
+  // inst2vec table.
+  put_u32(os, ds.inst2vec.vocab_size());
+  put_u32(os, ds.inst2vec.dim());
+  for (std::uint32_t v = 0; v < ds.inst2vec.vocab_size(); ++v) {
+    const auto row = ds.inst2vec.row(v);
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+
+  // Token vocabulary.
+  put_u64(os, ds.token_vocab.map().size());
+  for (const auto& [token, id] : ds.token_vocab.map()) {
+    put_string(os, token);
+    put_u32(os, id);
+  }
+  os.put(static_cast<char>(ds.token_vocab.frozen()));
+
+  // Anonymous-walk vocabulary.
+  put_u64(os, ds.aw_vocab_table.map().size());
+  for (const auto& [walk, id] : ds.aw_vocab_table.map()) {
+    put_u64(os, walk.size());
+    os.write(reinterpret_cast<const char*>(walk.data()),
+             static_cast<std::streamsize>(walk.size()));
+    put_u32(os, id);
+  }
+  os.put(static_cast<char>(ds.aw_vocab_table.frozen()));
+
+  // Samples.
+  put_u64(os, ds.samples.size());
+  for (const GraphSample& s : ds.samples) put_sample(os, s);
+
+  if (!os) throw std::runtime_error("dataset write failed");
+}
+
+void save_dataset(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  save_dataset(ds, os);
+}
+
+Dataset load_dataset(std::istream& is) {
+  if (get_u32(is) != kMagic) throw std::runtime_error("not a dataset file");
+  if (get_u32(is) != kVersion) {
+    throw std::runtime_error("dataset version mismatch");
+  }
+  Dataset ds;
+  ds.static_dim = get_u32(is);
+  ds.aw_vocab = get_u32(is);
+
+  const std::uint32_t i2v_vocab = get_u32(is);
+  const std::uint32_t i2v_dim = get_u32(is);
+  ds.inst2vec = embedding::EmbeddingTable(i2v_vocab, i2v_dim);
+  for (std::uint32_t v = 0; v < i2v_vocab; ++v) {
+    auto row = ds.inst2vec.row(v);
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  if (!is) throw std::runtime_error("dataset stream truncated (inst2vec)");
+
+  std::unordered_map<std::string, std::uint32_t> tokens;
+  const std::uint64_t n_tokens = get_u64(is);
+  for (std::uint64_t i = 0; i < n_tokens; ++i) {
+    std::string token = get_string(is);
+    const std::uint32_t id = get_u32(is);
+    tokens.emplace(std::move(token), id);
+  }
+  ds.token_vocab.restore(std::move(tokens), is.get() != 0);
+
+  std::map<graph::AnonWalk, std::uint32_t> walks;
+  const std::uint64_t n_walks = get_u64(is);
+  for (std::uint64_t i = 0; i < n_walks; ++i) {
+    graph::AnonWalk walk(get_u64(is));
+    is.read(reinterpret_cast<char*>(walk.data()),
+            static_cast<std::streamsize>(walk.size()));
+    const std::uint32_t id = get_u32(is);
+    walks.emplace(std::move(walk), id);
+  }
+  ds.aw_vocab_table.restore(std::move(walks), is.get() != 0);
+
+  const std::uint64_t n_samples = get_u64(is);
+  ds.samples.reserve(n_samples);
+  for (std::uint64_t i = 0; i < n_samples; ++i) {
+    ds.samples.push_back(get_sample(is));
+  }
+  if (!is) throw std::runtime_error("dataset stream truncated (samples)");
+  return ds;
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return load_dataset(is);
+}
+
+}  // namespace mvgnn::data

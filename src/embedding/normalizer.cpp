@@ -1,0 +1,72 @@
+#include "embedding/normalizer.hpp"
+
+#include "frontend/sema.hpp"
+
+namespace mvgnn::embedding {
+
+std::string normalize(const ir::Instruction& in) {
+  std::string tok = ir::opcode_name(in.op);
+  tok += '|';
+  tok += ir::type_name(in.type);
+  tok += '|';
+  for (std::size_t i = 0; i < in.operands.size(); ++i) {
+    if (i) tok += ',';
+    switch (in.operands[i].kind) {
+      case ir::Value::Kind::Reg: tok += '%'; break;
+      case ir::Value::Kind::ImmInt: tok += "ci"; break;
+      case ir::Value::Kind::ImmFloat: tok += "cf"; break;
+      case ir::Value::Kind::Arg: tok += "arg"; break;
+      case ir::Value::Kind::Block: tok += "bb"; break;
+      case ir::Value::Kind::None: tok += '?'; break;
+    }
+  }
+  if (in.op == ir::Opcode::Call) {
+    tok += '|';
+    // Builtins keep their name (sqrt and exp differ semantically); user
+    // functions are abstracted to one token, as inst2vec abstracts symbols.
+    tok += frontend::find_builtin(in.callee) ? in.callee : "@user";
+  }
+  return tok;
+}
+
+std::uint32_t Vocab::id_of(const std::string& token, bool grow) {
+  const auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  if (!grow || frozen_) return 0;
+  const std::uint32_t id = static_cast<std::uint32_t>(ids_.size()) + 1;
+  ids_.emplace(token, id);
+  return id;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> context_pairs(
+    const ir::Function& fn, Vocab& vocab, bool grow, std::uint32_t window) {
+  // Token id per instruction (markers/terminators included: control tokens
+  // carry signal about branching structure).
+  std::vector<std::uint32_t> tok(fn.instrs.size());
+  for (ir::InstrId id = 0; id < fn.instrs.size(); ++id) {
+    tok[id] = vocab.id_of(normalize(fn.instr(id)), grow);
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  // Flow neighbours within each block.
+  for (const ir::BasicBlock& bb : fn.blocks) {
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+      for (std::size_t d = 1; d <= window && i + d < bb.instrs.size(); ++d) {
+        pairs.emplace_back(tok[bb.instrs[i]], tok[bb.instrs[i + d]]);
+        pairs.emplace_back(tok[bb.instrs[i + d]], tok[bb.instrs[i]]);
+      }
+    }
+  }
+  // Register def-use neighbours (possibly cross-block).
+  for (ir::InstrId id = 0; id < fn.instrs.size(); ++id) {
+    for (const ir::Value& v : fn.instr(id).operands) {
+      if (v.is_reg()) {
+        pairs.emplace_back(tok[v.reg], tok[id]);
+        pairs.emplace_back(tok[id], tok[v.reg]);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace mvgnn::embedding

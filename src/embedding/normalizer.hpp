@@ -1,0 +1,55 @@
+// IR statement normalization — the inst2vec preprocessing step.
+//
+// Ben-Nun et al. build their vocabulary over LLVM-IR statements with
+// identifiers abstracted away; we do the same over MiniC IR: a token is
+// "opcode|result-type|operand-kind-list[|callee]", e.g. "fadd|f64|%,%" or
+// "loadidx|f64|arg,%". Register names, constants' values and variable names
+// are abstracted so semantically identical statements share one token.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::embedding {
+
+/// Normalized token of one instruction.
+[[nodiscard]] std::string normalize(const ir::Instruction& in);
+
+/// Token vocabulary. Slot 0 is the unknown token.
+class Vocab {
+ public:
+  /// Id of `token`, inserting when `grow` and not frozen; 0 otherwise.
+  std::uint32_t id_of(const std::string& token, bool grow);
+
+  void freeze() { frozen_ = true; }
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(ids_.size()) + 1;
+  }
+  [[nodiscard]] const std::unordered_map<std::string, std::uint32_t>& map()
+      const {
+    return ids_;
+  }
+  /// Serialization access.
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  void restore(std::unordered_map<std::string, std::uint32_t> ids,
+               bool frozen) {
+    ids_ = std::move(ids);
+    frozen_ = frozen;
+  }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  bool frozen_ = false;
+};
+
+/// Skip-gram (token, context) pairs of one function: flow neighbours within
+/// `window` in the same basic block plus register def-use neighbours —
+/// inst2vec's "contextual flow graph" adapted to our IR.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+context_pairs(const ir::Function& fn, Vocab& vocab, bool grow,
+              std::uint32_t window = 2);
+
+}  // namespace mvgnn::embedding

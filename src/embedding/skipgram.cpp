@@ -1,0 +1,105 @@
+#include "embedding/skipgram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvgnn::embedding {
+
+std::vector<float> EmbeddingTable::mean_of(
+    std::span<const std::uint32_t> ids) const {
+  std::vector<float> out(dim_, 0.0f);
+  if (ids.empty()) return out;
+  for (const std::uint32_t id : ids) {
+    const auto r = row(std::min(id, vocab_ - 1));
+    for (std::uint32_t d = 0; d < dim_; ++d) out[d] += r[d];
+  }
+  const float inv = 1.0f / static_cast<float>(ids.size());
+  for (float& x : out) x *= inv;
+  return out;
+}
+
+float EmbeddingTable::cosine(std::uint32_t a, std::uint32_t b) const {
+  const auto ra = row(a), rb = row(b);
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (std::uint32_t d = 0; d < dim_; ++d) {
+    dot += ra[d] * rb[d];
+    na += ra[d] * ra[d];
+    nb += rb[d] * rb[d];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0f ? dot / denom : 0.0f;
+}
+
+EmbeddingTable train_skipgram(
+    std::uint32_t vocab_size,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+    const SkipGramParams& params, par::Rng& rng) {
+  const std::uint32_t dim = params.dim;
+  EmbeddingTable in_table(vocab_size, dim);
+  std::vector<float> out_table(std::size_t{vocab_size} * dim, 0.0f);
+
+  // Uniform(-0.5/dim, 0.5/dim) init for input vectors (word2vec convention).
+  for (std::uint32_t v = 0; v < vocab_size; ++v) {
+    auto r = in_table.row(v);
+    for (float& x : r) {
+      x = static_cast<float>((rng.uniform() - 0.5) / dim);
+    }
+  }
+
+  // Negative-sampling table: unigram counts over contexts, raised to 0.75.
+  std::vector<double> freq(vocab_size, 1.0);  // +1 smoothing
+  for (const auto& [c, ctx] : pairs) {
+    (void)c;
+    freq[ctx] += 1.0;
+  }
+  std::vector<std::uint32_t> neg_table;
+  neg_table.reserve(1 << 16);
+  double total = 0.0;
+  for (double& f : freq) {
+    f = std::pow(f, 0.75);
+    total += f;
+  }
+  for (std::uint32_t v = 0; v < vocab_size; ++v) {
+    const auto slots = static_cast<std::size_t>(freq[v] / total * (1 << 16)) + 1;
+    for (std::size_t s = 0; s < slots; ++s) neg_table.push_back(v);
+  }
+
+  auto sigmoid = [](float x) {
+    return 1.0f / (1.0f + std::exp(-std::clamp(x, -8.0f, 8.0f)));
+  };
+
+  std::vector<float> grad_center(dim);
+  const std::uint64_t total_updates =
+      std::uint64_t{params.epochs} * pairs.size();
+  std::uint64_t done = 0;
+  for (std::uint32_t epoch = 0; epoch < params.epochs; ++epoch) {
+    for (const auto& [center, context] : pairs) {
+      // Linear learning-rate decay to 10% of the initial rate.
+      const float lr =
+          params.lr *
+          std::max(0.1f, 1.0f - static_cast<float>(done++) /
+                                    static_cast<float>(total_updates));
+      auto vc = in_table.row(center);
+      std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+      for (std::uint32_t k = 0; k <= params.negatives; ++k) {
+        const bool positive = (k == 0);
+        const std::uint32_t target =
+            positive ? context
+                     : neg_table[rng.uniform_u64(neg_table.size())];
+        if (!positive && target == context) continue;
+        float* vo = out_table.data() + std::size_t{target} * dim;
+        float dot = 0.0f;
+        for (std::uint32_t d = 0; d < dim; ++d) dot += vc[d] * vo[d];
+        const float g = (positive ? 1.0f : 0.0f) - sigmoid(dot);
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          grad_center[d] += g * vo[d];
+          vo[d] += lr * g * vc[d];
+        }
+      }
+      for (std::uint32_t d = 0; d < dim; ++d) vc[d] += lr * grad_center[d];
+    }
+  }
+  return in_table;
+}
+
+}  // namespace mvgnn::embedding

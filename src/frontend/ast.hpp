@@ -1,0 +1,147 @@
+// Abstract syntax tree for MiniC.
+//
+// Nodes carry slots that the semantic analyzer (sema.cpp) fills in:
+// expression types, resolved symbols, and folded constants. The tree is
+// owned top-down through unique_ptr; visitors use plain switch on Kind.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace mvgnn::frontend {
+
+using ir::SourceLoc;
+using ir::TypeKind;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, VarRef, Index, Unary, Binary, Call, Cast,
+};
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  LAnd, LOr,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+/// How a VarRef resolved during sema.
+enum class SymKind : std::uint8_t { Unresolved, Param, Local, Const };
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  TypeKind type = TypeKind::Void;  // filled by sema
+
+  // IntLit / FloatLit (also holds folded global-const values).
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+
+  // VarRef / Call / Index base name.
+  std::string name;
+  SymKind sym = SymKind::Unresolved;
+  std::uint32_t sym_index = 0;  // param index or local slot index
+
+  // Structured children.
+  UnOp un_op = UnOp::Neg;
+  BinOp bin_op = BinOp::Add;
+  std::unique_ptr<Expr> lhs, rhs;           // Unary uses lhs only
+  std::unique_ptr<Expr> base, index;        // Index
+  std::vector<std::unique_ptr<Expr>> args;  // Call
+  TypeKind cast_to = TypeKind::Void;        // Cast (child in lhs)
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Block, VarDecl, Assign, If, For, While, Return, ExprStmt, Break, Continue,
+};
+
+enum class AssignOp : std::uint8_t { Set, Add, Sub, Mul, Div };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  int end_line = 0;  // last source line covered (blocks/loops); sema fills
+
+  // Block.
+  std::vector<StmtPtr> body;
+
+  // VarDecl: `type name = init;` or `type name[size];`
+  TypeKind decl_type = TypeKind::Void;
+  std::string name;
+  ExprPtr init;        // optional scalar initializer
+  ExprPtr array_size;  // non-null for local arrays
+  std::uint32_t local_index = 0;  // filled by sema
+
+  // Assign: target (VarRef or Index expr) op= value.
+  AssignOp assign_op = AssignOp::Set;
+  ExprPtr target;
+  ExprPtr value;
+
+  // If / While: cond + then_block (+ else_block). For: init/cond/step.
+  ExprPtr cond;
+  StmtPtr then_block, else_block;  // If
+  StmtPtr loop_body;               // For / While
+  StmtPtr for_init, for_step;      // For (Assign or VarDecl statements)
+
+  // Return.
+  ExprPtr ret_value;  // may be null
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  TypeKind type = TypeKind::Void;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct FuncDecl {
+  TypeKind return_type = TypeKind::Void;
+  std::string name;
+  std::vector<ParamDecl> params;
+  StmtPtr body;  // Block
+  SourceLoc loc;
+};
+
+struct ConstDecl {
+  std::string name;
+  std::int64_t value = 0;  // global consts are integers (problem sizes)
+  SourceLoc loc;
+};
+
+struct Program {
+  std::vector<ConstDecl> consts;
+  std::vector<std::unique_ptr<FuncDecl>> funcs;
+
+  [[nodiscard]] const FuncDecl* find(const std::string& n) const {
+    for (const auto& f : funcs) {
+      if (f->name == n) return f.get();
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace mvgnn::frontend

@@ -1,0 +1,243 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace mvgnn::frontend {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Bang: return "'!'";
+  }
+  return "<bad-token>";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kw = {
+      {"int", Tok::KwInt},       {"float", Tok::KwFloat},
+      {"void", Tok::KwVoid},     {"const", Tok::KwConst},
+      {"if", Tok::KwIf},         {"else", Tok::KwElse},
+      {"for", Tok::KwFor},       {"while", Tok::KwWhile},
+      {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue},
+  };
+  return kw;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = s_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool match(char c) {
+    if (peek() == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] ir::SourceLoc loc() const { return {line_, col_}; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return s_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor c(source);
+
+  auto push = [&out](Tok kind, ir::SourceLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    out.push_back(std::move(t));
+  };
+
+  while (!c.done()) {
+    const ir::SourceLoc loc = c.loc();
+    const char ch = c.peek();
+
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      continue;
+    }
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      if (c.done()) throw FrontendError("unterminated block comment", loc);
+      c.advance();
+      c.advance();
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      const std::size_t start = c.pos();
+      while (std::isalnum(static_cast<unsigned char>(c.peek())) ||
+             c.peek() == '_') {
+        c.advance();
+      }
+      const std::string_view word = c.slice(start);
+      if (auto it = keywords().find(word); it != keywords().end()) {
+        push(it->second, loc);
+      } else {
+        Token t;
+        t.kind = Tok::Ident;
+        t.text = std::string(word);
+        t.loc = loc;
+        out.push_back(std::move(t));
+      }
+      continue;
+    }
+    // Numbers: integer or float (digits '.' digits, optional exponent).
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      const std::size_t start = c.pos();
+      while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.advance();
+      bool is_float = false;
+      if (c.peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(c.peek(1)))) {
+        is_float = true;
+        c.advance();
+        while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.advance();
+      }
+      if (c.peek() == 'e' || c.peek() == 'E') {
+        std::size_t look = 1;
+        if (c.peek(1) == '+' || c.peek(1) == '-') look = 2;
+        if (std::isdigit(static_cast<unsigned char>(c.peek(look)))) {
+          is_float = true;
+          for (std::size_t i = 0; i < look; ++i) c.advance();
+          while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.advance();
+        }
+      }
+      const std::string text(c.slice(start));
+      Token t;
+      t.loc = loc;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_val = std::stod(text);
+      } else {
+        t.kind = Tok::IntLit;
+        std::int64_t v = 0;
+        const auto res =
+            std::from_chars(text.data(), text.data() + text.size(), v);
+        if (res.ec != std::errc{}) {
+          throw FrontendError("integer literal out of range", loc);
+        }
+        t.int_val = v;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    c.advance();
+    switch (ch) {
+      case '(': push(Tok::LParen, loc); break;
+      case ')': push(Tok::RParen, loc); break;
+      case '{': push(Tok::LBrace, loc); break;
+      case '}': push(Tok::RBrace, loc); break;
+      case '[': push(Tok::LBracket, loc); break;
+      case ']': push(Tok::RBracket, loc); break;
+      case ',': push(Tok::Comma, loc); break;
+      case ';': push(Tok::Semi, loc); break;
+      case '+': push(c.match('=') ? Tok::PlusAssign : Tok::Plus, loc); break;
+      case '-': push(c.match('=') ? Tok::MinusAssign : Tok::Minus, loc); break;
+      case '*': push(c.match('=') ? Tok::StarAssign : Tok::Star, loc); break;
+      case '/': push(c.match('=') ? Tok::SlashAssign : Tok::Slash, loc); break;
+      case '%': push(Tok::Percent, loc); break;
+      case '=': push(c.match('=') ? Tok::Eq : Tok::Assign, loc); break;
+      case '<': push(c.match('=') ? Tok::Le : Tok::Lt, loc); break;
+      case '>': push(c.match('=') ? Tok::Ge : Tok::Gt, loc); break;
+      case '!': push(c.match('=') ? Tok::Ne : Tok::Bang, loc); break;
+      case '&':
+        if (!c.match('&')) throw FrontendError("expected '&&'", loc);
+        push(Tok::AndAnd, loc);
+        break;
+      case '|':
+        if (!c.match('|')) throw FrontendError("expected '||'", loc);
+        push(Tok::OrOr, loc);
+        break;
+      default:
+        throw FrontendError(std::string("unexpected character '") + ch + "'",
+                            loc);
+    }
+  }
+
+  Token eof;
+  eof.kind = Tok::End;
+  eof.loc = c.loc();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace mvgnn::frontend

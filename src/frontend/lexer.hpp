@@ -1,0 +1,26 @@
+// Hand-written lexer for MiniC. Supports // line comments and /* block */
+// comments; reports errors with precise source locations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace mvgnn::frontend {
+
+/// Thrown by the lexer, parser and semantic analyzer on malformed input.
+struct FrontendError : std::runtime_error {
+  FrontendError(const std::string& msg, ir::SourceLoc loc)
+      : std::runtime_error(msg + " (line " + std::to_string(loc.line) +
+                           ", col " + std::to_string(loc.col) + ")"),
+        loc(loc) {}
+  ir::SourceLoc loc;
+};
+
+/// Tokenizes the whole input eagerly; the parser indexes into the result.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace mvgnn::frontend

@@ -1,0 +1,397 @@
+#include "frontend/lower.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "ir/builder.hpp"
+
+namespace mvgnn::frontend {
+
+namespace {
+
+using ir::BlockId;
+using ir::InstrId;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Value;
+
+Opcode int_binop(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return Opcode::Add;
+    case BinOp::Sub: return Opcode::Sub;
+    case BinOp::Mul: return Opcode::Mul;
+    case BinOp::Div: return Opcode::Div;
+    case BinOp::Rem: return Opcode::Rem;
+    case BinOp::Eq: return Opcode::CmpEq;
+    case BinOp::Ne: return Opcode::CmpNe;
+    case BinOp::Lt: return Opcode::CmpLt;
+    case BinOp::Le: return Opcode::CmpLe;
+    case BinOp::Gt: return Opcode::CmpGt;
+    case BinOp::Ge: return Opcode::CmpGe;
+    case BinOp::LAnd: return Opcode::And;
+    case BinOp::LOr: return Opcode::Or;
+  }
+  return Opcode::Add;
+}
+
+Opcode float_binop(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return Opcode::FAdd;
+    case BinOp::Sub: return Opcode::FSub;
+    case BinOp::Mul: return Opcode::FMul;
+    case BinOp::Div: return Opcode::FDiv;
+    case BinOp::Eq: return Opcode::FCmpEq;
+    case BinOp::Ne: return Opcode::FCmpNe;
+    case BinOp::Lt: return Opcode::FCmpLt;
+    case BinOp::Le: return Opcode::FCmpLe;
+    case BinOp::Gt: return Opcode::FCmpGt;
+    case BinOp::Ge: return Opcode::FCmpGe;
+    default: assert(false && "no float form"); return Opcode::FAdd;
+  }
+}
+
+class FnLowering {
+ public:
+  FnLowering(const FuncDecl& decl, ir::Function& fn) : decl_(decl), b_(fn) {
+    fn.name = decl.name;
+    fn.return_type = decl.return_type;
+    for (const ParamDecl& p : decl.params) {
+      fn.params.push_back({p.name, p.type});
+    }
+  }
+
+  void run() {
+    const BlockId entry = b_.new_block("entry");
+    b_.set_insert(entry);
+    // Spill scalar parameters to stack slots so assignments to them and the
+    // profiler's shadow memory both work uniformly.
+    for (std::uint32_t i = 0; i < decl_.params.size(); ++i) {
+      const ParamDecl& p = decl_.params[i];
+      if (is_scalar(p.type)) {
+        const InstrId slot = b_.alloca_scalar(p.type, p.name, p.loc);
+        b_.store(slot, Value::arg_of(i), p.loc);
+        param_slots_[i] = slot;
+      }
+    }
+    lower_stmt(*decl_.body);
+    if (!b_.block_terminated()) {
+      if (decl_.return_type == TypeKind::Void) {
+        b_.ret();
+      } else if (decl_.return_type == TypeKind::Int) {
+        b_.ret(Value::imm(std::int64_t{0}));
+      } else {
+        b_.ret(Value::imm(0.0));
+      }
+    }
+  }
+
+ private:
+  struct LoopTargets {
+    BlockId continue_to;
+    BlockId break_to;
+  };
+
+  // ---- statements ----------------------------------------------------
+
+  void lower_stmt(const Stmt& st) {
+    if (b_.block_terminated()) return;  // unreachable code after return/break
+    switch (st.kind) {
+      case StmtKind::Block:
+        for (const auto& s : st.body) lower_stmt(*s);
+        return;
+      case StmtKind::VarDecl: {
+        if (st.array_size) {
+          const Value size = lower_expr(*st.array_size);
+          locals_[st.local_index] =
+              b_.alloca_array(st.decl_type, size, st.name, st.loc);
+        } else {
+          const InstrId slot = b_.alloca_scalar(st.decl_type, st.name, st.loc);
+          locals_[st.local_index] = slot;
+          if (st.init) {
+            b_.store(slot, lower_expr(*st.init), st.loc);
+          }
+        }
+        return;
+      }
+      case StmtKind::Assign:
+        lower_assign(st);
+        return;
+      case StmtKind::If:
+        lower_if(st);
+        return;
+      case StmtKind::For:
+        lower_for(st);
+        return;
+      case StmtKind::While:
+        lower_while(st);
+        return;
+      case StmtKind::Return:
+        if (st.ret_value) {
+          b_.ret(lower_expr(*st.ret_value), st.loc);
+        } else {
+          b_.ret(st.loc);
+        }
+        return;
+      case StmtKind::ExprStmt:
+        lower_expr(*st.value);
+        return;
+      case StmtKind::Break:
+        assert(!loop_stack_.empty());
+        b_.br(loop_stack_.back().break_to, st.loc);
+        return;
+      case StmtKind::Continue:
+        assert(!loop_stack_.empty());
+        b_.br(loop_stack_.back().continue_to, st.loc);
+        return;
+    }
+  }
+
+  void lower_assign(const Stmt& st) {
+    const Expr& tgt = *st.target;
+    const TypeKind ty = tgt.type;
+    auto apply = [&](Value old_val, Value rhs) -> Value {
+      if (st.assign_op == AssignOp::Set) return rhs;
+      BinOp op;
+      switch (st.assign_op) {
+        case AssignOp::Add: op = BinOp::Add; break;
+        case AssignOp::Sub: op = BinOp::Sub; break;
+        case AssignOp::Mul: op = BinOp::Mul; break;
+        default: op = BinOp::Div; break;
+      }
+      const Opcode oc = (ty == TypeKind::Float) ? float_binop(op) : int_binop(op);
+      return b_.binop(oc, ty, old_val, rhs, st.loc);
+    };
+
+    if (tgt.kind == ExprKind::VarRef) {
+      const InstrId slot = slot_of(tgt);
+      Value rhs = lower_expr(*st.value);
+      if (st.assign_op != AssignOp::Set) {
+        const Value old_val = b_.load(ty, slot, st.loc);
+        rhs = apply(old_val, rhs);
+      }
+      b_.store(slot, rhs, st.loc);
+      return;
+    }
+    // Element assignment: evaluate base and index once.
+    const Value base = lower_expr(*tgt.base);
+    const Value index = lower_expr(*tgt.index);
+    Value rhs = lower_expr(*st.value);
+    if (st.assign_op != AssignOp::Set) {
+      const Value old_val = b_.load_idx(ty, base, index, st.loc);
+      rhs = apply(old_val, rhs);
+    }
+    b_.store_idx(base, index, rhs, st.loc);
+  }
+
+  void lower_if(const Stmt& st) {
+    const Value cond = lower_expr(*st.cond);
+    const BlockId then_bb = b_.new_block("then");
+    const BlockId merge_bb = b_.new_block("endif");
+    const BlockId else_bb = st.else_block ? b_.new_block("else") : merge_bb;
+    b_.cond_br(cond, then_bb, else_bb, st.loc);
+
+    b_.set_insert(then_bb);
+    lower_stmt(*st.then_block);
+    if (!b_.block_terminated()) b_.br(merge_bb, st.loc);
+
+    if (st.else_block) {
+      b_.set_insert(else_bb);
+      lower_stmt(*st.else_block);
+      if (!b_.block_terminated()) b_.br(merge_bb, st.loc);
+    }
+    b_.set_insert(merge_bb);
+  }
+
+  void lower_for(const Stmt& st) {
+    // Loop-variable scope: `for (int i = ...)` declares into locals_ here.
+    lower_stmt(*st.for_init);
+
+    ir::LoopInfo info;
+    info.is_for = true;
+    info.start_line = st.loc.line;
+    info.end_line = st.end_line;
+    // Identify the induction slot from the init assignment / declaration.
+    if (st.for_init->kind == StmtKind::VarDecl) {
+      info.induction_slot = locals_[st.for_init->local_index];
+    } else if (st.for_init->target->kind == ExprKind::VarRef) {
+      info.induction_slot = slot_of(*st.for_init->target);
+    }
+
+    const BlockId preheader = b_.new_block("for.pre");
+    const BlockId header = b_.new_block("for.head");
+    const BlockId body = b_.new_block("for.body");
+    const BlockId latch = b_.new_block("for.latch");
+    const BlockId exit = b_.new_block("for.exit");
+    info.preheader = preheader;
+    info.header = header;
+    info.body = body;
+    info.latch = latch;
+    info.exit = exit;
+
+    b_.br(preheader, st.loc);
+    const ir::LoopId loop = b_.open_loop(info);
+
+    b_.set_insert(preheader);
+    emit_marker(Opcode::LoopEnter, loop, st.loc);
+    b_.br(header, st.loc);
+
+    b_.set_insert(header);
+    emit_marker(Opcode::LoopHead, loop, st.loc);
+    const Value cond = lower_expr(*st.cond);
+    b_.cond_br(cond, body, exit, st.loc);
+
+    loop_stack_.push_back({latch, exit});
+    b_.set_insert(body);
+    lower_stmt(*st.loop_body);
+    if (!b_.block_terminated()) b_.br(latch, st.loc);
+    loop_stack_.pop_back();
+
+    b_.set_insert(latch);
+    lower_stmt(*st.for_step);
+    b_.br(header, st.loc);
+
+    b_.set_insert(exit);
+    emit_marker(Opcode::LoopExit, loop, st.loc);
+    b_.close_loop();
+  }
+
+  void lower_while(const Stmt& st) {
+    ir::LoopInfo info;
+    info.is_for = false;
+    info.start_line = st.loc.line;
+    info.end_line = st.end_line;
+
+    const BlockId preheader = b_.new_block("while.pre");
+    const BlockId header = b_.new_block("while.head");
+    const BlockId body = b_.new_block("while.body");
+    const BlockId exit = b_.new_block("while.exit");
+    info.preheader = preheader;
+    info.header = header;
+    info.body = body;
+    info.latch = header;  // `continue` re-tests the condition directly
+    info.exit = exit;
+
+    b_.br(preheader, st.loc);
+    const ir::LoopId loop = b_.open_loop(info);
+
+    b_.set_insert(preheader);
+    emit_marker(Opcode::LoopEnter, loop, st.loc);
+    b_.br(header, st.loc);
+
+    b_.set_insert(header);
+    emit_marker(Opcode::LoopHead, loop, st.loc);
+    const Value cond = lower_expr(*st.cond);
+    b_.cond_br(cond, body, exit, st.loc);
+
+    loop_stack_.push_back({header, exit});
+    b_.set_insert(body);
+    lower_stmt(*st.loop_body);
+    if (!b_.block_terminated()) b_.br(header, st.loc);
+    loop_stack_.pop_back();
+
+    b_.set_insert(exit);
+    emit_marker(Opcode::LoopExit, loop, st.loc);
+    b_.close_loop();
+  }
+
+  void emit_marker(Opcode op, ir::LoopId loop, ir::SourceLoc loc) {
+    const InstrId id = b_.emit_id(op, TypeKind::Void, {}, loc);
+    b_.function().instr(id).loop = loop;
+  }
+
+  // ---- expressions ----------------------------------------------------
+
+  Value lower_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return Value::imm(e.int_val);
+      case ExprKind::FloatLit:
+        return Value::imm(e.float_val);
+      case ExprKind::VarRef: {
+        if (e.sym == SymKind::Const) return Value::imm(e.int_val);
+        if (is_array(e.type)) {
+          if (e.sym == SymKind::Param) return Value::arg_of(e.sym_index);
+          return Value::reg_of(locals_.at(e.sym_index));
+        }
+        return b_.load(e.type, slot_of(e), e.loc);
+      }
+      case ExprKind::Index: {
+        const Value base = lower_expr(*e.base);
+        const Value index = lower_expr(*e.index);
+        return b_.load_idx(e.type, base, index, e.loc);
+      }
+      case ExprKind::Unary: {
+        const Value v = lower_expr(*e.lhs);
+        if (e.un_op == UnOp::Not) {
+          return b_.emit(Opcode::Not, TypeKind::Int, {v}, e.loc);
+        }
+        const Opcode oc =
+            (e.type == TypeKind::Float) ? Opcode::FNeg : Opcode::Neg;
+        return b_.emit(oc, e.type, {v}, e.loc);
+      }
+      case ExprKind::Binary: {
+        const Value a = lower_expr(*e.lhs);
+        const Value b = lower_expr(*e.rhs);
+        // Note: MiniC's && and || evaluate both operands (no short circuit);
+        // sema documents this and the corpus relies only on pure operands.
+        const bool float_operands = e.lhs->type == TypeKind::Float;
+        const Opcode oc =
+            float_operands ? float_binop(e.bin_op) : int_binop(e.bin_op);
+        return b_.binop(oc, e.type, a, b, e.loc);
+      }
+      case ExprKind::Call: {
+        std::vector<Value> args;
+        args.reserve(e.args.size());
+        for (const auto& a : e.args) args.push_back(lower_expr(*a));
+        return b_.call(e.name, e.type, std::move(args), e.loc);
+      }
+      case ExprKind::Cast: {
+        const Value v = lower_expr(*e.lhs);
+        if (e.lhs->type == e.cast_to) return v;
+        const Opcode oc = (e.cast_to == TypeKind::Float) ? Opcode::IntToFloat
+                                                         : Opcode::FloatToInt;
+        return b_.emit(oc, e.cast_to, {v}, e.loc);
+      }
+    }
+    return Value();
+  }
+
+  /// Stack slot backing a scalar VarRef (local or spilled parameter).
+  InstrId slot_of(const Expr& ref) {
+    assert(ref.kind == ExprKind::VarRef);
+    if (ref.sym == SymKind::Param) return param_slots_.at(ref.sym_index);
+    return locals_.at(ref.sym_index);
+  }
+
+  const FuncDecl& decl_;
+  IrBuilder b_;
+  std::unordered_map<std::uint32_t, InstrId> locals_;
+  std::unordered_map<std::uint32_t, InstrId> param_slots_;
+  std::vector<LoopTargets> loop_stack_;
+};
+
+}  // namespace
+
+ir::Module lower(const Program& prog, std::string module_name) {
+  ir::Module m;
+  m.name = std::move(module_name);
+  for (const auto& f : prog.funcs) {
+    auto fn = std::make_unique<ir::Function>();
+    FnLowering(*f, *fn).run();
+    m.functions.push_back(std::move(fn));
+  }
+  return m;
+}
+
+ir::Module compile(std::string_view source, std::string module_name) {
+  Program prog = parse(source);
+  analyze(prog);
+  ir::Module m = lower(prog, std::move(module_name));
+  ir::verify(m);
+  return m;
+}
+
+}  // namespace mvgnn::frontend

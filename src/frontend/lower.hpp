@@ -1,0 +1,23 @@
+// AST -> IR lowering, plus the one-call `compile()` convenience that runs
+// the whole frontend pipeline (lex, parse, sema, lower, verify).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "ir/function.hpp"
+
+namespace mvgnn::frontend {
+
+/// Lowers a sema-checked program to IR. Every `for`/`while` statement gets a
+/// LoopInfo record plus LoopEnter/LoopHead/LoopExit markers; scalar
+/// parameters are spilled to stack slots so all variable traffic is visible
+/// to the dependence profiler.
+[[nodiscard]] ir::Module lower(const Program& prog, std::string module_name);
+
+/// Full pipeline: parse + analyze + lower + ir::verify.
+[[nodiscard]] ir::Module compile(std::string_view source,
+                                 std::string module_name);
+
+}  // namespace mvgnn::frontend

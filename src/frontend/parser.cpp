@@ -1,0 +1,500 @@
+#include "frontend/parser.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace mvgnn::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program run() {
+    Program prog;
+    while (!at(Tok::End)) {
+      if (at(Tok::KwConst)) {
+        prog.consts.push_back(parse_const());
+      } else {
+        prog.funcs.push_back(parse_func());
+      }
+    }
+    return prog;
+  }
+
+ private:
+  // ---- token helpers ----------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  [[nodiscard]] bool at(Tok k, std::size_t ahead = 0) const {
+    return peek(ahead).kind == k;
+  }
+  const Token& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool match(Tok k) {
+    if (at(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok k, const char* what) {
+    if (!at(k)) {
+      throw FrontendError(std::string("expected ") + tok_name(k) + " " + what +
+                              ", found " + tok_name(peek().kind),
+                          peek().loc);
+    }
+    return advance();
+  }
+
+  [[nodiscard]] bool at_type() const {
+    return at(Tok::KwInt) || at(Tok::KwFloat) || at(Tok::KwVoid);
+  }
+
+  /// type := ('int'|'float'|'void') ('[' ']')?
+  TypeKind parse_type() {
+    TypeKind base;
+    if (match(Tok::KwInt)) {
+      base = TypeKind::Int;
+    } else if (match(Tok::KwFloat)) {
+      base = TypeKind::Float;
+    } else if (match(Tok::KwVoid)) {
+      base = TypeKind::Void;
+    } else {
+      throw FrontendError("expected type", peek().loc);
+    }
+    if (at(Tok::LBracket) && at(Tok::RBracket, 1)) {
+      advance();
+      advance();
+      if (base == TypeKind::Int) return TypeKind::ArrInt;
+      if (base == TypeKind::Float) return TypeKind::ArrFloat;
+      throw FrontendError("void[] is not a type", peek().loc);
+    }
+    return base;
+  }
+
+  // ---- declarations -------------------------------------------------------
+
+  /// const := 'const' 'int' IDENT '=' constExpr ';'
+  /// Values are folded eagerly so later `float t[N]` sizes can use them.
+  ConstDecl parse_const() {
+    expect(Tok::KwConst, "before constant");
+    expect(Tok::KwInt, "in constant declaration");
+    const Token& name = expect(Tok::Ident, "constant name");
+    expect(Tok::Assign, "in constant declaration");
+    const std::int64_t v = parse_const_expr();
+    expect(Tok::Semi, "after constant");
+    ConstDecl d;
+    d.name = name.text;
+    d.value = v;
+    d.loc = name.loc;
+    const_env_[d.name] = v;
+    return d;
+  }
+
+  /// Minimal constant-expression evaluator: + - * / % over int literals and
+  /// previously declared constants, with parentheses and unary minus.
+  std::int64_t parse_const_expr() { return const_add(); }
+  std::int64_t const_add() {
+    std::int64_t v = const_mul();
+    for (;;) {
+      if (match(Tok::Plus)) {
+        v += const_mul();
+      } else if (match(Tok::Minus)) {
+        v -= const_mul();
+      } else {
+        return v;
+      }
+    }
+  }
+  std::int64_t const_mul() {
+    std::int64_t v = const_prim();
+    for (;;) {
+      if (match(Tok::Star)) {
+        v *= const_prim();
+      } else if (match(Tok::Slash)) {
+        const std::int64_t d = const_prim();
+        if (d == 0) throw FrontendError("division by zero in constant", peek().loc);
+        v /= d;
+      } else if (match(Tok::Percent)) {
+        const std::int64_t d = const_prim();
+        if (d == 0) throw FrontendError("modulo by zero in constant", peek().loc);
+        v %= d;
+      } else {
+        return v;
+      }
+    }
+  }
+  std::int64_t const_prim() {
+    if (match(Tok::Minus)) return -const_prim();
+    if (at(Tok::IntLit)) return advance().int_val;
+    if (match(Tok::LParen)) {
+      const std::int64_t v = const_add();
+      expect(Tok::RParen, "in constant expression");
+      return v;
+    }
+    if (at(Tok::Ident)) {
+      const Token& t = advance();
+      if (auto it = const_env_.find(t.text); it != const_env_.end()) {
+        return it->second;
+      }
+      throw FrontendError("unknown constant '" + t.text + "'", t.loc);
+    }
+    throw FrontendError("expected constant expression", peek().loc);
+  }
+
+  std::unique_ptr<FuncDecl> parse_func() {
+    auto fn = std::make_unique<FuncDecl>();
+    fn->loc = peek().loc;
+    fn->return_type = parse_type();
+    fn->name = expect(Tok::Ident, "function name").text;
+    expect(Tok::LParen, "in function declaration");
+    if (!at(Tok::RParen)) {
+      do {
+        ParamDecl p;
+        p.loc = peek().loc;
+        p.type = parse_type();
+        p.name = expect(Tok::Ident, "parameter name").text;
+        fn->params.push_back(std::move(p));
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "after parameters");
+    fn->body = parse_block();
+    return fn;
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  StmtPtr parse_block() {
+    const Token& open = expect(Tok::LBrace, "to open block");
+    auto blk = std::make_unique<Stmt>(StmtKind::Block, open.loc);
+    while (!at(Tok::RBrace) && !at(Tok::End)) {
+      blk->body.push_back(parse_stmt());
+    }
+    const Token& close = expect(Tok::RBrace, "to close block");
+    blk->end_line = close.loc.line;
+    return blk;
+  }
+
+  StmtPtr parse_stmt() {
+    if (at(Tok::LBrace)) return parse_block();
+    if (at_type()) return parse_var_decl();
+    if (at(Tok::KwIf)) return parse_if();
+    if (at(Tok::KwFor)) return parse_for();
+    if (at(Tok::KwWhile)) return parse_while();
+    if (at(Tok::KwReturn)) {
+      auto st = std::make_unique<Stmt>(StmtKind::Return, advance().loc);
+      if (!at(Tok::Semi)) st->ret_value = parse_expr();
+      expect(Tok::Semi, "after return");
+      st->end_line = st->loc.line;
+      return st;
+    }
+    if (at(Tok::KwBreak)) {
+      auto st = std::make_unique<Stmt>(StmtKind::Break, advance().loc);
+      expect(Tok::Semi, "after break");
+      st->end_line = st->loc.line;
+      return st;
+    }
+    if (at(Tok::KwContinue)) {
+      auto st = std::make_unique<Stmt>(StmtKind::Continue, advance().loc);
+      expect(Tok::Semi, "after continue");
+      st->end_line = st->loc.line;
+      return st;
+    }
+    // Assignment or expression statement.
+    StmtPtr st = parse_assign_or_expr();
+    expect(Tok::Semi, "after statement");
+    return st;
+  }
+
+  /// var decl: `type name (= expr)? ;`  or  `type name [ expr ] ;`
+  StmtPtr parse_var_decl() {
+    const ir::SourceLoc loc = peek().loc;
+    const TypeKind ty = parse_type();
+    if (!is_scalar(ty)) {
+      throw FrontendError("array-typed locals use `type name[size]` syntax",
+                          loc);
+    }
+    const Token& name = expect(Tok::Ident, "variable name");
+    auto st = std::make_unique<Stmt>(StmtKind::VarDecl, loc);
+    st->name = name.text;
+    st->end_line = loc.line;
+    if (match(Tok::LBracket)) {
+      st->decl_type = (ty == TypeKind::Int) ? TypeKind::ArrInt : TypeKind::ArrFloat;
+      st->array_size = parse_expr();
+      expect(Tok::RBracket, "after array size");
+    } else {
+      st->decl_type = ty;
+      if (match(Tok::Assign)) st->init = parse_expr();
+    }
+    expect(Tok::Semi, "after declaration");
+    return st;
+  }
+
+  StmtPtr parse_if() {
+    const Token& kw = expect(Tok::KwIf, "");
+    auto st = std::make_unique<Stmt>(StmtKind::If, kw.loc);
+    expect(Tok::LParen, "after if");
+    st->cond = parse_expr();
+    expect(Tok::RParen, "after condition");
+    st->then_block = parse_block();
+    st->end_line = st->then_block->end_line;
+    if (match(Tok::KwElse)) {
+      st->else_block = at(Tok::KwIf) ? parse_if() : parse_block();
+      st->end_line = st->else_block->end_line;
+    }
+    return st;
+  }
+
+  StmtPtr parse_for() {
+    const Token& kw = expect(Tok::KwFor, "");
+    auto st = std::make_unique<Stmt>(StmtKind::For, kw.loc);
+    expect(Tok::LParen, "after for");
+    if (at_type()) {
+      // `for (int i = 0; ...)` — inline declaration.
+      const ir::SourceLoc loc = peek().loc;
+      const TypeKind ty = parse_type();
+      const Token& name = expect(Tok::Ident, "loop variable");
+      auto decl = std::make_unique<Stmt>(StmtKind::VarDecl, loc);
+      decl->decl_type = ty;
+      decl->name = name.text;
+      decl->end_line = loc.line;
+      expect(Tok::Assign, "in loop init");
+      decl->init = parse_expr();
+      st->for_init = std::move(decl);
+    } else {
+      st->for_init = parse_assign_or_expr();
+      if (st->for_init->kind != StmtKind::Assign) {
+        throw FrontendError("for-init must be an assignment", kw.loc);
+      }
+    }
+    expect(Tok::Semi, "after loop init");
+    st->cond = parse_expr();
+    expect(Tok::Semi, "after loop condition");
+    st->for_step = parse_assign_or_expr();
+    if (st->for_step->kind != StmtKind::Assign) {
+      throw FrontendError("for-step must be an assignment", kw.loc);
+    }
+    expect(Tok::RParen, "after loop header");
+    st->loop_body = parse_block();
+    st->end_line = st->loop_body->end_line;
+    return st;
+  }
+
+  StmtPtr parse_while() {
+    const Token& kw = expect(Tok::KwWhile, "");
+    auto st = std::make_unique<Stmt>(StmtKind::While, kw.loc);
+    expect(Tok::LParen, "after while");
+    st->cond = parse_expr();
+    expect(Tok::RParen, "after condition");
+    st->loop_body = parse_block();
+    st->end_line = st->loop_body->end_line;
+    return st;
+  }
+
+  /// Parses `lvalue op= expr` or a bare expression statement (function call).
+  StmtPtr parse_assign_or_expr() {
+    const ir::SourceLoc loc = peek().loc;
+    ExprPtr e = parse_expr();
+    AssignOp op;
+    if (match(Tok::Assign)) {
+      op = AssignOp::Set;
+    } else if (match(Tok::PlusAssign)) {
+      op = AssignOp::Add;
+    } else if (match(Tok::MinusAssign)) {
+      op = AssignOp::Sub;
+    } else if (match(Tok::StarAssign)) {
+      op = AssignOp::Mul;
+    } else if (match(Tok::SlashAssign)) {
+      op = AssignOp::Div;
+    } else {
+      auto st = std::make_unique<Stmt>(StmtKind::ExprStmt, loc);
+      st->value = std::move(e);
+      st->end_line = loc.line;
+      return st;
+    }
+    if (e->kind != ExprKind::VarRef && e->kind != ExprKind::Index) {
+      throw FrontendError("assignment target must be a variable or element",
+                          loc);
+    }
+    auto st = std::make_unique<Stmt>(StmtKind::Assign, loc);
+    st->assign_op = op;
+    st->target = std::move(e);
+    st->value = parse_expr();
+    st->end_line = loc.line;
+    return st;
+  }
+
+  // ---- expressions ----------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (at(Tok::OrOr)) {
+      const ir::SourceLoc loc = advance().loc;
+      e = make_bin(BinOp::LOr, std::move(e), parse_and(), loc);
+    }
+    return e;
+  }
+  ExprPtr parse_and() {
+    ExprPtr e = parse_equality();
+    while (at(Tok::AndAnd)) {
+      const ir::SourceLoc loc = advance().loc;
+      e = make_bin(BinOp::LAnd, std::move(e), parse_equality(), loc);
+    }
+    return e;
+  }
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_rel();
+    for (;;) {
+      if (at(Tok::Eq) || at(Tok::Ne)) {
+        const BinOp op = at(Tok::Eq) ? BinOp::Eq : BinOp::Ne;
+        const ir::SourceLoc loc = advance().loc;
+        e = make_bin(op, std::move(e), parse_rel(), loc);
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr parse_rel() {
+    ExprPtr e = parse_add();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::Lt)) {
+        op = BinOp::Lt;
+      } else if (at(Tok::Le)) {
+        op = BinOp::Le;
+      } else if (at(Tok::Gt)) {
+        op = BinOp::Gt;
+      } else if (at(Tok::Ge)) {
+        op = BinOp::Ge;
+      } else {
+        return e;
+      }
+      const ir::SourceLoc loc = advance().loc;
+      e = make_bin(op, std::move(e), parse_add(), loc);
+    }
+  }
+  ExprPtr parse_add() {
+    ExprPtr e = parse_mul();
+    for (;;) {
+      if (at(Tok::Plus) || at(Tok::Minus)) {
+        const BinOp op = at(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+        const ir::SourceLoc loc = advance().loc;
+        e = make_bin(op, std::move(e), parse_mul(), loc);
+      } else {
+        return e;
+      }
+    }
+  }
+  ExprPtr parse_mul() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::Star)) {
+        op = BinOp::Mul;
+      } else if (at(Tok::Slash)) {
+        op = BinOp::Div;
+      } else if (at(Tok::Percent)) {
+        op = BinOp::Rem;
+      } else {
+        return e;
+      }
+      const ir::SourceLoc loc = advance().loc;
+      e = make_bin(op, std::move(e), parse_unary(), loc);
+    }
+  }
+  ExprPtr parse_unary() {
+    if (at(Tok::Minus) || at(Tok::Bang)) {
+      const UnOp op = at(Tok::Minus) ? UnOp::Neg : UnOp::Not;
+      const ir::SourceLoc loc = advance().loc;
+      auto e = std::make_unique<Expr>(ExprKind::Unary, loc);
+      e->un_op = op;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    // Cast: '(' ('int'|'float') ')' unary
+    if (at(Tok::LParen) && (at(Tok::KwInt, 1) || at(Tok::KwFloat, 1)) &&
+        at(Tok::RParen, 2)) {
+      advance();
+      const TypeKind to = at(Tok::KwInt) ? TypeKind::Int : TypeKind::Float;
+      advance();
+      advance();
+      auto e = std::make_unique<Expr>(ExprKind::Cast, t.loc);
+      e->cast_to = to;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (match(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "to close parenthesis");
+      return e;
+    }
+    if (at(Tok::IntLit)) {
+      auto e = std::make_unique<Expr>(ExprKind::IntLit, t.loc);
+      e->int_val = advance().int_val;
+      return e;
+    }
+    if (at(Tok::FloatLit)) {
+      auto e = std::make_unique<Expr>(ExprKind::FloatLit, t.loc);
+      e->float_val = advance().float_val;
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      const Token& name = advance();
+      if (match(Tok::LParen)) {
+        auto e = std::make_unique<Expr>(ExprKind::Call, name.loc);
+        e->name = name.text;
+        if (!at(Tok::RParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (match(Tok::Comma));
+        }
+        expect(Tok::RParen, "after call arguments");
+        return e;
+      }
+      if (match(Tok::LBracket)) {
+        auto e = std::make_unique<Expr>(ExprKind::Index, name.loc);
+        auto base = std::make_unique<Expr>(ExprKind::VarRef, name.loc);
+        base->name = name.text;
+        e->name = name.text;
+        e->base = std::move(base);
+        e->index = parse_expr();
+        expect(Tok::RBracket, "after index");
+        return e;
+      }
+      auto e = std::make_unique<Expr>(ExprKind::VarRef, name.loc);
+      e->name = name.text;
+      return e;
+    }
+    throw FrontendError(std::string("unexpected token ") + tok_name(t.kind),
+                        t.loc);
+  }
+
+  static ExprPtr make_bin(BinOp op, ExprPtr a, ExprPtr b, ir::SourceLoc loc) {
+    auto e = std::make_unique<Expr>(ExprKind::Binary, loc);
+    e->bin_op = op;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, std::int64_t> const_env_;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) { return Parser(lex(source)).run(); }
+
+}  // namespace mvgnn::frontend

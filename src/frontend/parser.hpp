@@ -1,0 +1,17 @@
+// Recursive-descent parser: token stream -> AST (no name resolution yet;
+// that is sema's job, except global `const int` values which are folded
+// eagerly because later array sizes depend on them).
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "frontend/lexer.hpp"
+
+namespace mvgnn::frontend {
+
+/// Parses a full MiniC translation unit. Throws FrontendError on syntax
+/// errors.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace mvgnn::frontend

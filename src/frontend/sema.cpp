@@ -1,0 +1,363 @@
+#include "frontend/sema.hpp"
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "frontend/lexer.hpp"
+
+namespace mvgnn::frontend {
+
+const BuiltinSig* find_builtin(const std::string& name) {
+  static const std::unordered_map<std::string, BuiltinSig> builtins = {
+      {"sqrt", {TypeKind::Float, {TypeKind::Float}}},
+      {"exp", {TypeKind::Float, {TypeKind::Float}}},
+      {"log", {TypeKind::Float, {TypeKind::Float}}},
+      {"sin", {TypeKind::Float, {TypeKind::Float}}},
+      {"cos", {TypeKind::Float, {TypeKind::Float}}},
+      {"fabs", {TypeKind::Float, {TypeKind::Float}}},
+      {"pow", {TypeKind::Float, {TypeKind::Float, TypeKind::Float}}},
+      {"fmin", {TypeKind::Float, {TypeKind::Float, TypeKind::Float}}},
+      {"fmax", {TypeKind::Float, {TypeKind::Float, TypeKind::Float}}},
+      {"imin", {TypeKind::Int, {TypeKind::Int, TypeKind::Int}}},
+      {"imax", {TypeKind::Int, {TypeKind::Int, TypeKind::Int}}},
+      {"iabs", {TypeKind::Int, {TypeKind::Int}}},
+  };
+  const auto it = builtins.find(name);
+  return it == builtins.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Wraps `e` in an implicit int->float Cast when needed to reach `want`.
+void coerce(ExprPtr& e, TypeKind want) {
+  if (e->type == want) return;
+  if (e->type == TypeKind::Int && want == TypeKind::Float) {
+    auto cast = std::make_unique<Expr>(ExprKind::Cast, e->loc);
+    cast->cast_to = TypeKind::Float;
+    cast->type = TypeKind::Float;
+    cast->lhs = std::move(e);
+    e = std::move(cast);
+    return;
+  }
+  throw FrontendError("type mismatch: have " + ir::type_name(e->type) +
+                          ", need " + ir::type_name(want),
+                      e->loc);
+}
+
+struct FuncSig {
+  TypeKind ret;
+  std::vector<TypeKind> params;
+};
+
+class Sema {
+ public:
+  explicit Sema(Program& prog) : prog_(prog) {
+    for (const ConstDecl& c : prog.consts) {
+      if (!consts_.emplace(c.name, c.value).second) {
+        throw FrontendError("duplicate constant '" + c.name + "'", c.loc);
+      }
+    }
+    for (const auto& f : prog.funcs) {
+      if (find_builtin(f->name)) {
+        throw FrontendError("function '" + f->name + "' shadows a builtin",
+                            f->loc);
+      }
+      FuncSig sig;
+      sig.ret = f->return_type;
+      for (const ParamDecl& p : f->params) sig.params.push_back(p.type);
+      if (!funcs_.emplace(f->name, std::move(sig)).second) {
+        throw FrontendError("duplicate function '" + f->name + "'", f->loc);
+      }
+    }
+  }
+
+  void run() {
+    for (auto& f : prog_.funcs) check_func(*f);
+  }
+
+ private:
+  struct Symbol {
+    SymKind kind;
+    TypeKind type;
+    std::uint32_t index;  // param or local index
+  };
+
+  void check_func(FuncDecl& fn) {
+    scopes_.clear();
+    scopes_.emplace_back();
+    next_local_ = 0;
+    cur_fn_ = &fn;
+    loop_depth_ = 0;
+    for (std::uint32_t i = 0; i < fn.params.size(); ++i) {
+      declare(fn.params[i].name, {SymKind::Param, fn.params[i].type, i},
+              fn.params[i].loc);
+    }
+    check_stmt(*fn.body);
+    scopes_.pop_back();
+  }
+
+  void declare(const std::string& name, Symbol sym, SourceLoc loc) {
+    if (consts_.count(name)) {
+      throw FrontendError("'" + name + "' shadows a global constant", loc);
+    }
+    if (!scopes_.back().emplace(name, sym).second) {
+      throw FrontendError("redeclaration of '" + name + "'", loc);
+    }
+  }
+
+  [[nodiscard]] const Symbol* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (auto f = it->find(name); f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  void check_stmt(Stmt& st) {
+    switch (st.kind) {
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        for (auto& s : st.body) check_stmt(*s);
+        scopes_.pop_back();
+        return;
+      }
+      case StmtKind::VarDecl: {
+        if (st.array_size) {
+          check_expr(*st.array_size);
+          if (st.array_size->type != TypeKind::Int) {
+            throw FrontendError("array size must be int", st.loc);
+          }
+        }
+        if (st.init) {
+          check_expr(*st.init);
+          coerce(st.init, st.decl_type);
+        }
+        st.local_index = next_local_++;
+        declare(st.name, {SymKind::Local, st.decl_type, st.local_index},
+                st.loc);
+        return;
+      }
+      case StmtKind::Assign: {
+        check_expr(*st.target);
+        if (st.target->kind == ExprKind::VarRef &&
+            st.target->sym == SymKind::Const) {
+          throw FrontendError("cannot assign to constant '" + st.target->name +
+                                  "'",
+                              st.loc);
+        }
+        if (!is_scalar(st.target->type)) {
+          throw FrontendError("cannot assign to a whole array", st.loc);
+        }
+        check_expr(*st.value);
+        if (st.assign_op != AssignOp::Set && st.target->type == TypeKind::Int &&
+            st.value->type == TypeKind::Float) {
+          throw FrontendError("compound assignment would narrow float to int",
+                              st.loc);
+        }
+        coerce(st.value, st.target->type);
+        return;
+      }
+      case StmtKind::If: {
+        check_expr(*st.cond);
+        if (st.cond->type != TypeKind::Int) {
+          throw FrontendError("condition must be int", st.cond->loc);
+        }
+        check_stmt(*st.then_block);
+        if (st.else_block) check_stmt(*st.else_block);
+        return;
+      }
+      case StmtKind::For: {
+        scopes_.emplace_back();  // loop variable scope
+        check_stmt(*st.for_init);
+        check_expr(*st.cond);
+        if (st.cond->type != TypeKind::Int) {
+          throw FrontendError("loop condition must be int", st.cond->loc);
+        }
+        check_stmt(*st.for_step);
+        ++loop_depth_;
+        check_stmt(*st.loop_body);
+        --loop_depth_;
+        scopes_.pop_back();
+        return;
+      }
+      case StmtKind::While: {
+        check_expr(*st.cond);
+        if (st.cond->type != TypeKind::Int) {
+          throw FrontendError("loop condition must be int", st.cond->loc);
+        }
+        ++loop_depth_;
+        check_stmt(*st.loop_body);
+        --loop_depth_;
+        return;
+      }
+      case StmtKind::Return: {
+        if (st.ret_value) {
+          check_expr(*st.ret_value);
+          if (cur_fn_->return_type == TypeKind::Void) {
+            throw FrontendError("void function returns a value", st.loc);
+          }
+          coerce(st.ret_value, cur_fn_->return_type);
+        } else if (cur_fn_->return_type != TypeKind::Void) {
+          throw FrontendError("non-void function returns nothing", st.loc);
+        }
+        return;
+      }
+      case StmtKind::ExprStmt:
+        check_expr(*st.value);
+        return;
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        if (loop_depth_ == 0) {
+          throw FrontendError("break/continue outside a loop", st.loc);
+        }
+        return;
+    }
+  }
+
+  void check_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = TypeKind::Int;
+        return;
+      case ExprKind::FloatLit:
+        e.type = TypeKind::Float;
+        return;
+      case ExprKind::VarRef: {
+        if (auto it = consts_.find(e.name); it != consts_.end()) {
+          e.sym = SymKind::Const;
+          e.int_val = it->second;
+          e.type = TypeKind::Int;
+          return;
+        }
+        const Symbol* sym = lookup(e.name);
+        if (!sym) {
+          throw FrontendError("use of undeclared '" + e.name + "'", e.loc);
+        }
+        e.sym = sym->kind;
+        e.sym_index = sym->index;
+        e.type = sym->type;
+        return;
+      }
+      case ExprKind::Index: {
+        check_expr(*e.base);
+        if (!is_array(e.base->type)) {
+          throw FrontendError("'" + e.name + "' is not an array", e.loc);
+        }
+        check_expr(*e.index);
+        if (e.index->type != TypeKind::Int) {
+          throw FrontendError("array index must be int", e.index->loc);
+        }
+        e.type = element_type(e.base->type);
+        return;
+      }
+      case ExprKind::Unary: {
+        check_expr(*e.lhs);
+        if (e.un_op == UnOp::Not) {
+          if (e.lhs->type != TypeKind::Int) {
+            throw FrontendError("'!' needs an int operand", e.loc);
+          }
+          e.type = TypeKind::Int;
+        } else {
+          if (!is_scalar(e.lhs->type)) {
+            throw FrontendError("'-' needs a scalar operand", e.loc);
+          }
+          e.type = e.lhs->type;
+        }
+        return;
+      }
+      case ExprKind::Binary: {
+        check_expr(*e.lhs);
+        check_expr(*e.rhs);
+        if (!is_scalar(e.lhs->type) || !is_scalar(e.rhs->type)) {
+          throw FrontendError("binary operator needs scalar operands", e.loc);
+        }
+        switch (e.bin_op) {
+          case BinOp::LAnd:
+          case BinOp::LOr:
+            if (e.lhs->type != TypeKind::Int || e.rhs->type != TypeKind::Int) {
+              throw FrontendError("logical operator needs int operands", e.loc);
+            }
+            e.type = TypeKind::Int;
+            return;
+          case BinOp::Rem:
+            if (e.lhs->type != TypeKind::Int || e.rhs->type != TypeKind::Int) {
+              throw FrontendError("'%' needs int operands", e.loc);
+            }
+            e.type = TypeKind::Int;
+            return;
+          case BinOp::Eq:
+          case BinOp::Ne:
+          case BinOp::Lt:
+          case BinOp::Le:
+          case BinOp::Gt:
+          case BinOp::Ge: {
+            const TypeKind common =
+                (e.lhs->type == TypeKind::Float || e.rhs->type == TypeKind::Float)
+                    ? TypeKind::Float
+                    : TypeKind::Int;
+            coerce(e.lhs, common);
+            coerce(e.rhs, common);
+            e.type = TypeKind::Int;
+            return;
+          }
+          default: {  // Add/Sub/Mul/Div
+            const TypeKind common =
+                (e.lhs->type == TypeKind::Float || e.rhs->type == TypeKind::Float)
+                    ? TypeKind::Float
+                    : TypeKind::Int;
+            coerce(e.lhs, common);
+            coerce(e.rhs, common);
+            e.type = common;
+            return;
+          }
+        }
+      }
+      case ExprKind::Call: {
+        std::vector<TypeKind> want;
+        TypeKind ret;
+        if (const BuiltinSig* b = find_builtin(e.name)) {
+          want = b->params;
+          ret = b->ret;
+        } else if (auto it = funcs_.find(e.name); it != funcs_.end()) {
+          want = it->second.params;
+          ret = it->second.ret;
+        } else {
+          throw FrontendError("call to unknown function '" + e.name + "'",
+                              e.loc);
+        }
+        if (e.args.size() != want.size()) {
+          throw FrontendError("wrong argument count for '" + e.name + "'",
+                              e.loc);
+        }
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          check_expr(*e.args[i]);
+          coerce(e.args[i], want[i]);
+        }
+        e.type = ret;
+        return;
+      }
+      case ExprKind::Cast: {
+        check_expr(*e.lhs);
+        if (!is_scalar(e.lhs->type)) {
+          throw FrontendError("cast needs a scalar operand", e.loc);
+        }
+        e.type = e.cast_to;
+        return;
+      }
+    }
+  }
+
+  Program& prog_;
+  std::unordered_map<std::string, std::int64_t> consts_;
+  std::unordered_map<std::string, FuncSig> funcs_;
+  std::vector<std::unordered_map<std::string, Symbol>> scopes_;
+  std::uint32_t next_local_ = 0;
+  FuncDecl* cur_fn_ = nullptr;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+void analyze(Program& prog) { Sema(prog).run(); }
+
+}  // namespace mvgnn::frontend

@@ -1,0 +1,28 @@
+// Semantic analysis for MiniC: name resolution, type checking, implicit
+// int->float conversions (inserted as Cast nodes), and local-slot numbering.
+// Mutates the AST in place; lowering assumes a sema-checked tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace mvgnn::frontend {
+
+/// Signature of one of the pure math builtins callable from MiniC.
+struct BuiltinSig {
+  TypeKind ret = TypeKind::Void;
+  std::vector<TypeKind> params;
+};
+
+/// Returns the builtin signature for `name`, or nullptr if `name` is not a
+/// builtin. Builtins: sqrt, exp, log, sin, cos, fabs, pow, fmin, fmax
+/// (float), imin, imax, iabs (int).
+[[nodiscard]] const BuiltinSig* find_builtin(const std::string& name);
+
+/// Runs all semantic checks over the program. Throws FrontendError on the
+/// first violation.
+void analyze(Program& prog);
+
+}  // namespace mvgnn::frontend

@@ -1,0 +1,40 @@
+// Token set of MiniC, the small C-like language in which the benchmark
+// corpus (src/data) is written.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.hpp"
+
+namespace mvgnn::frontend {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  FloatLit,
+  // Keywords.
+  KwInt, KwFloat, KwVoid, KwConst,
+  KwIf, KwElse, KwFor, KwWhile, KwReturn, KwBreak, KwContinue,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi,
+  // Operators.
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+  Plus, Minus, Star, Slash, Percent,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  AndAnd, OrOr, Bang,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier spelling
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  ir::SourceLoc loc;
+};
+
+[[nodiscard]] const char* tok_name(Tok t);
+
+}  // namespace mvgnn::frontend

@@ -1,0 +1,83 @@
+#include "graph/anon_walk.hpp"
+
+#include <cassert>
+
+namespace mvgnn::graph {
+
+std::uint32_t AwVocab::id_of(const AnonWalk& walk, bool grow) {
+  const auto it = ids_.find(walk);
+  if (it != ids_.end()) return it->second;
+  if (!grow || frozen_) return 0;
+  const std::uint32_t id = static_cast<std::uint32_t>(ids_.size()) + 1;
+  ids_.emplace(walk, id);
+  return id;
+}
+
+AnonWalk anonymize(const std::vector<std::uint32_t>& walk) {
+  AnonWalk out;
+  out.reserve(walk.size());
+  std::vector<std::uint32_t> seen;
+  for (const std::uint32_t v : walk) {
+    std::uint8_t idx = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] == v) {
+        idx = static_cast<std::uint8_t>(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      idx = static_cast<std::uint8_t>(seen.size());
+      seen.push_back(v);
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+std::vector<float> node_aw_distribution(const WalkGraph& g, std::uint32_t start,
+                                        const AwParams& params, AwVocab& vocab,
+                                        bool grow, par::Rng& rng) {
+  // First pass: sample the walks and resolve ids (this may grow the vocab,
+  // so the dense vector is sized afterwards).
+  std::vector<std::uint32_t> ids;
+  ids.reserve(params.gamma);
+  std::vector<std::uint32_t> walk;
+  for (std::uint32_t w = 0; w < params.gamma; ++w) {
+    walk.clear();
+    walk.push_back(start);
+    std::uint32_t cur = start;
+    for (std::uint32_t step = 1; step < params.length; ++step) {
+      const auto& nb = g.neighbours(cur);
+      if (nb.empty()) break;  // dead end: shorter walk, still anonymized
+      cur = nb[rng.uniform_u64(nb.size())];
+      walk.push_back(cur);
+    }
+    ids.push_back(vocab.id_of(anonymize(walk), grow));
+  }
+  std::vector<float> dist(vocab.size(), 0.0f);
+  const float inv = 1.0f / static_cast<float>(params.gamma);
+  for (const std::uint32_t id : ids) dist[id] += inv;
+  return dist;
+}
+
+std::vector<float> graph_aw_distribution(const WalkGraph& g,
+                                         const AwParams& params, AwVocab& vocab,
+                                         bool grow, par::Rng& rng) {
+  // Two passes for the same sizing reason as above.
+  std::vector<std::vector<float>> per_node;
+  per_node.reserve(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    per_node.push_back(node_aw_distribution(g, v, params, vocab, grow, rng));
+  }
+  std::vector<float> mean(vocab.size(), 0.0f);
+  if (per_node.empty()) return mean;
+  const float inv = 1.0f / static_cast<float>(per_node.size());
+  for (const auto& d : per_node) {
+    for (std::size_t i = 0; i < d.size(); ++i) mean[i] += d[i] * inv;
+  }
+  return mean;
+}
+
+}  // namespace mvgnn::graph

@@ -1,0 +1,99 @@
+// Anonymous-walk structural embeddings (paper section III-C, after Ivanov &
+// Burnaev and GraLSP).
+//
+// A random walk (v1..vn) is anonymized by replacing each node with the index
+// of its first occurrence: (a,b,c,b) -> (0,1,2,1). For each node we sample
+// gamma walks of length l and form the empirical distribution over anonymous
+// walk types; the distribution is the node's structural-view input feature,
+// which the model multiplies with a learned AW embedding table (eq. 3/4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "parallel/rng.hpp"
+
+namespace mvgnn::graph {
+
+/// An anonymized walk: first-occurrence indices, length = walk length.
+using AnonWalk = std::vector<std::uint8_t>;
+
+/// Global dictionary of observed anonymous-walk types. Grown while building
+/// the training set, then frozen; unseen types at inference map to the
+/// catch-all slot 0.
+class AwVocab {
+ public:
+  /// Id of `walk`, inserting it when `grow` and not yet frozen. Returns 0
+  /// (the unknown slot) for unseen walks otherwise.
+  std::uint32_t id_of(const AnonWalk& walk, bool grow);
+
+  void freeze() { frozen_ = true; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  /// Number of slots including the unknown slot 0.
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(ids_.size()) + 1;
+  }
+
+  /// Serialization access.
+  [[nodiscard]] const std::map<AnonWalk, std::uint32_t>& map() const {
+    return ids_;
+  }
+  void restore(std::map<AnonWalk, std::uint32_t> ids, bool frozen) {
+    ids_ = std::move(ids);
+    frozen_ = frozen;
+  }
+
+ private:
+  std::map<AnonWalk, std::uint32_t> ids_;
+  bool frozen_ = false;
+};
+
+/// Undirected adjacency list (the walk graph); node count fixed at build.
+class WalkGraph {
+ public:
+  explicit WalkGraph(std::size_t n) : adj_(n) {}
+
+  void add_edge(std::uint32_t a, std::uint32_t b) {
+    if (a == b) {
+      adj_[a].push_back(a);  // self-loop contributes one neighbour slot
+      return;
+    }
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const { return adj_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbours(
+      std::uint32_t v) const {
+    return adj_[v];
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adj_;
+};
+
+/// Anonymizes one concrete walk.
+[[nodiscard]] AnonWalk anonymize(const std::vector<std::uint32_t>& walk);
+
+struct AwParams {
+  std::uint32_t gamma = 40;  // walks sampled per node
+  std::uint32_t length = 5;  // walk length (number of nodes)
+};
+
+/// Samples gamma anonymous walks from `start` and returns the empirical
+/// distribution over vocab slots (eq. 3), a dense vector of size
+/// `vocab.size()` summing to 1 (or the all-unknown distribution for an
+/// isolated node).
+[[nodiscard]] std::vector<float> node_aw_distribution(const WalkGraph& g,
+                                                      std::uint32_t start,
+                                                      const AwParams& params,
+                                                      AwVocab& vocab, bool grow,
+                                                      par::Rng& rng);
+
+/// Mean distribution over all nodes (eq. 4).
+[[nodiscard]] std::vector<float> graph_aw_distribution(
+    const WalkGraph& g, const AwParams& params, AwVocab& vocab, bool grow,
+    par::Rng& rng);
+
+}  // namespace mvgnn::graph

@@ -1,0 +1,141 @@
+// Append-only instruction builder used by the frontend's lowering pass and
+// by tests that construct IR by hand.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::ir {
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Function& fn) : fn_(fn) {}
+
+  /// Creates an (initially empty) block and returns its id. Does not move the
+  /// insertion point.
+  BlockId new_block(std::string label = {}) {
+    BasicBlock bb;
+    bb.id = static_cast<BlockId>(fn_.blocks.size());
+    bb.label = std::move(label);
+    fn_.blocks.push_back(std::move(bb));
+    return fn_.blocks.back().id;
+  }
+
+  void set_insert(BlockId b) {
+    assert(b < fn_.blocks.size());
+    cur_ = b;
+  }
+
+  [[nodiscard]] BlockId insert_block() const { return cur_; }
+
+  /// True if the current block already ends in a terminator (further emission
+  /// into it would be invalid; lowering uses this to skip dead code).
+  [[nodiscard]] bool block_terminated() const {
+    const auto& instrs = fn_.blocks[cur_].instrs;
+    return !instrs.empty() && fn_.instr(instrs.back()).is_terminator();
+  }
+
+  /// Core emission: appends an instruction to the current block and returns
+  /// its register value.
+  Value emit(Opcode op, TypeKind type, std::vector<Value> operands,
+             SourceLoc loc = {}, std::string name = {},
+             std::string callee = {}) {
+    const InstrId id = emit_id(op, type, std::move(operands), loc,
+                               std::move(name), std::move(callee));
+    return Value::reg_of(id);
+  }
+
+  /// Same as emit() but returns the raw instruction id (needed for Alloca
+  /// slots, which are referenced by id in LoopInfo).
+  InstrId emit_id(Opcode op, TypeKind type, std::vector<Value> operands,
+                  SourceLoc loc = {}, std::string name = {},
+                  std::string callee = {}) {
+    assert(cur_ != kNoBlock && "no insertion block set");
+    assert(!block_terminated() && "emission after terminator");
+    Instruction in;
+    in.op = op;
+    in.type = type;
+    in.operands = std::move(operands);
+    in.loc = loc;
+    in.name = std::move(name);
+    in.callee = std::move(callee);
+    in.loop = cur_loop_;
+    const InstrId id = static_cast<InstrId>(fn_.instrs.size());
+    fn_.instrs.push_back(std::move(in));
+    fn_.blocks[cur_].instrs.push_back(id);
+    return id;
+  }
+
+  // ---- Convenience wrappers -------------------------------------------
+
+  Value binop(Opcode op, TypeKind type, Value a, Value b, SourceLoc loc = {}) {
+    return emit(op, type, {a, b}, loc);
+  }
+  InstrId alloca_scalar(TypeKind type, std::string name, SourceLoc loc = {}) {
+    return emit_id(Opcode::Alloca, type, {}, loc, std::move(name));
+  }
+  InstrId alloca_array(TypeKind arr_type, Value size, std::string name,
+                       SourceLoc loc = {}) {
+    return emit_id(Opcode::AllocArr, arr_type, {size}, loc, std::move(name));
+  }
+  Value load(TypeKind type, InstrId slot, SourceLoc loc = {}) {
+    return emit(Opcode::Load, type, {Value::reg_of(slot)}, loc);
+  }
+  void store(InstrId slot, Value v, SourceLoc loc = {}) {
+    emit(Opcode::Store, TypeKind::Void, {Value::reg_of(slot), v}, loc);
+  }
+  Value load_idx(TypeKind elem, Value array, Value index, SourceLoc loc = {}) {
+    return emit(Opcode::LoadIdx, elem, {array, index}, loc);
+  }
+  void store_idx(Value array, Value index, Value v, SourceLoc loc = {}) {
+    emit(Opcode::StoreIdx, TypeKind::Void, {array, index, v}, loc);
+  }
+  void br(BlockId target, SourceLoc loc = {}) {
+    emit(Opcode::Br, TypeKind::Void, {Value::block_of(target)}, loc);
+  }
+  void cond_br(Value cond, BlockId t, BlockId f, SourceLoc loc = {}) {
+    emit(Opcode::CondBr, TypeKind::Void,
+         {cond, Value::block_of(t), Value::block_of(f)}, loc);
+  }
+  void ret(SourceLoc loc = {}) { emit(Opcode::Ret, TypeKind::Void, {}, loc); }
+  void ret(Value v, SourceLoc loc = {}) {
+    emit(Opcode::Ret, TypeKind::Void, {v}, loc);
+  }
+  Value call(const std::string& callee, TypeKind ret, std::vector<Value> args,
+             SourceLoc loc = {}) {
+    return emit(Opcode::Call, ret, std::move(args), loc, {}, callee);
+  }
+
+  // ---- Loop metadata ----------------------------------------------------
+
+  /// Registers a new loop nested in `parent` and makes it the current loop
+  /// context for subsequently emitted instructions.
+  LoopId open_loop(LoopInfo info) {
+    info.id = static_cast<LoopId>(fn_.loops.size());
+    info.parent = cur_loop_;
+    info.depth = (cur_loop_ == kNoLoop) ? 0 : fn_.loops[cur_loop_].depth + 1;
+    fn_.loops.push_back(info);
+    cur_loop_ = info.id;
+    return info.id;
+  }
+
+  void close_loop() {
+    assert(cur_loop_ != kNoLoop);
+    cur_loop_ = fn_.loops[cur_loop_].parent;
+  }
+
+  [[nodiscard]] LoopId current_loop() const { return cur_loop_; }
+  [[nodiscard]] LoopInfo& loop(LoopId id) { return fn_.loops[id]; }
+  [[nodiscard]] Function& function() { return fn_; }
+
+ private:
+  Function& fn_;
+  BlockId cur_ = kNoBlock;
+  LoopId cur_loop_ = kNoLoop;
+};
+
+}  // namespace mvgnn::ir

@@ -1,0 +1,89 @@
+// Functions, basic blocks, loop metadata and modules of the MiniC IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+#include "ir/type.hpp"
+
+namespace mvgnn::ir {
+
+/// A basic block: a straight-line run of instruction ids ending in exactly
+/// one terminator (Br/CondBr/Ret).
+struct BasicBlock {
+  BlockId id = kNoBlock;
+  std::string label;
+  std::vector<InstrId> instrs;
+};
+
+/// Static description of one `for` loop, recorded by the frontend during
+/// lowering. `LoopEnter`/`LoopHead`/`LoopExit` markers reference these by id.
+struct LoopInfo {
+  LoopId id = kNoLoop;
+  LoopId parent = kNoLoop;   // enclosing loop, if any
+  BlockId preheader = kNoBlock;
+  BlockId header = kNoBlock;
+  BlockId body = kNoBlock;   // first body block
+  BlockId latch = kNoBlock;
+  BlockId exit = kNoBlock;
+  InstrId induction_slot = kNoInstr;  // Alloca of the induction variable
+  int start_line = 0;  // first source line of the loop statement
+  int end_line = 0;    // last source line of the loop body
+  int depth = 0;       // nesting depth, 0 = outermost
+  bool is_for = true;  // `for` loops are classification samples; `while` not
+};
+
+struct Param {
+  std::string name;
+  TypeKind type = TypeKind::Void;
+};
+
+/// A function: parameters, an instruction arena (index == virtual register),
+/// basic blocks referencing arena indices, and loop metadata.
+struct Function {
+  std::string name;
+  TypeKind return_type = TypeKind::Void;
+  std::vector<Param> params;
+  std::vector<Instruction> instrs;  // arena
+  std::vector<BasicBlock> blocks;   // blocks[0] is the entry block
+  std::vector<LoopInfo> loops;
+
+  [[nodiscard]] const Instruction& instr(InstrId id) const { return instrs[id]; }
+  [[nodiscard]] Instruction& instr(InstrId id) { return instrs[id]; }
+  [[nodiscard]] const BasicBlock& block(BlockId id) const { return blocks[id]; }
+  [[nodiscard]] std::size_t num_instrs() const { return instrs.size(); }
+
+  /// Total loop count (every `for` in the source, any nesting depth).
+  [[nodiscard]] std::size_t num_loops() const { return loops.size(); }
+};
+
+/// A translation unit: an ordered set of functions plus the source name.
+struct Module {
+  std::string name;
+  std::vector<std::unique_ptr<Function>> functions;
+
+  Function* find(const std::string& fn_name) {
+    for (auto& f : functions) {
+      if (f->name == fn_name) return f.get();
+    }
+    return nullptr;
+  }
+  const Function* find(const std::string& fn_name) const {
+    return const_cast<Module*>(this)->find(fn_name);
+  }
+};
+
+/// Pretty-prints a function (or module) in an LLVM-like textual form; used by
+/// tests, examples and error messages.
+[[nodiscard]] std::string to_string(const Function& fn);
+[[nodiscard]] std::string to_string(const Module& m);
+
+/// Structural validity check. Throws std::runtime_error describing the first
+/// violation: missing terminator, dangling register/block reference, operand
+/// arity mismatch, or marker/loop-metadata disagreement.
+void verify(const Function& fn);
+void verify(const Module& m);
+
+}  // namespace mvgnn::ir

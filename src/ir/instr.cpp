@@ -1,0 +1,74 @@
+#include "ir/instr.hpp"
+
+namespace mvgnn::ir {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::Div: return "div";
+    case Opcode::Rem: return "rem";
+    case Opcode::Neg: return "neg";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::FNeg: return "fneg";
+    case Opcode::CmpEq: return "cmpeq";
+    case Opcode::CmpNe: return "cmpne";
+    case Opcode::CmpLt: return "cmplt";
+    case Opcode::CmpLe: return "cmple";
+    case Opcode::CmpGt: return "cmpgt";
+    case Opcode::CmpGe: return "cmpge";
+    case Opcode::FCmpEq: return "fcmpeq";
+    case Opcode::FCmpNe: return "fcmpne";
+    case Opcode::FCmpLt: return "fcmplt";
+    case Opcode::FCmpLe: return "fcmple";
+    case Opcode::FCmpGt: return "fcmpgt";
+    case Opcode::FCmpGe: return "fcmpge";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Not: return "not";
+    case Opcode::IntToFloat: return "sitofp";
+    case Opcode::FloatToInt: return "fptosi";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::AllocArr: return "allocarr";
+    case Opcode::LoadIdx: return "loadidx";
+    case Opcode::StoreIdx: return "storeidx";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Ret: return "ret";
+    case Opcode::Call: return "call";
+    case Opcode::LoopEnter: return "loop.enter";
+    case Opcode::LoopHead: return "loop.head";
+    case Opcode::LoopExit: return "loop.exit";
+  }
+  return "<bad-opcode>";
+}
+
+bool is_terminator(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+bool produces_value(Opcode op) {
+  switch (op) {
+    case Opcode::Store:
+    case Opcode::StoreIdx:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::LoopEnter:
+    case Opcode::LoopHead:
+    case Opcode::LoopExit:
+      return false;
+    case Opcode::Call:
+      return true;  // void calls simply leave the register unused
+    default:
+      return true;
+  }
+}
+
+}  // namespace mvgnn::ir

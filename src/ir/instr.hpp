@@ -1,0 +1,120 @@
+// Instruction set of the MiniC IR.
+//
+// Three-address form: every instruction that produces a value defines one
+// virtual register named by its arena index. Scalars live in explicit stack
+// slots (Alloca + Load/Store) rather than SSA phi nodes — the same "-O0
+// memory form" shape DiscoPoP instruments, and the shape that makes the
+// dependence profiler's shadow memory see every variable access.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace mvgnn::ir {
+
+using InstrId = std::uint32_t;
+using BlockId = std::uint32_t;
+using LoopId = std::uint32_t;
+
+inline constexpr InstrId kNoInstr = static_cast<InstrId>(-1);
+inline constexpr BlockId kNoBlock = static_cast<BlockId>(-1);
+inline constexpr LoopId kNoLoop = static_cast<LoopId>(-1);
+
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic.
+  Add, Sub, Mul, Div, Rem, Neg,
+  // Floating-point arithmetic.
+  FAdd, FSub, FMul, FDiv, FNeg,
+  // Comparisons produce Int 0/1.
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+  // Logic on Int 0/1.
+  And, Or, Not,
+  // Conversions.
+  IntToFloat, FloatToInt,
+  // Memory: scalar stack slots.
+  Alloca,     // define a scalar slot; `name` holds the variable name
+  Load,       // operands: [slot]
+  Store,      // operands: [slot, value]
+  // Memory: arrays (locals or parameters).
+  AllocArr,   // define a local buffer; operands: [size]; type = ArrInt/ArrFloat
+  LoadIdx,    // operands: [array, index]
+  StoreIdx,   // operands: [array, index, value]
+  // Control flow.
+  Br,         // operands: [block target]
+  CondBr,     // operands: [cond, true block, false block]
+  Ret,        // operands: [] or [value]
+  // Calls. `callee` holds the function or builtin name.
+  Call,
+  // Loop markers emitted by the frontend around every `for` loop. The
+  // profiler uses them to maintain exact iteration vectors.
+  LoopEnter,  // preheader; loop() identifies the loop
+  LoopHead,   // top of the header block; executes once per iteration
+  LoopExit,   // unique exit block
+};
+
+[[nodiscard]] const char* opcode_name(Opcode op);
+[[nodiscard]] bool is_terminator(Opcode op);
+/// True for opcodes whose result register is meaningful.
+[[nodiscard]] bool produces_value(Opcode op);
+
+/// An operand: either a virtual register (defining instruction id), an
+/// immediate constant, a function argument, or a branch target.
+struct Value {
+  enum class Kind : std::uint8_t { None, Reg, ImmInt, ImmFloat, Arg, Block };
+
+  Kind kind = Kind::None;
+  union {
+    InstrId reg;
+    std::int64_t imm_int;
+    double imm_float;
+    std::uint32_t arg;
+    BlockId block;
+  };
+
+  Value() : reg(kNoInstr) {}
+
+  static Value reg_of(InstrId id) { Value v; v.kind = Kind::Reg; v.reg = id; return v; }
+  static Value imm(std::int64_t x) { Value v; v.kind = Kind::ImmInt; v.imm_int = x; return v; }
+  static Value imm(double x) { Value v; v.kind = Kind::ImmFloat; v.imm_float = x; return v; }
+  static Value arg_of(std::uint32_t i) { Value v; v.kind = Kind::Arg; v.arg = i; return v; }
+  static Value block_of(BlockId b) { Value v; v.kind = Kind::Block; v.block = b; return v; }
+
+  [[nodiscard]] bool is_reg() const { return kind == Kind::Reg; }
+  [[nodiscard]] bool is_block() const { return kind == Kind::Block; }
+  [[nodiscard]] bool is_imm() const {
+    return kind == Kind::ImmInt || kind == Kind::ImmFloat;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case Kind::None: return true;
+      case Kind::Reg: return a.reg == b.reg;
+      case Kind::ImmInt: return a.imm_int == b.imm_int;
+      case Kind::ImmFloat: return a.imm_float == b.imm_float;
+      case Kind::Arg: return a.arg == b.arg;
+      case Kind::Block: return a.block == b.block;
+    }
+    return false;
+  }
+};
+
+/// One IR instruction. Owned by the function's instruction arena; its arena
+/// index is its virtual register name.
+struct Instruction {
+  Opcode op = Opcode::Ret;
+  TypeKind type = TypeKind::Void;  // result type (Void when no result)
+  std::vector<Value> operands;
+  SourceLoc loc;
+  std::string name;    // variable name (Alloca/AllocArr) — for diagnostics
+  std::string callee;  // Call only
+  LoopId loop = kNoLoop;  // innermost enclosing loop; markers: the marked loop
+
+  [[nodiscard]] bool is_terminator() const { return ir::is_terminator(op); }
+};
+
+}  // namespace mvgnn::ir

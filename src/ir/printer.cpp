@@ -1,0 +1,81 @@
+#include <sstream>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::ir {
+
+std::string type_name(TypeKind t) {
+  switch (t) {
+    case TypeKind::Void: return "void";
+    case TypeKind::Int: return "i64";
+    case TypeKind::Float: return "f64";
+    case TypeKind::ArrInt: return "i64*";
+    case TypeKind::ArrFloat: return "f64*";
+  }
+  return "<bad-type>";
+}
+
+namespace {
+
+void print_value(std::ostream& os, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::None: os << "none"; break;
+    case Value::Kind::Reg: os << "%" << v.reg; break;
+    case Value::Kind::ImmInt: os << v.imm_int; break;
+    case Value::Kind::ImmFloat: os << v.imm_float; break;
+    case Value::Kind::Arg: os << "$" << v.arg; break;
+    case Value::Kind::Block: os << "bb" << v.block; break;
+  }
+}
+
+void print_instr(std::ostream& os, const Function& fn, InstrId id) {
+  const Instruction& in = fn.instr(id);
+  os << "  ";
+  if (produces_value(in.op) && in.type != TypeKind::Void) {
+    os << "%" << id << ":" << type_name(in.type) << " = ";
+  }
+  os << opcode_name(in.op);
+  if (in.op == Opcode::Call) os << " @" << in.callee;
+  if (!in.name.empty()) os << " !" << in.name;
+  if (in.loop != kNoLoop &&
+      (in.op == Opcode::LoopEnter || in.op == Opcode::LoopHead ||
+       in.op == Opcode::LoopExit)) {
+    os << " L" << in.loop;
+  }
+  for (std::size_t i = 0; i < in.operands.size(); ++i) {
+    os << (i == 0 ? " " : ", ");
+    print_value(os, in.operands[i]);
+  }
+  if (in.loc.valid()) os << "  ; line " << in.loc.line;
+  os << "\n";
+}
+
+}  // namespace
+
+std::string to_string(const Function& fn) {
+  std::ostringstream os;
+  os << "func @" << fn.name << "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) os << ", ";
+    os << "$" << i << " " << fn.params[i].name << ":"
+       << type_name(fn.params[i].type);
+  }
+  os << ") -> " << type_name(fn.return_type) << " {\n";
+  for (const auto& bb : fn.blocks) {
+    os << "bb" << bb.id;
+    if (!bb.label.empty()) os << " (" << bb.label << ")";
+    os << ":\n";
+    for (InstrId id : bb.instrs) print_instr(os, fn, id);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream os;
+  os << "; module " << m.name << "\n";
+  for (const auto& f : m.functions) os << to_string(*f) << "\n";
+  return os.str();
+}
+
+}  // namespace mvgnn::ir

@@ -1,0 +1,52 @@
+// Scalar/array type lattice of the MiniC IR.
+//
+// The IR keeps types deliberately small: 64-bit integers, IEEE doubles, and
+// 1-D arrays of either. Multi-dimensional MiniC arrays are lowered by the
+// frontend to flat buffers with explicit index arithmetic, exactly as clang
+// lowers constant-size C arrays — which is what makes the subscript patterns
+// interesting for the dependence analyses in src/analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mvgnn::ir {
+
+enum class TypeKind : std::uint8_t {
+  Void,
+  Int,       // 64-bit signed integer
+  Float,     // IEEE-754 double
+  ArrInt,    // buffer of Int
+  ArrFloat,  // buffer of Float
+};
+
+[[nodiscard]] constexpr bool is_scalar(TypeKind t) {
+  return t == TypeKind::Int || t == TypeKind::Float;
+}
+
+[[nodiscard]] constexpr bool is_array(TypeKind t) {
+  return t == TypeKind::ArrInt || t == TypeKind::ArrFloat;
+}
+
+/// Element type of an array type; Void for non-arrays.
+[[nodiscard]] constexpr TypeKind element_type(TypeKind t) {
+  switch (t) {
+    case TypeKind::ArrInt: return TypeKind::Int;
+    case TypeKind::ArrFloat: return TypeKind::Float;
+    default: return TypeKind::Void;
+  }
+}
+
+[[nodiscard]] std::string type_name(TypeKind t);
+
+/// Source position carried from MiniC source through lowering into every IR
+/// instruction; PEG nodes expose them as the <ID, START, END> triple.
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool valid() const { return line > 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace mvgnn::ir

@@ -1,0 +1,109 @@
+#include <stdexcept>
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::ir {
+
+namespace {
+
+[[noreturn]] void fail(const Function& fn, const std::string& msg) {
+  throw std::runtime_error("ir verify @" + fn.name + ": " + msg);
+}
+
+/// Expected operand count for fixed-arity opcodes; -1 for variable arity.
+int expected_arity(Opcode op) {
+  switch (op) {
+    case Opcode::Neg: case Opcode::FNeg: case Opcode::Not:
+    case Opcode::IntToFloat: case Opcode::FloatToInt:
+    case Opcode::Load: case Opcode::AllocArr: case Opcode::Br:
+      return 1;
+    case Opcode::Alloca:
+    case Opcode::LoopEnter: case Opcode::LoopHead: case Opcode::LoopExit:
+      return 0;
+    case Opcode::Store: case Opcode::LoadIdx:
+      return 2;
+    case Opcode::StoreIdx: case Opcode::CondBr:
+      return 3;
+    case Opcode::Call: case Opcode::Ret:
+      return -1;
+    default:
+      return 2;  // all binary arithmetic / comparisons / logic
+  }
+}
+
+}  // namespace
+
+void verify(const Function& fn) {
+  if (fn.blocks.empty()) fail(fn, "no blocks");
+
+  std::vector<char> placed(fn.instrs.size(), 0);
+  for (const auto& bb : fn.blocks) {
+    if (bb.id >= fn.blocks.size() || fn.blocks[bb.id].id != bb.id) {
+      fail(fn, "block id mismatch");
+    }
+    if (bb.instrs.empty()) fail(fn, "empty block bb" + std::to_string(bb.id));
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+      InstrId id = bb.instrs[i];
+      if (id >= fn.instrs.size()) fail(fn, "instr id out of range");
+      if (placed[id]) fail(fn, "instr %" + std::to_string(id) + " placed twice");
+      placed[id] = 1;
+      const Instruction& in = fn.instr(id);
+      const bool last = (i + 1 == bb.instrs.size());
+      if (in.is_terminator() != last) {
+        fail(fn, "terminator placement in bb" + std::to_string(bb.id) +
+                     " at %" + std::to_string(id));
+      }
+      const int arity = expected_arity(in.op);
+      if (arity >= 0 && static_cast<int>(in.operands.size()) != arity) {
+        fail(fn, std::string("bad arity for ") + opcode_name(in.op) + " at %" +
+                     std::to_string(id));
+      }
+      for (const Value& v : in.operands) {
+        switch (v.kind) {
+          case Value::Kind::Reg:
+            if (v.reg >= fn.instrs.size())
+              fail(fn, "dangling register operand at %" + std::to_string(id));
+            if (!produces_value(fn.instr(v.reg).op))
+              fail(fn, "operand refers to non-value instr at %" +
+                           std::to_string(id));
+            break;
+          case Value::Kind::Block:
+            if (v.block >= fn.blocks.size())
+              fail(fn, "dangling block operand at %" + std::to_string(id));
+            break;
+          case Value::Kind::Arg:
+            if (v.arg >= fn.params.size())
+              fail(fn, "dangling argument operand at %" + std::to_string(id));
+            break;
+          default:
+            break;
+        }
+      }
+      if (in.op == Opcode::Call && in.callee.empty()) {
+        fail(fn, "call without callee at %" + std::to_string(id));
+      }
+      if ((in.op == Opcode::LoopEnter || in.op == Opcode::LoopHead ||
+           in.op == Opcode::LoopExit) &&
+          in.loop >= fn.loops.size()) {
+        fail(fn, "loop marker with dangling loop id at %" + std::to_string(id));
+      }
+    }
+  }
+
+  for (const LoopInfo& l : fn.loops) {
+    if (l.header >= fn.blocks.size() || l.preheader >= fn.blocks.size() ||
+        l.exit >= fn.blocks.size() || l.latch >= fn.blocks.size()) {
+      fail(fn, "loop L" + std::to_string(l.id) + " references missing block");
+    }
+    if (l.parent != kNoLoop && l.parent >= fn.loops.size()) {
+      fail(fn, "loop L" + std::to_string(l.id) + " has dangling parent");
+    }
+  }
+}
+
+void verify(const Module& m) {
+  for (const auto& f : m.functions) verify(*f);
+}
+
+}  // namespace mvgnn::ir

@@ -1,0 +1,243 @@
+#include "ml/classic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mvgnn::ml {
+
+// ---------------------------------------------------------------------------
+// LinearSvm
+// ---------------------------------------------------------------------------
+
+FeatureRow LinearSvm::expand(const FeatureRow& x) const {
+  if (!quadratic_) return x;
+  FeatureRow out = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = i; j < x.size(); ++j) {
+      out.push_back(x[i] * x[j]);
+    }
+  }
+  return out;
+}
+
+void LinearSvm::fit(const std::vector<FeatureRow>& raw_x,
+                    const std::vector<int>& y, const Params& p) {
+  quadratic_ = p.quadratic;
+  std::vector<FeatureRow> x;
+  x.reserve(raw_x.size());
+  for (const FeatureRow& r : raw_x) x.push_back(expand(r));
+  const std::size_t d = x.empty() ? 0 : x[0].size();
+  mean_.assign(d, 0.0);
+  stdev_.assign(d, 1.0);
+  for (const FeatureRow& row : x) {
+    for (std::size_t k = 0; k < d; ++k) mean_[k] += row[k];
+  }
+  for (double& m : mean_) m /= std::max<std::size_t>(1, x.size());
+  for (const FeatureRow& row : x) {
+    for (std::size_t k = 0; k < d; ++k) {
+      const double c = row[k] - mean_[k];
+      stdev_[k] += c * c;
+    }
+  }
+  for (double& s : stdev_) {
+    s = std::sqrt(s / std::max<std::size_t>(1, x.size()));
+    if (s < 1e-9) s = 1.0;
+  }
+
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  par::Rng rng(p.seed);
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < p.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    const double lr = p.lr / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (const std::size_t i : order) {
+      const double target = y[i] ? 1.0 : -1.0;
+      double score = b_;
+      for (std::size_t k = 0; k < d; ++k) {
+        score += w_[k] * (x[i][k] - mean_[k]) / stdev_[k];
+      }
+      // L2 shrink + hinge subgradient.
+      for (std::size_t k = 0; k < d; ++k) w_[k] *= (1.0 - lr * p.l2);
+      if (target * score < 1.0) {
+        for (std::size_t k = 0; k < d; ++k) {
+          w_[k] += lr * target * (x[i][k] - mean_[k]) / stdev_[k];
+        }
+        b_ += lr * target;
+      }
+    }
+  }
+}
+
+double LinearSvm::decision(const FeatureRow& raw_x) const {
+  const FeatureRow x = expand(raw_x);
+  double score = b_;
+  for (std::size_t k = 0; k < w_.size(); ++k) {
+    score += w_[k] * (x[k] - mean_[k]) / stdev_[k];
+  }
+  return score;
+}
+
+int LinearSvm::predict(const FeatureRow& x) const {
+  return decision(x) >= 0.0 ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// DecisionTree
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Weighted majority label over idx.
+int majority(const std::vector<int>& y, const std::vector<double>& w,
+             const std::vector<std::size_t>& idx) {
+  double pos = 0.0, neg = 0.0;
+  for (const std::size_t i : idx) {
+    (y[i] ? pos : neg) += w[i];
+  }
+  return pos >= neg ? 1 : 0;
+}
+
+double gini(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<FeatureRow>& x,
+                       const std::vector<int>& y, const Params& p) {
+  fit_weighted(x, y, std::vector<double>(x.size(), 1.0), p);
+}
+
+void DecisionTree::fit_weighted(const std::vector<FeatureRow>& x,
+                                const std::vector<int>& y,
+                                const std::vector<double>& w,
+                                const Params& p) {
+  std::vector<std::size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  root_ = build(x, y, w, idx, 0, p);
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build(
+    const std::vector<FeatureRow>& x, const std::vector<int>& y,
+    const std::vector<double>& w, const std::vector<std::size_t>& idx,
+    std::size_t depth, const Params& p) {
+  auto node = std::make_unique<Node>();
+  node->label = majority(y, w, idx);
+
+  if (depth >= p.max_depth || idx.size() <= p.min_leaf) return node;
+  bool pure = true;
+  for (const std::size_t i : idx) {
+    if (y[i] != y[idx[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure) return node;
+
+  const std::size_t d = x[idx[0]].size();
+  double best_gain = 1e-12;
+  std::size_t best_f = 0;
+  double best_t = 0.0;
+
+  double total_w = 0.0, total_pos = 0.0;
+  for (const std::size_t i : idx) {
+    total_w += w[i];
+    if (y[i]) total_pos += w[i];
+  }
+  const double parent = gini(total_pos, total_w);
+
+  std::vector<std::size_t> sorted = idx;
+  for (std::size_t f = 0; f < d; ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return x[a][f] < x[b][f]; });
+    double left_w = 0.0, left_pos = 0.0;
+    for (std::size_t s = 0; s + 1 < sorted.size(); ++s) {
+      const std::size_t i = sorted[s];
+      left_w += w[i];
+      if (y[i]) left_pos += w[i];
+      if (x[sorted[s]][f] == x[sorted[s + 1]][f]) continue;  // no split here
+      const double right_w = total_w - left_w;
+      const double right_pos = total_pos - left_pos;
+      const double gain =
+          parent - (left_w / total_w) * gini(left_pos, left_w) -
+          (right_w / total_w) * gini(right_pos, right_w);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_f = f;
+        best_t = 0.5 * (x[sorted[s]][f] + x[sorted[s + 1]][f]);
+      }
+    }
+  }
+  if (best_gain <= 1e-12) return node;
+
+  std::vector<std::size_t> left, right;
+  for (const std::size_t i : idx) {
+    (x[i][best_f] <= best_t ? left : right).push_back(i);
+  }
+  if (left.empty() || right.empty()) return node;
+
+  node->leaf = false;
+  node->feature = best_f;
+  node->threshold = best_t;
+  node->left = build(x, y, w, left, depth + 1, p);
+  node->right = build(x, y, w, right, depth + 1, p);
+  return node;
+}
+
+int DecisionTree::predict(const FeatureRow& x) const {
+  const Node* n = root_.get();
+  while (n && !n->leaf) {
+    n = (x[n->feature] <= n->threshold) ? n->left.get() : n->right.get();
+  }
+  return n ? n->label : 0;
+}
+
+// ---------------------------------------------------------------------------
+// AdaBoost
+// ---------------------------------------------------------------------------
+
+void AdaBoost::fit(const std::vector<FeatureRow>& x, const std::vector<int>& y,
+                   const Params& p) {
+  stumps_.clear();
+  alphas_.clear();
+  std::vector<double> w(x.size(), 1.0 / std::max<std::size_t>(1, x.size()));
+  DecisionTree::Params stump_params;
+  stump_params.max_depth = 1;
+  stump_params.min_leaf = 1;
+
+  for (std::size_t t = 0; t < p.rounds; ++t) {
+    DecisionTree stump;
+    stump.fit_weighted(x, y, w, stump_params);
+    double err = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (stump.predict(x[i]) != y[i]) err += w[i];
+    }
+    err = std::clamp(err, 1e-10, 1.0 - 1e-10);
+    if (err >= 0.5) break;  // weak learner no better than chance
+    const double alpha = 0.5 * std::log((1.0 - err) / err);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double agree = (stump.predict(x[i]) == y[i]) ? 1.0 : -1.0;
+      w[i] *= std::exp(-alpha * agree);
+      norm += w[i];
+    }
+    for (double& wi : w) wi /= norm;
+    stumps_.push_back(std::move(stump));
+    alphas_.push_back(alpha);
+  }
+}
+
+int AdaBoost::predict(const FeatureRow& x) const {
+  double score = 0.0;
+  for (std::size_t t = 0; t < stumps_.size(); ++t) {
+    score += alphas_[t] * (stumps_[t].predict(x) ? 1.0 : -1.0);
+  }
+  return score >= 0.0 ? 1 : 0;
+}
+
+}  // namespace mvgnn::ml

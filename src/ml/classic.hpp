@@ -1,0 +1,115 @@
+// Hand-crafted classifier baselines of Fried et al. (Table III: SVM,
+// Decision Tree, AdaBoost), operating on the 7 Table I dynamic features.
+// All are from-scratch implementations on double-precision feature rows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "parallel/rng.hpp"
+
+namespace mvgnn::ml {
+
+using FeatureRow = std::vector<double>;
+
+/// Linear SVM trained by SGD on the hinge loss with L2 regularization.
+/// Features are standardized internally (fit on the training data).
+class LinearSvm {
+ public:
+  struct Params {
+    double lr = 0.01;
+    double l2 = 1e-3;
+    std::size_t epochs = 60;
+    std::uint64_t seed = 1;
+    /// Quadratic feature map (all pairwise products) — a cheap stand-in
+    /// for the polynomial kernel the reference SVM baseline uses.
+    bool quadratic = true;
+  };
+
+  void fit(const std::vector<FeatureRow>& x, const std::vector<int>& y,
+           const Params& p);
+  void fit(const std::vector<FeatureRow>& x, const std::vector<int>& y) {
+    fit(x, y, Params{});
+  }
+  [[nodiscard]] int predict(const FeatureRow& x) const;
+  [[nodiscard]] double decision(const FeatureRow& x) const;
+
+ private:
+  [[nodiscard]] FeatureRow expand(const FeatureRow& x) const;
+
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> mean_, stdev_;
+  bool quadratic_ = true;
+};
+
+/// CART decision tree with Gini impurity, depth and leaf-size limits.
+class DecisionTree {
+ public:
+  struct Params {
+    std::size_t max_depth = 4;
+    std::size_t min_leaf = 4;
+  };
+
+  void fit(const std::vector<FeatureRow>& x, const std::vector<int>& y,
+           const Params& p);
+  void fit(const std::vector<FeatureRow>& x, const std::vector<int>& y) {
+    fit(x, y, Params{});
+  }
+  /// Weighted fit (AdaBoost uses per-sample weights).
+  void fit_weighted(const std::vector<FeatureRow>& x,
+                    const std::vector<int>& y,
+                    const std::vector<double>& w, const Params& p);
+  [[nodiscard]] int predict(const FeatureRow& x) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int label = 0;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::unique_ptr<Node> left, right;
+  };
+  std::unique_ptr<Node> root_;
+
+  std::unique_ptr<Node> build(const std::vector<FeatureRow>& x,
+                              const std::vector<int>& y,
+                              const std::vector<double>& w,
+                              const std::vector<std::size_t>& idx,
+                              std::size_t depth, const Params& p);
+};
+
+/// AdaBoost (SAMME / discrete) over depth-1 decision stumps.
+class AdaBoost {
+ public:
+  struct Params {
+    std::size_t rounds = 30;
+  };
+
+  void fit(const std::vector<FeatureRow>& x, const std::vector<int>& y,
+           const Params& p);
+  void fit(const std::vector<FeatureRow>& x, const std::vector<int>& y) {
+    fit(x, y, Params{});
+  }
+  [[nodiscard]] int predict(const FeatureRow& x) const;
+
+ private:
+  std::vector<DecisionTree> stumps_;
+  std::vector<double> alphas_;
+};
+
+/// Convenience: accuracy of `predict` over (x, y).
+template <typename Model>
+double accuracy(const Model& m, const std::vector<FeatureRow>& x,
+                const std::vector<int>& y) {
+  if (x.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    correct += (m.predict(x[i]) == y[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+}  // namespace mvgnn::ml

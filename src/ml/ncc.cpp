@@ -1,0 +1,85 @@
+#include "ml/ncc.hpp"
+
+#include <algorithm>
+
+namespace mvgnn::ml {
+
+using ag::Tensor;
+
+Ncc::Ncc(const NccConfig& cfg, std::size_t embed_dim, par::Rng& rng)
+    : cfg_(cfg),
+      lstm1_(embed_dim, cfg.lstm_units, rng),
+      lstm2_(cfg.lstm_units, cfg.lstm_units, rng),
+      dense_(cfg.lstm_units, cfg.dense, rng),
+      head_(cfg.dense, cfg.num_classes, rng) {}
+
+Tensor Ncc::forward(const Tensor& seq) const {
+  const Tensor h1 = lstm1_.forward(seq);
+  const Tensor h2 = lstm2_.forward(h1);
+  // Last hidden state is the sequence representation.
+  const Tensor last = ag::slice_rows(h2, h2.rows() - 1, h2.rows());
+  return head_.forward(ag::relu(dense_.forward(last)));
+}
+
+std::vector<Tensor> Ncc::parameters() const {
+  std::vector<Tensor> ps = lstm1_.parameters();
+  for (const auto& p : lstm2_.parameters()) ps.push_back(p);
+  for (const auto& p : dense_.parameters()) ps.push_back(p);
+  for (const auto& p : head_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+NccTrainer::NccTrainer(const data::Dataset& ds, const NccConfig& cfg,
+                       const NccTrainConfig& tc)
+    : ds_(&ds), tc_(tc), rng_(tc.seed) {
+  par::Rng init(tc.seed ^ 0x33334444ULL);
+  model_ = std::make_unique<Ncc>(cfg, ds.inst2vec.dim(), init);
+}
+
+Tensor NccTrainer::sequence_of(std::size_t i) const {
+  const auto& seq = ds_->samples[i].token_seq;
+  const std::size_t t =
+      std::max<std::size_t>(1, std::min(seq.size(), model_->config().max_seq));
+  const std::size_t dim = ds_->inst2vec.dim();
+  std::vector<float> buf(t * dim, 0.0f);
+  for (std::size_t s = 0; s < t && s < seq.size(); ++s) {
+    const auto row = ds_->inst2vec.row(
+        std::min(seq[s], ds_->inst2vec.vocab_size() - 1));
+    std::copy(row.begin(), row.end(), buf.data() + s * dim);
+  }
+  return Tensor::from_data({t, dim}, std::move(buf));
+}
+
+void NccTrainer::fit(const std::vector<std::size_t>& train_idx) {
+  ag::Adam opt(tc_.lr);
+  opt.add_params(model_->parameters());
+  std::vector<std::size_t> order = train_idx;
+  for (std::size_t epoch = 0; epoch < tc_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    for (const std::size_t i : order) {
+      Tensor logits = model_->forward(sequence_of(i));
+      Tensor loss =
+          ag::cross_entropy_logits(logits, {ds_->samples[i].label});
+      opt.zero_grad();
+      loss.backward();
+      opt.clip_gradients(2.0f);
+      opt.step();
+    }
+  }
+}
+
+int NccTrainer::predict(std::size_t i) const {
+  const Tensor logits = model_->forward(sequence_of(i));
+  return logits.at(0, 1) > logits.at(0, 0) ? 1 : 0;
+}
+
+double NccTrainer::accuracy(const std::vector<std::size_t>& idx) const {
+  if (idx.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const std::size_t i : idx) {
+    correct += (predict(i) == ds_->samples[i].label);
+  }
+  return static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+}  // namespace mvgnn::ml

@@ -1,0 +1,59 @@
+// Neural Code Comprehension (Ben-Nun et al.) baseline: inst2vec token
+// embeddings of the loop body pushed through two stacked LSTMs and a small
+// dense layer (paper section IV-C: "dense layer size of 16").
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/layers.hpp"
+#include "tensor/optim.hpp"
+
+namespace mvgnn::ml {
+
+struct NccConfig {
+  std::size_t lstm_units = 32;  // paper: 200 per layer, scaled down
+  std::size_t dense = 16;
+  std::size_t max_seq = 48;     // token sequence truncation
+  std::size_t num_classes = 2;
+};
+
+class Ncc final : public nn::Module {
+ public:
+  Ncc(const NccConfig& cfg, std::size_t embed_dim, par::Rng& rng);
+
+  /// `seq` is [T, embed_dim]; returns [1, classes].
+  [[nodiscard]] ag::Tensor forward(const ag::Tensor& seq) const;
+  [[nodiscard]] std::vector<ag::Tensor> parameters() const override;
+  [[nodiscard]] const NccConfig& config() const { return cfg_; }
+
+ private:
+  NccConfig cfg_;
+  nn::Lstm lstm1_, lstm2_;
+  nn::Linear dense_, head_;
+};
+
+struct NccTrainConfig {
+  std::size_t epochs = 15;
+  float lr = 1e-3f;
+  std::uint64_t seed = 3;
+};
+
+/// Trains and evaluates NCC on dataset token sequences.
+class NccTrainer {
+ public:
+  NccTrainer(const data::Dataset& ds, const NccConfig& cfg,
+             const NccTrainConfig& tc);
+
+  void fit(const std::vector<std::size_t>& train_idx);
+  [[nodiscard]] int predict(std::size_t sample_index) const;
+  [[nodiscard]] double accuracy(const std::vector<std::size_t>& idx) const;
+
+ private:
+  [[nodiscard]] ag::Tensor sequence_of(std::size_t sample_index) const;
+
+  const data::Dataset* ds_;
+  NccTrainConfig tc_;
+  std::unique_ptr<Ncc> model_;
+  mutable par::Rng rng_;
+};
+
+}  // namespace mvgnn::ml

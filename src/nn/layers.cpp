@@ -1,0 +1,116 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace mvgnn::nn {
+
+namespace {
+
+float glorot_scale(std::size_t in, std::size_t out) {
+  return std::sqrt(2.0f / static_cast<float>(in + out));
+}
+
+}  // namespace
+
+Linear::Linear(std::size_t in, std::size_t out, par::Rng& rng)
+    : w_(ag::Tensor::randn({in, out}, rng, glorot_scale(in, out))),
+      b_(ag::Tensor::zeros({1, out}, /*requires_grad=*/true)) {}
+
+GcnConv::GcnConv(std::size_t in, std::size_t out, par::Rng& rng)
+    : w_(ag::Tensor::randn({in, out}, rng, glorot_scale(in, out))) {}
+
+Lstm::Lstm(std::size_t in, std::size_t hidden, par::Rng& rng)
+    : hidden_(hidden),
+      wx_(ag::Tensor::randn({in, 4 * hidden}, rng, glorot_scale(in, hidden))),
+      wh_(ag::Tensor::randn({hidden, 4 * hidden}, rng,
+                            glorot_scale(hidden, hidden))),
+      b_(ag::Tensor::zeros({1, 4 * hidden}, /*requires_grad=*/true)) {
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (std::size_t j = hidden; j < 2 * hidden; ++j) b_.data()[j] = 1.0f;
+}
+
+ag::Tensor Lstm::forward(const ag::Tensor& seq) const {
+  const std::size_t t_steps = seq.rows();
+  const std::size_t h = hidden_;
+  ag::Tensor hs = ag::Tensor::zeros({1, h});
+  ag::Tensor cs = ag::Tensor::zeros({1, h});
+  ag::Tensor out;
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    const ag::Tensor xt = ag::slice_rows(seq, t, t + 1);
+    const ag::Tensor gates =
+        ag::add(ag::add(ag::matmul(xt, wx_), ag::matmul(hs, wh_)), b_);
+    const ag::Tensor i = ag::sigmoid(ag::slice_cols(gates, 0, h));
+    const ag::Tensor f = ag::sigmoid(ag::slice_cols(gates, h, 2 * h));
+    const ag::Tensor g = ag::tanh_t(ag::slice_cols(gates, 2 * h, 3 * h));
+    const ag::Tensor o = ag::sigmoid(ag::slice_cols(gates, 3 * h, 4 * h));
+    cs = ag::add(ag::mul(f, cs), ag::mul(i, g));
+    hs = ag::mul(o, ag::tanh_t(cs));
+    out = (t == 0) ? hs : ag::concat_rows(out, hs);
+  }
+  return out;
+}
+
+RgcnConv::RgcnConv(std::size_t in, std::size_t out, std::size_t relations,
+                   par::Rng& rng)
+    : w_self_(ag::Tensor::randn({in, out}, rng, glorot_scale(in, out))) {
+  w_rel_.reserve(relations);
+  for (std::size_t r = 0; r < relations; ++r) {
+    w_rel_.push_back(ag::Tensor::randn({in, out}, rng, glorot_scale(in, out)));
+  }
+}
+
+ag::Tensor RgcnConv::forward(const std::vector<ag::Tensor>& ahats,
+                             const ag::Tensor& x) const {
+  ag::Tensor z = ag::matmul(x, w_self_);
+  for (std::size_t r = 0; r < w_rel_.size(); ++r) {
+    z = ag::add(z, ag::matmul(ahats[r], ag::matmul(x, w_rel_[r])));
+  }
+  return z;
+}
+
+std::vector<ag::Tensor> RgcnConv::parameters() const {
+  std::vector<ag::Tensor> ps = {w_self_};
+  ps.insert(ps.end(), w_rel_.begin(), w_rel_.end());
+  return ps;
+}
+
+ag::Tensor relation_adjacency(
+    std::size_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+    const std::vector<std::uint8_t>& kinds, std::uint8_t relation) {
+  std::vector<float> a(n * n, 0.0f);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (kinds[e] != relation) continue;
+    const auto [s, d] = edges[e];
+    a[s * n + d] = 1.0f;
+    a[d * n + s] = 1.0f;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    float deg = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) deg += a[i * n + j];
+    if (deg == 0.0f) continue;
+    const float inv = 1.0f / deg;
+    for (std::size_t j = 0; j < n; ++j) a[i * n + j] *= inv;
+  }
+  return ag::Tensor::from_data({n, n}, std::move(a));
+}
+
+ag::Tensor dgcnn_adjacency(
+    std::size_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  std::vector<float> a(n * n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0f;  // self loops
+  for (const auto& [s, d] : edges) {
+    a[s * n + d] = 1.0f;
+    a[d * n + s] = 1.0f;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    float deg = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) deg += a[i * n + j];
+    const float inv = 1.0f / deg;  // >= 1 thanks to the self loop
+    for (std::size_t j = 0; j < n; ++j) a[i * n + j] *= inv;
+  }
+  return ag::Tensor::from_data({n, n}, std::move(a));
+}
+
+}  // namespace mvgnn::nn

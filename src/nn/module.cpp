@@ -1,0 +1,53 @@
+#include "nn/module.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mvgnn::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4D56474EU;  // "MVGN"
+}
+
+void save_weights(const Module& m, std::ostream& os) {
+  const auto params = m.parameters();
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const ag::Tensor& p : params) {
+    const std::uint64_t r = p.rows(), c = p.cols();
+    os.write(reinterpret_cast<const char*>(&r), sizeof r);
+    os.write(reinterpret_cast<const char*>(&c), sizeof c);
+    os.write(reinterpret_cast<const char*>(p.data()),
+             static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+}
+
+void load_weights(Module& m, std::istream& is) {
+  auto params = m.parameters();
+  std::uint32_t magic = 0, count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!is || magic != kMagic) {
+    throw std::runtime_error("load_weights: bad header");
+  }
+  if (count != params.size()) {
+    throw std::runtime_error("load_weights: parameter count mismatch");
+  }
+  for (ag::Tensor& p : params) {
+    std::uint64_t r = 0, c = 0;
+    is.read(reinterpret_cast<char*>(&r), sizeof r);
+    is.read(reinterpret_cast<char*>(&c), sizeof c);
+    if (!is || r != p.rows() || c != p.cols()) {
+      throw std::runtime_error("load_weights: shape mismatch");
+    }
+    is.read(reinterpret_cast<char*>(p.data()),
+            static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_weights: truncated file");
+  }
+}
+
+}  // namespace mvgnn::nn

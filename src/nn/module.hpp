@@ -1,0 +1,30 @@
+// Base class for parameterized layers/models plus weight (de)serialization.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvgnn::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// All trainable parameters, in a stable order (used by optimizers and by
+  /// save/load, which must see the same order on both sides).
+  [[nodiscard]] virtual std::vector<ag::Tensor> parameters() const = 0;
+
+  /// Total trainable scalar count.
+  [[nodiscard]] std::size_t num_parameters() const {
+    std::size_t n = 0;
+    for (const auto& p : parameters()) n += p.numel();
+    return n;
+  }
+};
+
+/// Writes/reads all parameter buffers in order. Shapes are checked on load.
+void save_weights(const Module& m, std::ostream& os);
+void load_weights(Module& m, std::istream& is);
+
+}  // namespace mvgnn::nn

@@ -1,0 +1,52 @@
+// Blocked parallel-for on top of ThreadPool.
+//
+// The grain size is chosen by the caller (default 1024 index units) because
+// only the caller knows the per-iteration cost; the helper merely splits the
+// range into contiguous blocks so that cache lines written by one worker are
+// never shared with another.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mvgnn::par {
+
+/// Runs `body(begin, end)` over contiguous sub-ranges of [first, last) on the
+/// given pool. Falls back to a serial call when the range is small or the
+/// pool has a single worker — that keeps unit tests deterministic and avoids
+/// pool overhead for tiny tensors.
+template <typename Body>
+void parallel_for_blocked(std::size_t first, std::size_t last, Body&& body,
+                          ThreadPool& pool = ThreadPool::global(),
+                          std::size_t grain = 1024) {
+  if (last <= first) return;
+  const std::size_t n = last - first;
+  if (n <= grain || pool.size() <= 1) {
+    body(first, last);
+    return;
+  }
+  const std::size_t max_blocks = pool.size() * 4;
+  const std::size_t block = std::max(grain, (n + max_blocks - 1) / max_blocks);
+  for (std::size_t b = first; b < last; b += block) {
+    const std::size_t e = std::min(last, b + block);
+    pool.submit([&body, b, e] { body(b, e); });
+  }
+  pool.wait();
+}
+
+/// Element-wise parallel for: `body(i)` for each i in [first, last).
+template <typename Body>
+void parallel_for(std::size_t first, std::size_t last, Body&& body,
+                  ThreadPool& pool = ThreadPool::global(),
+                  std::size_t grain = 1024) {
+  parallel_for_blocked(
+      first, last,
+      [&body](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) body(i);
+      },
+      pool, grain);
+}
+
+}  // namespace mvgnn::par

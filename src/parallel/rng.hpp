@@ -1,0 +1,67 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in this project (walk sampling, negative
+// sampling, weight init, data augmentation) draws from an Rng seeded from an
+// explicit stream id, so experiments are reproducible run-to-run and
+// independent of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mvgnn::par {
+
+/// Thin wrapper over a SplitMix64-seeded xoshiro-style engine (std::mt19937_64
+/// underneath, seeded through SplitMix64 so nearby seeds decorrelate).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : engine_(splitmix64(seed)), seed_base_(splitmix64(seed)) {}
+
+  /// Derives an independent child stream; used to give each worker thread or
+  /// each dataset shard its own generator.
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    return Rng(splitmix64(seed_base_ + 0x9E3779B97F4A7C15ULL * (stream + 1)));
+  }
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw.
+  double normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Bernoulli draw with probability p.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  std::uint64_t seed_base_ = 0;
+};
+
+}  // namespace mvgnn::par

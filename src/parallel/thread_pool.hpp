@@ -1,0 +1,66 @@
+// Thread pool used by the tensor GEMM kernels and batched profiling runs.
+//
+// Design notes (guided by C++ Core Guidelines CP.*):
+//  * All synchronization is owned by the pool; callers never see mutexes.
+//  * Tasks are type-erased `std::function<void()>`; exceptions thrown by a
+//    task are captured and rethrown on `wait()` so failures are not lost.
+//  * The pool is a process-wide singleton by default (`ThreadPool::global()`)
+//    because oversubscribing CPU threads with nested pools destroys GEMM
+//    throughput, but independent pools can be constructed for tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvgnn::par {
+
+/// Fixed-size worker pool with a single shared FIFO queue.
+///
+/// The queue is deliberately simple: the workloads submitted by this project
+/// are coarse (blocked GEMM panels, whole-program profiling runs), so a
+/// lock-protected deque is never the bottleneck.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. `num_threads == 0` selects
+  /// `std::thread::hardware_concurrency()` (minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Pending tasks are drained before destruction.
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (remaining ones are dropped).
+  void wait();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Process-wide shared pool sized to the hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;   // signalled when work arrives / stopping
+  std::condition_variable cv_done_;   // signalled when a task retires
+  std::size_t in_flight_ = 0;         // queued + running tasks
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace mvgnn::par

@@ -1,0 +1,115 @@
+#include "profiler/cu.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "profiler/dep_graph.hpp"
+
+namespace mvgnn::profiler {
+
+namespace {
+
+/// Plain union-find over instruction arena indices.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+bool cu_member(const ir::Instruction& in) {
+  switch (in.op) {
+    case ir::Opcode::Alloca:
+    case ir::Opcode::AllocArr:
+    case ir::Opcode::Br:
+    case ir::Opcode::CondBr:
+    case ir::Opcode::Ret:
+    case ir::Opcode::LoopEnter:
+    case ir::Opcode::LoopHead:
+    case ir::Opcode::LoopExit:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Innermost loop containing both `a` and `b` (either may be kNoLoop).
+ir::LoopId common_loop(const ir::Function& fn, ir::LoopId a, ir::LoopId b) {
+  for (ir::LoopId x = a; x != ir::kNoLoop; x = fn.loops[x].parent) {
+    if (loop_contains(fn, x, b)) return x;
+  }
+  return ir::kNoLoop;
+}
+
+}  // namespace
+
+std::vector<CU> build_cus(const ir::Function& fn) {
+  Dsu dsu(fn.instrs.size());
+
+  // (a) register def-use edges among CU members.
+  for (ir::InstrId id = 0; id < fn.instrs.size(); ++id) {
+    const ir::Instruction& in = fn.instr(id);
+    if (!cu_member(in)) continue;
+    for (const ir::Value& v : in.operands) {
+      if (v.is_reg() && cu_member(fn.instr(v.reg))) dsu.unite(id, v.reg);
+    }
+  }
+
+  // (b) read-after-write links on the same scalar slot within a block.
+  for (const ir::BasicBlock& bb : fn.blocks) {
+    std::unordered_map<ir::InstrId, ir::InstrId> last_store;  // slot -> store
+    for (const ir::InstrId id : bb.instrs) {
+      const ir::Instruction& in = fn.instr(id);
+      if (in.op == ir::Opcode::Store && in.operands[0].is_reg()) {
+        last_store[in.operands[0].reg] = id;
+      } else if (in.op == ir::Opcode::Load && in.operands[0].is_reg()) {
+        const auto it = last_store.find(in.operands[0].reg);
+        if (it != last_store.end()) dsu.unite(id, it->second);
+      }
+    }
+  }
+
+  // Collect clusters.
+  std::unordered_map<std::size_t, std::uint32_t> root_to_cu;
+  std::vector<CU> cus;
+  for (ir::InstrId id = 0; id < fn.instrs.size(); ++id) {
+    const ir::Instruction& in = fn.instr(id);
+    if (!cu_member(in)) continue;
+    const std::size_t root = dsu.find(id);
+    auto [it, fresh] =
+        root_to_cu.emplace(root, static_cast<std::uint32_t>(cus.size()));
+    if (fresh) {
+      CU cu;
+      cu.id = it->second;
+      cu.fn = &fn;
+      cu.loop = in.loop;
+      cu.start_line = in.loc.valid() ? in.loc.line : 0;
+      cu.end_line = cu.start_line;
+      cus.push_back(std::move(cu));
+    }
+    CU& cu = cus[it->second];
+    cu.instrs.push_back(id);
+    cu.loop = common_loop(fn, cu.loop, in.loop);
+    if (in.loc.valid()) {
+      if (cu.start_line == 0 || in.loc.line < cu.start_line) {
+        cu.start_line = in.loc.line;
+      }
+      cu.end_line = std::max(cu.end_line, in.loc.line);
+    }
+  }
+  return cus;
+}
+
+}  // namespace mvgnn::profiler

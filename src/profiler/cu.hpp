@@ -1,0 +1,31 @@
+// Computational-unit (CU) construction.
+//
+// DiscoPoP's CUs group instructions that follow one read-compute-write
+// pattern on a variable (paper Fig. 4). We approximate that statically with
+// a union-find over (a) register def-use edges and (b) load-after-store
+// links on the same scalar slot within a basic block, which yields exactly
+// the paper's two-CU decomposition on the Fig. 4 example while keeping
+// separate statements (stencil points, distinct outputs) in separate CUs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::profiler {
+
+struct CU {
+  std::uint32_t id = 0;
+  const ir::Function* fn = nullptr;
+  std::vector<ir::InstrId> instrs;  // sorted by arena index
+  int start_line = 0;
+  int end_line = 0;
+  ir::LoopId loop = ir::kNoLoop;  // innermost loop containing every member
+};
+
+/// Builds the CUs of one function. Markers, terminators and allocas are not
+/// CU members (they carry no computation).
+[[nodiscard]] std::vector<CU> build_cus(const ir::Function& fn);
+
+}  // namespace mvgnn::profiler

@@ -1,0 +1,390 @@
+#include "profiler/interp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "frontend/sema.hpp"
+
+namespace mvgnn::profiler {
+
+namespace {
+
+using ir::Function;
+using ir::Instruction;
+using ir::InstrId;
+using ir::Opcode;
+using ir::TypeKind;
+using ir::Value;
+
+/// One memory cell holds both representations; the instruction type decides
+/// which side is live. Keeps typed load/store trivially correct.
+struct Cell {
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+class Interp {
+ public:
+  Interp(const ir::Module& m, ExecObserver& obs, ObjectTable& objects,
+         const InterpOptions& opts)
+      : m_(m), obs_(obs), objects_(objects), opts_(opts) {}
+
+  RunResult run_entry(const std::string& entry,
+                      std::span<const ArgInit> inits) {
+    const Function* fn = m_.find(entry);
+    if (!fn) throw InterpError("entry function '" + entry + "' not found");
+    if (inits.size() != fn->params.size()) {
+      throw InterpError("argument count mismatch for '" + entry + "'");
+    }
+    std::vector<RtVal> args;
+    args.reserve(inits.size());
+    for (std::size_t i = 0; i < inits.size(); ++i) {
+      args.push_back(make_arg(fn->params[i], inits[i]));
+    }
+    RunResult res;
+    res.return_value = call(*fn, std::move(args));
+    res.steps = steps_;
+    return res;
+  }
+
+ private:
+  RtVal make_arg(const ir::Param& p, const ArgInit& init) {
+    RtVal v;
+    switch (p.type) {
+      case TypeKind::Int:
+        v.kind = RtVal::Kind::Int;
+        v.i = init.int_val;
+        return v;
+      case TypeKind::Float:
+        v.kind = RtVal::Kind::Float;
+        v.f = init.float_val;
+        return v;
+      case TypeKind::ArrInt:
+      case TypeKind::ArrFloat: {
+        MemObject obj;
+        obj.kind = ObjKind::ArgArray;
+        obj.name = p.name;
+        const Addr base = objects_.allocate(obj, init.array_size);
+        ensure_mem();
+        // Deterministic fill. Int arrays get in-range indices so indirect
+        // subscripts (A[B[i]]) stay in bounds; float arrays get values in
+        // [0.5, 1.5) to keep reductions numerically tame.
+        for (std::uint64_t k = 0; k < init.array_size; ++k) {
+          const std::uint64_t h = splitmix64(init.fill_seed * 0x9E37 + k);
+          Cell& c = mem_[base + k];
+          if (p.type == TypeKind::ArrInt) {
+            c.i = init.array_size ? static_cast<std::int64_t>(h % init.array_size) : 0;
+          } else {
+            c.f = 0.5 + static_cast<double>(h % (1u << 20)) / (1u << 20);
+          }
+        }
+        v.kind = RtVal::Kind::ArrayRef;
+        v.base = base;
+        v.size = init.array_size;
+        v.elem = element_type(p.type);
+        return v;
+      }
+      case TypeKind::Void:
+        throw InterpError("void parameter");
+    }
+    return v;
+  }
+
+  void ensure_mem() {
+    if (mem_.size() < objects_.high_water()) {
+      mem_.resize(objects_.high_water());
+    }
+  }
+
+  [[noreturn]] void fault(const Function& fn, const Instruction& in,
+                          const std::string& msg) {
+    throw InterpError("@" + fn.name + " line " + std::to_string(in.loc.line) +
+                      ": " + msg);
+  }
+
+  RtVal call(const Function& fn, std::vector<RtVal> args) {
+    if (++depth_ > opts_.max_call_depth) {
+      throw InterpError("call depth exceeded in @" + fn.name);
+    }
+    std::vector<RtVal> regs(fn.instrs.size());
+    const ir::BasicBlock* bb = &fn.blocks[0];
+    std::size_t ip = 0;
+    RtVal ret;
+
+    auto operand = [&](const Value& v) -> RtVal {
+      switch (v.kind) {
+        case Value::Kind::Reg: return regs[v.reg];
+        case Value::Kind::ImmInt: {
+          RtVal r;
+          r.kind = RtVal::Kind::Int;
+          r.i = v.imm_int;
+          return r;
+        }
+        case Value::Kind::ImmFloat: {
+          RtVal r;
+          r.kind = RtVal::Kind::Float;
+          r.f = v.imm_float;
+          return r;
+        }
+        case Value::Kind::Arg: return args[v.arg];
+        default: throw InterpError("bad operand kind at runtime");
+      }
+    };
+    auto as_int = [&](const Value& v) { return operand(v).i; };
+    auto as_float = [&](const Value& v) { return operand(v).f; };
+
+    for (;;) {
+      if (ip >= bb->instrs.size()) {
+        throw InterpError("fell off block in @" + fn.name);
+      }
+      const InstrId id = bb->instrs[ip++];
+      const Instruction& in = fn.instr(id);
+      if (++steps_ > opts_.max_steps) {
+        throw InterpError("step budget exceeded in @" + fn.name);
+      }
+      obs_.on_instr(fn, id);
+      RtVal& out = regs[id];
+
+      switch (in.op) {
+        // ---- integer arithmetic ----
+        case Opcode::Add: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) + as_int(in.operands[1]); break;
+        case Opcode::Sub: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) - as_int(in.operands[1]); break;
+        case Opcode::Mul: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) * as_int(in.operands[1]); break;
+        case Opcode::Div: {
+          const std::int64_t d = as_int(in.operands[1]);
+          if (d == 0) fault(fn, in, "integer division by zero");
+          out.kind = RtVal::Kind::Int;
+          out.i = as_int(in.operands[0]) / d;
+          break;
+        }
+        case Opcode::Rem: {
+          const std::int64_t d = as_int(in.operands[1]);
+          if (d == 0) fault(fn, in, "integer modulo by zero");
+          out.kind = RtVal::Kind::Int;
+          out.i = as_int(in.operands[0]) % d;
+          break;
+        }
+        case Opcode::Neg: out.kind = RtVal::Kind::Int; out.i = -as_int(in.operands[0]); break;
+
+        // ---- float arithmetic ----
+        case Opcode::FAdd: out.kind = RtVal::Kind::Float; out.f = as_float(in.operands[0]) + as_float(in.operands[1]); break;
+        case Opcode::FSub: out.kind = RtVal::Kind::Float; out.f = as_float(in.operands[0]) - as_float(in.operands[1]); break;
+        case Opcode::FMul: out.kind = RtVal::Kind::Float; out.f = as_float(in.operands[0]) * as_float(in.operands[1]); break;
+        case Opcode::FDiv: out.kind = RtVal::Kind::Float; out.f = as_float(in.operands[0]) / as_float(in.operands[1]); break;
+        case Opcode::FNeg: out.kind = RtVal::Kind::Float; out.f = -as_float(in.operands[0]); break;
+
+        // ---- comparisons ----
+        case Opcode::CmpEq: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) == as_int(in.operands[1]); break;
+        case Opcode::CmpNe: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) != as_int(in.operands[1]); break;
+        case Opcode::CmpLt: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) < as_int(in.operands[1]); break;
+        case Opcode::CmpLe: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) <= as_int(in.operands[1]); break;
+        case Opcode::CmpGt: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) > as_int(in.operands[1]); break;
+        case Opcode::CmpGe: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) >= as_int(in.operands[1]); break;
+        case Opcode::FCmpEq: out.kind = RtVal::Kind::Int; out.i = as_float(in.operands[0]) == as_float(in.operands[1]); break;
+        case Opcode::FCmpNe: out.kind = RtVal::Kind::Int; out.i = as_float(in.operands[0]) != as_float(in.operands[1]); break;
+        case Opcode::FCmpLt: out.kind = RtVal::Kind::Int; out.i = as_float(in.operands[0]) < as_float(in.operands[1]); break;
+        case Opcode::FCmpLe: out.kind = RtVal::Kind::Int; out.i = as_float(in.operands[0]) <= as_float(in.operands[1]); break;
+        case Opcode::FCmpGt: out.kind = RtVal::Kind::Int; out.i = as_float(in.operands[0]) > as_float(in.operands[1]); break;
+        case Opcode::FCmpGe: out.kind = RtVal::Kind::Int; out.i = as_float(in.operands[0]) >= as_float(in.operands[1]); break;
+
+        // ---- logic ----
+        case Opcode::And: out.kind = RtVal::Kind::Int; out.i = (as_int(in.operands[0]) != 0) && (as_int(in.operands[1]) != 0); break;
+        case Opcode::Or: out.kind = RtVal::Kind::Int; out.i = (as_int(in.operands[0]) != 0) || (as_int(in.operands[1]) != 0); break;
+        case Opcode::Not: out.kind = RtVal::Kind::Int; out.i = as_int(in.operands[0]) == 0; break;
+
+        // ---- conversions ----
+        case Opcode::IntToFloat: out.kind = RtVal::Kind::Float; out.f = static_cast<double>(as_int(in.operands[0])); break;
+        case Opcode::FloatToInt: out.kind = RtVal::Kind::Int; out.i = static_cast<std::int64_t>(as_float(in.operands[0])); break;
+
+        // ---- memory ----
+        case Opcode::Alloca: {
+          MemObject obj;
+          obj.kind = ObjKind::ScalarLocal;
+          obj.name = in.name;
+          obj.fn = &fn;
+          obj.alloca_id = id;
+          const Addr base = objects_.allocate(obj, 1);
+          ensure_mem();
+          mem_[base] = Cell{};
+          out.kind = RtVal::Kind::ArrayRef;
+          out.base = base;
+          out.size = 1;
+          out.elem = in.type;
+          break;
+        }
+        case Opcode::AllocArr: {
+          const std::int64_t n = as_int(in.operands[0]);
+          if (n < 0) fault(fn, in, "negative array size");
+          MemObject obj;
+          obj.kind = ObjKind::ArrayLocal;
+          obj.name = in.name;
+          obj.fn = &fn;
+          obj.alloca_id = id;
+          const Addr base = objects_.allocate(obj, static_cast<std::uint64_t>(n));
+          ensure_mem();
+          for (std::int64_t k = 0; k < n; ++k) mem_[base + k] = Cell{};
+          out.kind = RtVal::Kind::ArrayRef;
+          out.base = base;
+          out.size = static_cast<std::uint64_t>(n);
+          out.elem = element_type(in.type);
+          break;
+        }
+        case Opcode::Load: {
+          const RtVal slot = operand(in.operands[0]);
+          obs_.on_load(fn, id, slot.base);
+          const Cell& c = mem_[slot.base];
+          if (in.type == TypeKind::Float) {
+            out.kind = RtVal::Kind::Float;
+            out.f = c.f;
+          } else {
+            out.kind = RtVal::Kind::Int;
+            out.i = c.i;
+          }
+          break;
+        }
+        case Opcode::Store: {
+          const RtVal slot = operand(in.operands[0]);
+          const RtVal v = operand(in.operands[1]);
+          obs_.on_store(fn, id, slot.base);
+          Cell& c = mem_[slot.base];
+          if (v.kind == RtVal::Kind::Float) {
+            c.f = v.f;
+          } else {
+            c.i = v.i;
+          }
+          break;
+        }
+        case Opcode::LoadIdx: {
+          const RtVal arr = operand(in.operands[0]);
+          const std::int64_t idx = as_int(in.operands[1]);
+          if (idx < 0 || static_cast<std::uint64_t>(idx) >= arr.size) {
+            fault(fn, in, "index " + std::to_string(idx) + " out of bounds [0," +
+                              std::to_string(arr.size) + ")");
+          }
+          const Addr a = arr.base + static_cast<Addr>(idx);
+          obs_.on_load(fn, id, a);
+          const Cell& c = mem_[a];
+          if (in.type == TypeKind::Float) {
+            out.kind = RtVal::Kind::Float;
+            out.f = c.f;
+          } else {
+            out.kind = RtVal::Kind::Int;
+            out.i = c.i;
+          }
+          break;
+        }
+        case Opcode::StoreIdx: {
+          const RtVal arr = operand(in.operands[0]);
+          const std::int64_t idx = as_int(in.operands[1]);
+          const RtVal v = operand(in.operands[2]);
+          if (idx < 0 || static_cast<std::uint64_t>(idx) >= arr.size) {
+            fault(fn, in, "index " + std::to_string(idx) + " out of bounds [0," +
+                              std::to_string(arr.size) + ")");
+          }
+          const Addr a = arr.base + static_cast<Addr>(idx);
+          obs_.on_store(fn, id, a);
+          Cell& c = mem_[a];
+          if (v.kind == RtVal::Kind::Float) {
+            c.f = v.f;
+          } else {
+            c.i = v.i;
+          }
+          break;
+        }
+
+        // ---- control ----
+        case Opcode::Br:
+          bb = &fn.block(in.operands[0].block);
+          ip = 0;
+          break;
+        case Opcode::CondBr: {
+          const bool t = as_int(in.operands[0]) != 0;
+          bb = &fn.block(in.operands[t ? 1 : 2].block);
+          ip = 0;
+          break;
+        }
+        case Opcode::Ret:
+          if (!in.operands.empty()) ret = operand(in.operands[0]);
+          --depth_;
+          return ret;
+
+        // ---- calls ----
+        case Opcode::Call: {
+          if (const frontend::BuiltinSig* b = frontend::find_builtin(in.callee)) {
+            out = eval_builtin(fn, in, *b, operand);
+          } else {
+            const Function* callee = m_.find(in.callee);
+            if (!callee) fault(fn, in, "unknown function '" + in.callee + "'");
+            std::vector<RtVal> cargs;
+            cargs.reserve(in.operands.size());
+            for (const Value& v : in.operands) cargs.push_back(operand(v));
+            out = call(*callee, std::move(cargs));
+          }
+          break;
+        }
+
+        // ---- loop markers ----
+        case Opcode::LoopEnter: obs_.on_loop_enter(fn, in.loop); break;
+        case Opcode::LoopHead: obs_.on_loop_iter(fn, in.loop); break;
+        case Opcode::LoopExit: obs_.on_loop_exit(fn, in.loop); break;
+      }
+    }
+  }
+
+  template <typename OperandFn>
+  RtVal eval_builtin(const Function& fn, const Instruction& in,
+                     const frontend::BuiltinSig& sig, OperandFn&& operand) {
+    (void)fn;
+    RtVal out;
+    auto farg = [&](std::size_t i) { return operand(in.operands[i]).f; };
+    auto iarg = [&](std::size_t i) { return operand(in.operands[i]).i; };
+    out.kind = (sig.ret == TypeKind::Float) ? RtVal::Kind::Float : RtVal::Kind::Int;
+    const std::string& c = in.callee;
+    if (c == "sqrt") out.f = std::sqrt(farg(0));
+    else if (c == "exp") out.f = std::exp(farg(0));
+    else if (c == "log") out.f = std::log(farg(0));
+    else if (c == "sin") out.f = std::sin(farg(0));
+    else if (c == "cos") out.f = std::cos(farg(0));
+    else if (c == "fabs") out.f = std::fabs(farg(0));
+    else if (c == "pow") out.f = std::pow(farg(0), farg(1));
+    else if (c == "fmin") out.f = std::fmin(farg(0), farg(1));
+    else if (c == "fmax") out.f = std::fmax(farg(0), farg(1));
+    else if (c == "imin") out.i = std::min(iarg(0), iarg(1));
+    else if (c == "imax") out.i = std::max(iarg(0), iarg(1));
+    else if (c == "iabs") out.i = std::llabs(iarg(0));
+    else throw InterpError("unknown builtin '" + c + "'");
+    return out;
+  }
+
+  const ir::Module& m_;
+  ExecObserver& obs_;
+  ObjectTable& objects_;
+  InterpOptions opts_;
+  std::vector<Cell> mem_;
+  std::uint64_t steps_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace
+
+RunResult run(const ir::Module& m, const std::string& entry,
+              std::span<const ArgInit> args, ExecObserver& obs,
+              ObjectTable& objects, const InterpOptions& opts) {
+  return Interp(m, obs, objects, opts).run_entry(entry, args);
+}
+
+RunResult run(const ir::Module& m, const std::string& entry,
+              std::span<const ArgInit> args, ExecObserver& obs,
+              const InterpOptions& opts) {
+  ObjectTable objects;
+  return run(m, entry, args, obs, objects, opts);
+}
+
+}  // namespace mvgnn::profiler

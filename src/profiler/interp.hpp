@@ -1,0 +1,77 @@
+// IR interpreter with instrumentation hooks.
+//
+// Stands in for "compile with clang + run the DiscoPoP-instrumented binary":
+// it executes MiniC IR directly and reports every memory access and loop
+// event to an ExecObserver. Determinism: given the same module, entry and
+// argument seeds, a run is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "profiler/mem_object.hpp"
+#include "profiler/observer.hpp"
+
+namespace mvgnn::profiler {
+
+/// Thrown on runtime faults: out-of-bounds index, division by zero, missing
+/// entry function, step-budget exhaustion, call-depth overflow.
+struct InterpError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// How to synthesize one entry-function argument.
+struct ArgInit {
+  std::int64_t int_val = 0;     // scalar int parameters
+  double float_val = 0.0;       // scalar float parameters
+  std::uint64_t array_size = 0; // element count for array parameters
+  std::uint64_t fill_seed = 1;  // deterministic fill pattern for arrays
+
+  static ArgInit of_int(std::int64_t v) { ArgInit a; a.int_val = v; return a; }
+  static ArgInit of_float(double v) { ArgInit a; a.float_val = v; return a; }
+  static ArgInit of_array(std::uint64_t n, std::uint64_t seed = 1) {
+    ArgInit a;
+    a.array_size = n;
+    a.fill_seed = seed;
+    return a;
+  }
+};
+
+struct InterpOptions {
+  std::uint64_t max_steps = 200'000'000;  // dynamic instruction budget
+  std::uint32_t max_call_depth = 4096;
+};
+
+/// Runtime scalar or array-handle value.
+struct RtVal {
+  enum class Kind : std::uint8_t { Int, Float, ArrayRef } kind = Kind::Int;
+  std::int64_t i = 0;
+  double f = 0.0;
+  Addr base = 0;           // ArrayRef
+  std::uint64_t size = 0;  // ArrayRef element count
+  ir::TypeKind elem = ir::TypeKind::Void;  // ArrayRef element type
+};
+
+/// Result of one interpreted run.
+struct RunResult {
+  RtVal return_value;
+  std::uint64_t steps = 0;  // dynamic instruction count
+};
+
+/// Executes `entry(args...)` of `m`, reporting events to `obs`. The object
+/// table is an in/out parameter so callers can resolve the addresses the
+/// observer saw, and fetch argument arrays after the run.
+RunResult run(const ir::Module& m, const std::string& entry,
+              std::span<const ArgInit> args, ExecObserver& obs,
+              ObjectTable& objects, const InterpOptions& opts = {});
+
+/// Convenience overload that discards the object table.
+RunResult run(const ir::Module& m, const std::string& entry,
+              std::span<const ArgInit> args, ExecObserver& obs,
+              const InterpOptions& opts = {});
+
+}  // namespace mvgnn::profiler

@@ -1,0 +1,45 @@
+// Per-loop dynamic features — exactly the Table I feature set of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "profiler/dep_graph.hpp"
+
+namespace mvgnn::profiler {
+
+/// Table I: dynamic features used for loop parallelization classification.
+struct LoopFeatures {
+  std::uint64_t n_inst = 0;      // IR instructions within the loop (static)
+  std::uint64_t exec_times = 0;  // total iterations executed
+  double cfl = 0.0;              // critical path length of one iteration
+  double esp = 1.0;              // estimated speedup (Amdahl bound)
+  std::uint64_t incoming_dep = 0;  // deps entering the loop from outside
+  std::uint64_t internal_dep = 0;  // deps between loop instructions
+  std::uint64_t outgoing_dep = 0;  // deps leaving the loop
+
+  /// Feature vector in the order of Table I.
+  [[nodiscard]] std::array<double, 7> as_vector() const {
+    return {static_cast<double>(n_inst), static_cast<double>(exec_times),
+            cfl,        esp,
+            static_cast<double>(incoming_dep),
+            static_cast<double>(internal_dep),
+            static_cast<double>(outgoing_dep)};
+  }
+
+  static constexpr int kCount = 7;
+};
+
+/// Computes the Table I features of loop `l` in `fn` from the dependence
+/// profile.
+///
+/// CFL and ESP are computed on the intra-iteration dependence DAG of the
+/// loop body: nodes are the loop's CU-member instructions, edges are
+/// register def-use plus recorded intra-iteration memory dependences that
+/// respect program order. ESP applies Amdahl's law with the DAG's maximum
+/// breadth as the processor count and CFL/n_inst as the serial fraction.
+[[nodiscard]] LoopFeatures compute_loop_features(const ir::Function& fn,
+                                                 ir::LoopId l,
+                                                 const DepProfile& profile);
+
+}  // namespace mvgnn::profiler

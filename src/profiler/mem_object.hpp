@@ -1,0 +1,61 @@
+// Registry of dynamically allocated memory objects (scalar slots, local
+// arrays, argument arrays). Dependences are reported against object ids so
+// the analyses can reason per-variable instead of per-raw-address.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::profiler {
+
+using Addr = std::uint64_t;
+
+enum class ObjKind : std::uint8_t { ScalarLocal, ArrayLocal, ArgArray };
+
+struct MemObject {
+  ObjKind kind = ObjKind::ScalarLocal;
+  std::string name;              // variable / parameter name
+  const ir::Function* fn = nullptr;  // owner (null for argument arrays)
+  ir::InstrId alloca_id = ir::kNoInstr;  // defining Alloca/AllocArr
+  Addr base = 0;
+  std::uint64_t size = 0;  // element count
+};
+
+/// Monotonic allocator + addr -> object reverse lookup. Addresses are never
+/// reused within one profiling run, which is what makes the "same address in
+/// a later iteration" dependence test sound.
+class ObjectTable {
+ public:
+  /// Reserves `size` cells and registers the object. Returns its base addr.
+  Addr allocate(MemObject obj, std::uint64_t size) {
+    obj.base = next_;
+    obj.size = size;
+    next_ += std::max<std::uint64_t>(size, 1);
+    objects_.push_back(std::move(obj));
+    return objects_.back().base;
+  }
+
+  /// Object covering `addr`; objects are sorted by base, so binary search.
+  [[nodiscard]] std::uint32_t object_of(Addr addr) const {
+    auto it = std::upper_bound(
+        objects_.begin(), objects_.end(), addr,
+        [](Addr a, const MemObject& o) { return a < o.base; });
+    return static_cast<std::uint32_t>(it - objects_.begin()) - 1;
+  }
+
+  [[nodiscard]] const MemObject& object(std::uint32_t id) const {
+    return objects_[id];
+  }
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+  [[nodiscard]] Addr high_water() const { return next_; }
+
+ private:
+  std::vector<MemObject> objects_;
+  Addr next_ = 0;
+};
+
+}  // namespace mvgnn::profiler

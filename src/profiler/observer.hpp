@@ -1,0 +1,55 @@
+// Instrumentation interface: the interpreter calls back into an observer at
+// every dynamic event, mirroring how DiscoPoP's LLVM pass injects runtime
+// hooks into the compiled program.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.hpp"
+#include "profiler/mem_object.hpp"
+
+namespace mvgnn::profiler {
+
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+
+  /// Every executed instruction (before its effect).
+  virtual void on_instr(const ir::Function& fn, ir::InstrId id) {
+    (void)fn;
+    (void)id;
+  }
+  /// Scalar or array-element read at `addr` by instruction `id`.
+  virtual void on_load(const ir::Function& fn, ir::InstrId id, Addr addr) {
+    (void)fn;
+    (void)id;
+    (void)addr;
+  }
+  /// Scalar or array-element write at `addr` by instruction `id`.
+  virtual void on_store(const ir::Function& fn, ir::InstrId id, Addr addr) {
+    (void)fn;
+    (void)id;
+    (void)addr;
+  }
+  /// A dynamic loop instance begins (LoopEnter marker).
+  virtual void on_loop_enter(const ir::Function& fn, ir::LoopId loop) {
+    (void)fn;
+    (void)loop;
+  }
+  /// A new iteration of the innermost active instance begins (LoopHead).
+  virtual void on_loop_iter(const ir::Function& fn, ir::LoopId loop) {
+    (void)fn;
+    (void)loop;
+  }
+  /// The instance ends (LoopExit marker).
+  virtual void on_loop_exit(const ir::Function& fn, ir::LoopId loop) {
+    (void)fn;
+    (void)loop;
+  }
+};
+
+/// No-op observer used to measure plain interpretation cost in the
+/// profiler-overhead ablation bench.
+class NullObserver final : public ExecObserver {};
+
+}  // namespace mvgnn::profiler

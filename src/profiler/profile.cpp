@@ -1,0 +1,34 @@
+#include "profiler/profile.hpp"
+
+#include <utility>
+
+#include "profiler/dep_recorder.hpp"
+
+namespace mvgnn::profiler {
+
+ProfileResult profile(const ir::Module& m, const std::string& entry,
+                      std::span<const ArgInit> args,
+                      const InterpOptions& opts) {
+  ProfileResult res;
+  ObjectTable objects;
+  DepRecorder recorder(objects);
+  res.run = run(m, entry, args, recorder, objects, opts);
+  res.dep = recorder.finalize();
+  res.dep.objects = std::move(objects);
+
+  for (const auto& fn : m.functions) {
+    auto cus = build_cus(*fn);
+    res.cus.insert(res.cus.end(), cus.begin(), cus.end());
+    for (const ir::LoopInfo& l : fn->loops) {
+      if (!l.is_for) continue;
+      LoopSample s;
+      s.fn = fn.get();
+      s.loop = l.id;
+      s.features = compute_loop_features(*fn, l.id, res.dep);
+      res.loops.push_back(std::move(s));
+    }
+  }
+  return res;
+}
+
+}  // namespace mvgnn::profiler

@@ -1,0 +1,38 @@
+// One-call profiling pipeline (the paper's Fig. 2 "phase 1"): execute the
+// instrumented program, collect the dependence graph, build CUs, and compute
+// Table I features for every `for` loop.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "profiler/cu.hpp"
+#include "profiler/dep_graph.hpp"
+#include "profiler/interp.hpp"
+#include "profiler/loop_stats.hpp"
+
+namespace mvgnn::profiler {
+
+/// One `for` loop of the profiled module — the unit of classification.
+struct LoopSample {
+  const ir::Function* fn = nullptr;
+  ir::LoopId loop = ir::kNoLoop;
+  LoopFeatures features;
+};
+
+struct ProfileResult {
+  DepProfile dep;
+  std::vector<CU> cus;             // CUs of every function in the module
+  std::vector<LoopSample> loops;   // every `for` loop (even unexecuted ones)
+  RunResult run;
+};
+
+/// Runs `entry(args...)` under the dependence recorder and assembles the
+/// full profile. Throws InterpError on runtime faults.
+[[nodiscard]] ProfileResult profile(const ir::Module& m,
+                                    const std::string& entry,
+                                    std::span<const ArgInit> args,
+                                    const InterpOptions& opts = {});
+
+}  // namespace mvgnn::profiler

@@ -1,0 +1,66 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace mvgnn::tensor {
+
+namespace {
+
+/// Plain row-major kernel for one row block, k-outer so the n-loop is a
+/// fused multiply-add over contiguous memory.
+void gemm_nn_block(const float* a, const float* b, float* c, std::size_t r0,
+                   std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;  // sparse-ish adjacency rows are common
+      const float* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool ta, bool tb, bool accumulate) {
+  // Normalize to the NN case by materializing transposed inputs; the
+  // matrices in this project are small enough (<= a few thousand rows) that
+  // an explicit transpose is cheaper than strided inner loops.
+  std::vector<float> abuf, bbuf;
+  if (ta) {
+    abuf.resize(m * k);
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t i = 0; i < m; ++i) abuf[i * k + p] = a[p * m + i];
+    }
+    a = abuf.data();
+  }
+  if (tb) {
+    bbuf.resize(k * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t p = 0; p < k; ++p) bbuf[p * n + j] = b[j * k + p];
+    }
+    b = bbuf.data();
+  }
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+
+  const std::size_t work = m * k * n;
+  if (work < (1u << 16)) {
+    gemm_nn_block(a, b, c, 0, m, k, n);
+    return;
+  }
+  par::parallel_for_blocked(
+      0, m,
+      [&](std::size_t r0, std::size_t r1) {
+        gemm_nn_block(a, b, c, r0, r1, k, n);
+      },
+      par::ThreadPool::global(), /*grain=*/std::max<std::size_t>(1, (1u << 16) / std::max<std::size_t>(1, k * n)));
+}
+
+}  // namespace mvgnn::tensor

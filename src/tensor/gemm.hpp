@@ -1,0 +1,19 @@
+// Raw float32 GEMM kernels used by the autograd matmul ops.
+//
+// C (m x n) += / = A (m x k) * B (k x n), row-major, optionally with either
+// input logically transposed. Blocked over rows and parallelized on the
+// global thread pool; the inner loop is written k-outer so the compiler can
+// vectorize the unit-stride n-loop.
+#pragma once
+
+#include <cstddef>
+
+namespace mvgnn::tensor {
+
+/// C = A * B. `ta`/`tb` interpret A/B as transposed (their storage shapes
+/// are then k x m / n x k respectively).
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool ta = false, bool tb = false,
+          bool accumulate = false);
+
+}  // namespace mvgnn::tensor

@@ -1,0 +1,591 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/gemm.hpp"
+
+namespace mvgnn::ag {
+
+namespace {
+
+using detail::Node;
+
+[[noreturn]] void shape_fail(const char* op, const Tensor& a, const Tensor& b) {
+  throw TensorError(std::string(op) + ": incompatible shapes " +
+                    a.shape().str() + " and " + b.shape().str());
+}
+
+bool any_rg(const std::vector<Tensor>& inputs) {
+  for (const Tensor& t : inputs) {
+    if (t.requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Creates an op node with `inputs` and `bw`; value must be filled by the
+/// caller through the returned tensor's data().
+Tensor make_op(Shape s, std::vector<Tensor> inputs,
+               std::function<void(Node&)> bw) {
+  auto n = std::make_shared<Node>();
+  n->shape = s;
+  n->value.assign(s.numel(), 0.0f);
+  n->requires_grad = any_rg(inputs);
+  for (const Tensor& t : inputs) n->inputs.push_back(t.node());
+  if (n->requires_grad) n->backward = std::move(bw);
+  return Tensor(std::move(n));
+}
+
+/// Accumulates g into input i of `self` if that input wants gradients.
+Node* grad_target(Node& self, std::size_t i) {
+  Node* in = self.inputs[i].get();
+  if (!in->requires_grad) return nullptr;
+  in->ensure_grad();
+  return in;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) shape_fail("matmul", a, b);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = make_op({m, n}, {a, b}, [m, k, n](Node& self) {
+    const float* g = self.grad.data();
+    const float* av = self.inputs[0]->value.data();
+    const float* bv = self.inputs[1]->value.data();
+    if (Node* ia = grad_target(self, 0)) {
+      // dA = dC * B^T
+      tensor::gemm(g, bv, ia->grad.data(), m, n, k, false, true, true);
+    }
+    if (Node* ib = grad_target(self, 1)) {
+      // dB = A^T * dC
+      tensor::gemm(av, g, ib->grad.data(), k, m, n, true, false, true);
+    }
+  });
+  tensor::gemm(a.data(), b.data(), out.data(), m, k, n);
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  const std::size_t r = a.rows(), c = a.cols();
+  Tensor out = make_op({c, r}, {a}, [r, c](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          in->grad[i * c + j] += self.grad[j * r + i];
+        }
+      }
+    }
+  });
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) out.data()[j * r + i] = a.at(i, j);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  const bool bias = (b.rows() == 1 && b.cols() == a.cols() &&
+                     !(a.shape() == b.shape()));
+  if (!bias && !(a.shape() == b.shape())) shape_fail("add", a, b);
+  const std::size_t n = a.numel(), c = a.cols();
+  Tensor out = make_op(a.shape(), {a, b}, [n, c, bias](Node& self) {
+    if (Node* ia = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) ia->grad[i] += self.grad[i];
+    }
+    if (Node* ib = grad_target(self, 1)) {
+      if (bias) {
+        for (std::size_t i = 0; i < n; ++i) ib->grad[i % c] += self.grad[i];
+      } else {
+        for (std::size_t i = 0; i < n; ++i) ib->grad[i] += self.grad[i];
+      }
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    out.data()[i] = a.data()[i] + (bias ? b.data()[i % c] : b.data()[i]);
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) shape_fail("sub", a, b);
+  const std::size_t n = a.numel();
+  Tensor out = make_op(a.shape(), {a, b}, [n](Node& self) {
+    if (Node* ia = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) ia->grad[i] += self.grad[i];
+    }
+    if (Node* ib = grad_target(self, 1)) {
+      for (std::size_t i = 0; i < n; ++i) ib->grad[i] -= self.grad[i];
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] - b.data()[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) shape_fail("mul", a, b);
+  const std::size_t n = a.numel();
+  Tensor out = make_op(a.shape(), {a, b}, [n](Node& self) {
+    const float* av = self.inputs[0]->value.data();
+    const float* bv = self.inputs[1]->value.data();
+    if (Node* ia = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) ia->grad[i] += self.grad[i] * bv[i];
+    }
+    if (Node* ib = grad_target(self, 1)) {
+      for (std::size_t i = 0; i < n; ++i) ib->grad[i] += self.grad[i] * av[i];
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  const std::size_t n = a.numel();
+  Tensor out = make_op(a.shape(), {a}, [n, s](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) in->grad[i] += self.grad[i] * s;
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * s;
+  return out;
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Tensor unary_ew(const Tensor& a, Fwd fwd, Bwd bwd_from_out) {
+  const std::size_t n = a.numel();
+  Tensor out = make_op(a.shape(), {a}, [n, bwd_from_out](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        in->grad[i] += self.grad[i] * bwd_from_out(self.value[i],
+                                                   self.inputs[0]->value[i]);
+      }
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = fwd(a.data()[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& a) {
+  return unary_ew(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float y, float) { return y > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary_ew(
+      a, [](float x) { return std::tanh(x); },
+      [](float y, float) { return 1.0f - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_ew(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y, float) { return y * (1.0f - y); });
+}
+
+Tensor exp_t(const Tensor& a) {
+  return unary_ew(
+      a, [](float x) { return std::exp(x); },
+      [](float y, float) { return y; });
+}
+
+Tensor log_t(const Tensor& a) {
+  return unary_ew(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float, float x) { return 1.0f / std::max(x, 1e-12f); });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+Tensor sum(const Tensor& a) {
+  const std::size_t n = a.numel();
+  Tensor out = make_op({1, 1}, {a}, [n](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) in->grad[i] += self.grad[0];
+    }
+  });
+  out.data()[0] = std::accumulate(a.data(), a.data() + n, 0.0f);
+  return out;
+}
+
+Tensor mean(const Tensor& a) {
+  return scale(sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor mean_rows(const Tensor& a) {
+  const std::size_t r = a.rows(), c = a.cols();
+  const float inv = 1.0f / static_cast<float>(std::max<std::size_t>(1, r));
+  Tensor out = make_op({1, c}, {a}, [r, c, inv](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          in->grad[i * c + j] += self.grad[j] * inv;
+        }
+      }
+    }
+  });
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) out.data()[j] += a.at(i, j) * inv;
+  }
+  return out;
+}
+
+Tensor max_rows(const Tensor& a) {
+  const std::size_t r = a.rows(), c = a.cols();
+  if (r == 0) throw TensorError("max_rows on empty tensor");
+  auto argmax = std::make_shared<std::vector<std::uint32_t>>(c, 0);
+  Tensor out = make_op({1, c}, {a}, [c, argmax](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t j = 0; j < c; ++j) {
+        in->grad[(*argmax)[j] * c + j] += self.grad[j];
+      }
+    }
+  });
+  for (std::size_t j = 0; j < c; ++j) {
+    float best = a.at(0, j);
+    std::uint32_t bi = 0;
+    for (std::size_t i = 1; i < r; ++i) {
+      if (a.at(i, j) > best) {
+        best = a.at(i, j);
+        bi = static_cast<std::uint32_t>(i);
+      }
+    }
+    out.data()[j] = best;
+    (*argmax)[j] = bi;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+Tensor reshape(const Tensor& a, Shape s) {
+  if (s.numel() != a.numel()) {
+    throw TensorError("reshape: numel mismatch " + a.shape().str() + " -> " +
+                      s.str());
+  }
+  const std::size_t n = a.numel();
+  Tensor out = make_op(s, {a}, [n](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) in->grad[i] += self.grad[i];
+    }
+  });
+  std::copy(a.data(), a.data() + n, out.data());
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows()) shape_fail("concat_cols", a, b);
+  const std::size_t r = a.rows(), ca = a.cols(), cb = b.cols();
+  Tensor out = make_op({r, ca + cb}, {a, b}, [r, ca, cb](Node& self) {
+    Node* ia = grad_target(self, 0);
+    Node* ib = grad_target(self, 1);
+    for (std::size_t i = 0; i < r; ++i) {
+      const float* g = self.grad.data() + i * (ca + cb);
+      if (ia) {
+        for (std::size_t j = 0; j < ca; ++j) ia->grad[i * ca + j] += g[j];
+      }
+      if (ib) {
+        for (std::size_t j = 0; j < cb; ++j) ib->grad[i * cb + j] += g[ca + j];
+      }
+    }
+  });
+  for (std::size_t i = 0; i < r; ++i) {
+    float* o = out.data() + i * (ca + cb);
+    std::copy(a.data() + i * ca, a.data() + (i + 1) * ca, o);
+    std::copy(b.data() + i * cb, b.data() + (i + 1) * cb, o + ca);
+  }
+  return out;
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.cols()) shape_fail("concat_rows", a, b);
+  const std::size_t na = a.numel(), nb = b.numel();
+  Tensor out = make_op({a.rows() + b.rows(), a.cols()}, {a, b},
+                       [na, nb](Node& self) {
+                         if (Node* ia = grad_target(self, 0)) {
+                           for (std::size_t i = 0; i < na; ++i) {
+                             ia->grad[i] += self.grad[i];
+                           }
+                         }
+                         if (Node* ib = grad_target(self, 1)) {
+                           for (std::size_t i = 0; i < nb; ++i) {
+                             ib->grad[i] += self.grad[na + i];
+                           }
+                         }
+                       });
+  std::copy(a.data(), a.data() + na, out.data());
+  std::copy(b.data(), b.data() + nb, out.data() + na);
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, std::size_t r0, std::size_t r1) {
+  if (r1 > a.rows() || r0 > r1) {
+    throw TensorError("slice_rows: bad range on " + a.shape().str());
+  }
+  const std::size_t c = a.cols(), r = r1 - r0;
+  Tensor out = make_op({r, c}, {a}, [r0, r, c](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < r * c; ++i) {
+        in->grad[r0 * c + i] += self.grad[i];
+      }
+    }
+  });
+  std::copy(a.data() + r0 * c, a.data() + r1 * c, out.data());
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, std::size_t c0, std::size_t c1) {
+  if (c1 > a.cols() || c0 > c1) {
+    throw TensorError("slice_cols: bad range on " + a.shape().str());
+  }
+  const std::size_t r = a.rows(), ca = a.cols(), c = c1 - c0;
+  Tensor out = make_op({r, c}, {a}, [r, ca, c0, c](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          in->grad[i * ca + c0 + j] += self.grad[i * c + j];
+        }
+      }
+    }
+  });
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      out.data()[i * c + j] = a.at(i, c0 + j);
+    }
+  }
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::uint32_t>& rows) {
+  const std::size_t c = a.cols();
+  for (const std::uint32_t r : rows) {
+    if (r >= a.rows()) throw TensorError("gather_rows: index out of range");
+  }
+  auto idx = std::make_shared<std::vector<std::uint32_t>>(rows);
+  Tensor out = make_op({rows.size(), c}, {a}, [c, idx](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < idx->size(); ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          in->grad[(*idx)[i] * c + j] += self.grad[i * c + j];
+        }
+      }
+    }
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::copy(a.data() + rows[i] * c, a.data() + (rows[i] + 1) * c,
+              out.data() + i * c);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Regularization / classification
+// ---------------------------------------------------------------------------
+
+Tensor dropout(const Tensor& a, float p, bool training, par::Rng& rng) {
+  if (!training || p <= 0.0f) return a;
+  const std::size_t n = a.numel();
+  auto mask = std::make_shared<std::vector<float>>(n);
+  const float keep = 1.0f - p;
+  for (std::size_t i = 0; i < n; ++i) {
+    (*mask)[i] = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  Tensor out = make_op(a.shape(), {a}, [n, mask](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        in->grad[i] += self.grad[i] * (*mask)[i];
+      }
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) out.data()[i] = a.data()[i] * (*mask)[i];
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  const std::size_t r = a.rows(), c = a.cols();
+  Tensor out = make_op(a.shape(), {a}, [r, c](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < r; ++i) {
+        const float* y = self.value.data() + i * c;
+        const float* g = self.grad.data() + i * c;
+        float dot = 0.0f;
+        for (std::size_t j = 0; j < c; ++j) dot += y[j] * g[j];
+        for (std::size_t j = 0; j < c; ++j) {
+          in->grad[i * c + j] += y[j] * (g[j] - dot);
+        }
+      }
+    }
+  });
+  for (std::size_t i = 0; i < r; ++i) {
+    const float* x = a.data() + i * c;
+    float* y = out.data() + i * c;
+    const float mx = *std::max_element(x, x + c);
+    float z = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) z += (y[j] = std::exp(x[j] - mx));
+    for (std::size_t j = 0; j < c; ++j) y[j] /= z;
+  }
+  return out;
+}
+
+Tensor cross_entropy_logits(const Tensor& logits,
+                            const std::vector<int>& labels) {
+  const std::size_t r = logits.rows(), c = logits.cols();
+  if (labels.size() != r) {
+    throw TensorError("cross_entropy_logits: label count mismatch");
+  }
+  // Cache the softmax for backward.
+  auto probs = std::make_shared<std::vector<float>>(r * c);
+  auto lab = std::make_shared<std::vector<int>>(labels);
+  Tensor out = make_op({1, 1}, {logits}, [r, c, probs, lab](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      const float g = self.grad[0] / static_cast<float>(r);
+      for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          const float onehot = (static_cast<int>(j) == (*lab)[i]) ? 1.0f : 0.0f;
+          in->grad[i * c + j] += g * ((*probs)[i * c + j] - onehot);
+        }
+      }
+    }
+  });
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < r; ++i) {
+    const float* x = logits.data() + i * c;
+    const float mx = *std::max_element(x, x + c);
+    float z = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) z += std::exp(x[j] - mx);
+    const float logz = std::log(z) + mx;
+    for (std::size_t j = 0; j < c; ++j) {
+      (*probs)[i * c + j] = std::exp(x[j] - logz);
+    }
+    loss += logz - x[labels[i]];
+  }
+  out.data()[0] = loss / static_cast<float>(r);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DGCNN-specific
+// ---------------------------------------------------------------------------
+
+Tensor sort_pool(const Tensor& a, std::size_t k) {
+  const std::size_t r = a.rows(), c = a.cols();
+  // Stable order: by last channel descending, ties by original index.
+  std::vector<std::uint32_t> order(r);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     return a.at(x, c - 1) > a.at(y, c - 1);
+                   });
+  const std::size_t keep = std::min(k, r);
+  auto sel = std::make_shared<std::vector<std::uint32_t>>(order.begin(),
+                                                          order.begin() + keep);
+  Tensor out = make_op({k, c}, {a}, [c, sel](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < sel->size(); ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          in->grad[(*sel)[i] * c + j] += self.grad[i * c + j];
+        }
+      }
+    }
+  });
+  for (std::size_t i = 0; i < keep; ++i) {
+    std::copy(a.data() + (*sel)[i] * c, a.data() + ((*sel)[i] + 1) * c,
+              out.data() + i * c);
+  }
+  return out;  // rows [keep, k) stay zero (padding)
+}
+
+Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor& b,
+              std::size_t ksize, std::size_t stride) {
+  const std::size_t in_ch = x.rows(), len = x.cols();
+  const std::size_t out_ch = w.rows();
+  if (w.cols() != in_ch * ksize) shape_fail("conv1d", x, w);
+  if (b.numel() != out_ch) shape_fail("conv1d(bias)", w, b);
+  if (len < ksize) throw TensorError("conv1d: input shorter than kernel");
+  if (stride == 0) throw TensorError("conv1d: zero stride");
+  const std::size_t lout = (len - ksize) / stride + 1;
+
+  Tensor out = make_op(
+      {out_ch, lout}, {x, w, b},
+      [in_ch, len, out_ch, ksize, stride, lout](Node& self) {
+        const float* xv = self.inputs[0]->value.data();
+        const float* wv = self.inputs[1]->value.data();
+        Node* ix = grad_target(self, 0);
+        Node* iw = grad_target(self, 1);
+        Node* ib = grad_target(self, 2);
+        for (std::size_t o = 0; o < out_ch; ++o) {
+          for (std::size_t t = 0; t < lout; ++t) {
+            const float g = self.grad[o * lout + t];
+            if (g == 0.0f) continue;
+            if (ib) ib->grad[o] += g;
+            for (std::size_t ci = 0; ci < in_ch; ++ci) {
+              for (std::size_t u = 0; u < ksize; ++u) {
+                const std::size_t xi = ci * len + t * stride + u;
+                const std::size_t wi = o * in_ch * ksize + ci * ksize + u;
+                if (ix) ix->grad[xi] += g * wv[wi];
+                if (iw) iw->grad[wi] += g * xv[xi];
+              }
+            }
+          }
+        }
+      });
+  for (std::size_t o = 0; o < out_ch; ++o) {
+    for (std::size_t t = 0; t < lout; ++t) {
+      float acc = b.data()[o];
+      for (std::size_t ci = 0; ci < in_ch; ++ci) {
+        for (std::size_t u = 0; u < ksize; ++u) {
+          acc += x.at(ci, t * stride + u) *
+                 w.data()[o * in_ch * ksize + ci * ksize + u];
+        }
+      }
+      out.data()[o * lout + t] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor maxpool1d(const Tensor& x, std::size_t window) {
+  const std::size_t c = x.rows(), len = x.cols();
+  if (window == 0 || len < window) {
+    throw TensorError("maxpool1d: bad window for " + x.shape().str());
+  }
+  const std::size_t lout = len / window;
+  auto arg = std::make_shared<std::vector<std::uint32_t>>(c * lout);
+  Tensor out = make_op({c, lout}, {x}, [c, lout, arg](Node& self) {
+    if (Node* in = grad_target(self, 0)) {
+      for (std::size_t i = 0; i < c * lout; ++i) {
+        in->grad[(*arg)[i]] += self.grad[i];
+      }
+    }
+  });
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    for (std::size_t t = 0; t < lout; ++t) {
+      std::size_t best = ci * len + t * window;
+      for (std::size_t u = 1; u < window; ++u) {
+        const std::size_t cand = ci * len + t * window + u;
+        if (x.data()[cand] > x.data()[best]) best = cand;
+      }
+      out.data()[ci * lout + t] = x.data()[best];
+      (*arg)[ci * lout + t] = static_cast<std::uint32_t>(best);
+    }
+  }
+  return out;
+}
+
+}  // namespace mvgnn::ag

@@ -1,0 +1,71 @@
+// Differentiable operations over ag::Tensor.
+//
+// Every function builds one graph node eagerly; backward closures pull the
+// output gradient into the inputs. Only what the MV-GNN / DGCNN / LSTM /
+// baselines need is implemented — shapes are validated loudly instead of
+// broadcast silently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvgnn::ag {
+
+// ---- linear algebra -------------------------------------------------------
+/// C[m,n] = A[m,k] * B[k,n] (parallel GEMM underneath).
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor transpose(const Tensor& a);
+
+// ---- elementwise ------------------------------------------------------
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);  // same shape or b=[1,n] row bias
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);  // same shape
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);  // same shape
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+[[nodiscard]] Tensor relu(const Tensor& a);
+[[nodiscard]] Tensor tanh_t(const Tensor& a);
+[[nodiscard]] Tensor sigmoid(const Tensor& a);
+[[nodiscard]] Tensor exp_t(const Tensor& a);
+[[nodiscard]] Tensor log_t(const Tensor& a);  // input clamped at 1e-12
+
+// ---- reductions -------------------------------------------------------
+[[nodiscard]] Tensor sum(const Tensor& a);        // -> [1,1]
+[[nodiscard]] Tensor mean(const Tensor& a);       // -> [1,1]
+[[nodiscard]] Tensor mean_rows(const Tensor& a);  // [n,c] -> [1,c]
+[[nodiscard]] Tensor max_rows(const Tensor& a);   // [n,c] -> [1,c] column max
+
+// ---- shape ------------------------------------------------------------
+[[nodiscard]] Tensor reshape(const Tensor& a, Shape s);
+[[nodiscard]] Tensor concat_cols(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor concat_rows(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor slice_rows(const Tensor& a, std::size_t r0, std::size_t r1);
+[[nodiscard]] Tensor slice_cols(const Tensor& a, std::size_t c0, std::size_t c1);
+/// Rows may repeat; gradients accumulate into the source rows.
+[[nodiscard]] Tensor gather_rows(const Tensor& a,
+                                 const std::vector<std::uint32_t>& rows);
+
+// ---- regularization / classification ----------------------------------
+/// Inverted dropout; identity when !training or p == 0.
+[[nodiscard]] Tensor dropout(const Tensor& a, float p, bool training,
+                             par::Rng& rng);
+/// Row-wise softmax (forward + exact backward).
+[[nodiscard]] Tensor softmax_rows(const Tensor& a);
+/// Mean cross-entropy over rows from raw logits; numerically stable fused
+/// log-softmax ("softmax loss" in the paper). `labels[i]` in [0, cols).
+[[nodiscard]] Tensor cross_entropy_logits(const Tensor& logits,
+                                          const std::vector<int>& labels);
+
+// ---- DGCNN-specific ----------------------------------------------------
+/// SortPooling (Zhang et al. 2018): sorts rows by the last column
+/// descending and keeps the first k (zero-padding when n < k). Gradients
+/// route back to the selected rows.
+[[nodiscard]] Tensor sort_pool(const Tensor& a, std::size_t k);
+/// 1-D convolution: x[in_ch, L], w[out_ch, in_ch*ksize], b[out_ch]
+/// -> y[out_ch, (L-ksize)/stride + 1].
+[[nodiscard]] Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor& b,
+                            std::size_t ksize, std::size_t stride);
+/// Max-pooling along length: x[c, L] -> [c, L/window] (floor).
+[[nodiscard]] Tensor maxpool1d(const Tensor& x, std::size_t window);
+
+}  // namespace mvgnn::ag

@@ -1,0 +1,59 @@
+#include "tensor/optim.hpp"
+
+#include <cmath>
+
+namespace mvgnn::ag {
+
+void Optimizer::clip_gradients(float max_norm) {
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    for (const float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = max_norm / static_cast<float>(norm);
+  for (Tensor& p : params_) {
+    // grad() hands back a const ref to the node's buffer; scale in place.
+    auto& g = const_cast<std::vector<float>&>(p.grad());
+    for (float& x : g) x *= scale;
+  }
+}
+
+void Sgd::step() {
+  for (Tensor& p : params_) {
+    const std::vector<float>& g = p.grad();
+    float* x = p.data();
+    for (std::size_t i = 0; i < p.numel(); ++i) {
+      x[i] -= lr_ * (g[i] + wd_ * x[i]);
+    }
+  }
+}
+
+void Adam::step() {
+  if (m_.size() != params_.size()) {
+    m_.clear();
+    v_.clear();
+    for (const Tensor& p : params_) {
+      m_.emplace_back(p.numel(), 0.0f);
+      v_.emplace_back(p.numel(), 0.0f);
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(b1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& p = params_[k];
+    const std::vector<float>& grad = p.grad();
+    float* x = p.data();
+    for (std::size_t i = 0; i < p.numel(); ++i) {
+      const float g = grad[i] + wd_ * x[i];
+      m_[k][i] = b1_ * m_[k][i] + (1.0f - b1_) * g;
+      v_[k][i] = b2_ * v_[k][i] + (1.0f - b2_) * g * g;
+      const float mhat = m_[k][i] / bc1;
+      const float vhat = v_[k][i] / bc2;
+      x[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace mvgnn::ag

@@ -1,0 +1,67 @@
+// Optimizers. Parameters are long-lived Tensors whose values are updated in
+// place between graph constructions.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvgnn::ag {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  void add_param(const Tensor& t) { params_.push_back(t); }
+  void add_params(const std::vector<Tensor>& ts) {
+    params_.insert(params_.end(), ts.begin(), ts.end());
+  }
+  [[nodiscard]] const std::vector<Tensor>& params() const { return params_; }
+
+  void zero_grad() {
+    for (Tensor& p : params_) p.zero_grad();
+  }
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Adjusts the learning rate (schedules are driven by the trainers).
+  virtual void set_lr(float lr) = 0;
+
+  /// Rescales all gradients so their global L2 norm is at most `max_norm`
+  /// (no-op when already below). Call between backward() and step(); keeps
+  /// recurrent models (LSTM) from diverging on long sequences.
+  void clip_gradients(float max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float weight_decay = 0.0f)
+      : lr_(lr), wd_(weight_decay) {}
+  void step() override;
+  void set_lr(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_;
+  float wd_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.0f)
+      : lr_(lr), b1_(beta1), b2_(beta2), eps_(eps), wd_(weight_decay) {}
+  void step() override;
+  void set_lr(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, b1_, b2_, eps_, wd_;
+  std::vector<std::vector<float>> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace mvgnn::ag

@@ -1,0 +1,80 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mvgnn::ag {
+
+Tensor Tensor::zeros(Shape s, bool requires_grad) {
+  auto n = std::make_shared<detail::Node>();
+  n->shape = s;
+  n->value.assign(s.numel(), 0.0f);
+  n->requires_grad = requires_grad;
+  return Tensor(std::move(n));
+}
+
+Tensor Tensor::full(Shape s, float v, bool requires_grad) {
+  auto n = std::make_shared<detail::Node>();
+  n->shape = s;
+  n->value.assign(s.numel(), v);
+  n->requires_grad = requires_grad;
+  return Tensor(std::move(n));
+}
+
+Tensor Tensor::randn(Shape s, par::Rng& rng, float scale, bool requires_grad) {
+  auto n = std::make_shared<detail::Node>();
+  n->shape = s;
+  n->value.resize(s.numel());
+  for (float& x : n->value) {
+    x = static_cast<float>(rng.normal()) * scale;
+  }
+  n->requires_grad = requires_grad;
+  return Tensor(std::move(n));
+}
+
+Tensor Tensor::from_data(Shape s, std::vector<float> data, bool requires_grad) {
+  if (data.size() != s.numel()) {
+    throw TensorError("from_data: size mismatch for shape " + s.str());
+  }
+  auto n = std::make_shared<detail::Node>();
+  n->shape = s;
+  n->value = std::move(data);
+  n->requires_grad = requires_grad;
+  return Tensor(std::move(n));
+}
+
+void Tensor::backward() {
+  if (!node_) throw TensorError("backward() on undefined tensor");
+  if (numel() != 1) {
+    throw TensorError("backward() requires a scalar root, got " +
+                      shape().str());
+  }
+  // Topological order by iterative post-order DFS.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  std::vector<std::pair<detail::Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, i] = stack.back();
+    if (i < n->inputs.size()) {
+      detail::Node* child = n->inputs[i++].get();
+      if (child && visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+
+  node_->ensure_grad();
+  node_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* n = *it;
+    if (n->backward && n->requires_grad) {
+      n->ensure_grad();
+      n->backward(*n);
+    }
+  }
+}
+
+}  // namespace mvgnn::ag

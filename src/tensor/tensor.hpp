@@ -1,0 +1,108 @@
+// Reverse-mode autograd tensor.
+//
+// A Tensor is a cheap handle (shared_ptr) to a Node holding a float32 buffer
+// plus the closure that propagates gradients to its inputs. Graphs are built
+// eagerly by the ops in ops.hpp; Tensor::backward() runs a topological sweep
+// from a scalar root. Shapes are 1-D or 2-D (all this project needs).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "parallel/rng.hpp"
+
+namespace mvgnn::ag {
+
+struct TensorError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Shape {
+  std::size_t rows = 0;
+  std::size_t cols = 1;  // 1 for vectors/scalars
+  [[nodiscard]] std::size_t numel() const { return rows * cols; }
+  friend bool operator==(const Shape&, const Shape&) = default;
+  [[nodiscard]] std::string str() const {
+    return "[" + std::to_string(rows) + "," + std::to_string(cols) + "]";
+  }
+};
+
+class Tensor;
+
+namespace detail {
+
+struct Node {
+  Shape shape;
+  std::vector<float> value;
+  std::vector<float> grad;   // lazily sized on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  std::function<void(Node&)> backward;  // pulls node.grad into inputs' grads
+
+  void ensure_grad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // ---- creation --------------------------------------------------------
+  static Tensor zeros(Shape s, bool requires_grad = false);
+  static Tensor full(Shape s, float v, bool requires_grad = false);
+  /// Kaiming-style normal init scaled by `scale` (e.g. sqrt(2/fan_in)).
+  static Tensor randn(Shape s, par::Rng& rng, float scale = 1.0f,
+                      bool requires_grad = true);
+  static Tensor from_data(Shape s, std::vector<float> data,
+                          bool requires_grad = false);
+  static Tensor scalar(float v, bool requires_grad = false) {
+    return from_data({1, 1}, {v}, requires_grad);
+  }
+
+  // ---- access ----------------------------------------------------------
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+  [[nodiscard]] const Shape& shape() const { return node_->shape; }
+  [[nodiscard]] std::size_t rows() const { return node_->shape.rows; }
+  [[nodiscard]] std::size_t cols() const { return node_->shape.cols; }
+  [[nodiscard]] std::size_t numel() const { return node_->shape.numel(); }
+  [[nodiscard]] float* data() { return node_->value.data(); }
+  [[nodiscard]] const float* data() const { return node_->value.data(); }
+  [[nodiscard]] float item() const {
+    if (numel() != 1) throw TensorError("item() on non-scalar " + shape().str());
+    return node_->value[0];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return node_->value[r * cols() + c];
+  }
+  [[nodiscard]] bool requires_grad() const { return node_->requires_grad; }
+  /// Gradient buffer (zeros until backward touches this node).
+  [[nodiscard]] const std::vector<float>& grad() const {
+    const_cast<detail::Node*>(node_.get())->ensure_grad();
+    return node_->grad;
+  }
+  void zero_grad() {
+    if (node_) node_->grad.assign(node_->value.size(), 0.0f);
+  }
+  /// Detaches from history: parameters call this after an optimizer step is
+  /// not needed (values are updated in place), but datasets use it to wrap
+  /// constant inputs cheaply.
+  void set_requires_grad(bool rg) { node_->requires_grad = rg; }
+
+  /// Runs reverse-mode accumulation from this scalar.
+  void backward();
+
+  [[nodiscard]] std::shared_ptr<detail::Node> node() const { return node_; }
+  explicit Tensor(std::shared_ptr<detail::Node> n) : node_(std::move(n)) {}
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+}  // namespace mvgnn::ag

@@ -1,0 +1,385 @@
+// Function inlining and full loop unrolling — the heavyweight members of
+// the variant-pipeline family (what clang -O2/-O3 do to small callees and
+// tiny loops before any analysis sees them).
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/affine.hpp"
+#include "frontend/sema.hpp"
+#include "transform/passes.hpp"
+
+namespace mvgnn::transform {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::BlockId;
+using ir::Function;
+using ir::InstrId;
+using ir::Instruction;
+using ir::LoopId;
+using ir::Opcode;
+using ir::Value;
+
+/// True when `fn` is a small leaf suitable for inlining: no loops, no user
+/// calls, and small enough.
+bool inlinable_leaf(const ir::Module& m, const Function& fn,
+                    std::size_t max_instrs) {
+  if (!fn.loops.empty()) return false;
+  std::size_t placed = 0;
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const InstrId id : bb.instrs) {
+      ++placed;
+      const Instruction& in = fn.instr(id);
+      if (in.op == Opcode::Call && !frontend::find_builtin(in.callee)) {
+        return false;
+      }
+    }
+  }
+  (void)m;
+  return placed <= max_instrs;
+}
+
+/// Is `block` structurally load-bearing for any loop of `fn` (header,
+/// latch, preheader or exit)? Splitting such a block would corrupt the
+/// loop metadata.
+bool loop_structural_block(const Function& fn, BlockId block) {
+  for (const ir::LoopInfo& l : fn.loops) {
+    if (l.header == block || l.latch == block || l.preheader == block ||
+        l.exit == block) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Inlines one call site. `call_block`/`call_pos` locate the Call inside
+/// `caller`. Returns true on success.
+bool inline_call_site(Function& caller, const Function& callee,
+                      BlockId call_block, std::size_t call_pos) {
+  BasicBlock& bb = caller.blocks[call_block];
+  const InstrId call_id = bb.instrs[call_pos];
+  const Instruction call = caller.instr(call_id);  // copy: arena may realloc
+  const LoopId site_loop = call.loop;
+
+  // ---- split the caller block: B = [prefix], POST = [suffix] -----------
+  const BlockId post_id = static_cast<BlockId>(caller.blocks.size());
+  {
+    BasicBlock post;
+    post.id = post_id;
+    post.label = "inl.post";
+    post.instrs.assign(bb.instrs.begin() + call_pos + 1, bb.instrs.end());
+    caller.blocks.push_back(std::move(post));
+  }
+  caller.blocks[call_block].instrs.resize(call_pos);
+
+  auto append_instr = [&caller](BlockId block, Instruction in) {
+    const InstrId id = static_cast<InstrId>(caller.instrs.size());
+    caller.instrs.push_back(std::move(in));
+    caller.blocks[block].instrs.push_back(id);
+    return id;
+  };
+
+  // Return-value slot (void callees need none).
+  InstrId ret_slot = ir::kNoInstr;
+  if (callee.return_type != ir::TypeKind::Void) {
+    Instruction slot;
+    slot.op = Opcode::Alloca;
+    slot.type = callee.return_type;
+    slot.name = "inl.ret";
+    slot.loc = call.loc;
+    slot.loop = site_loop;
+    ret_slot = append_instr(call_block, std::move(slot));
+  }
+
+  // ---- clone the callee body ----------------------------------------
+  // Block id mapping: callee block b -> caller block base + b.
+  const BlockId base = static_cast<BlockId>(caller.blocks.size());
+  for (const BasicBlock& cb : callee.blocks) {
+    BasicBlock nb;
+    nb.id = static_cast<BlockId>(base + cb.id);
+    nb.label = "inl." + (cb.label.empty() ? std::to_string(cb.id) : cb.label);
+    caller.blocks.push_back(std::move(nb));
+  }
+  // Instruction id mapping, filled while cloning in placement order.
+  std::unordered_map<InstrId, InstrId> imap;
+  for (const BasicBlock& cb : callee.blocks) {
+    for (const InstrId cid : cb.instrs) {
+      Instruction in = callee.instr(cid);
+      in.loop = site_loop;
+      // Remap operands.
+      bool is_ret = (in.op == Opcode::Ret);
+      for (Value& v : in.operands) {
+        switch (v.kind) {
+          case Value::Kind::Reg: v.reg = imap.at(v.reg); break;
+          case Value::Kind::Arg: v = call.operands[v.arg]; break;
+          case Value::Kind::Block: v.block = base + v.block; break;
+          default: break;
+        }
+      }
+      if (is_ret) {
+        // ret v  =>  store ret_slot, v ; br POST
+        if (!in.operands.empty() && ret_slot != ir::kNoInstr) {
+          Instruction st;
+          st.op = Opcode::Store;
+          st.type = ir::TypeKind::Void;
+          st.operands = {Value::reg_of(ret_slot), in.operands[0]};
+          st.loc = in.loc;
+          st.loop = site_loop;
+          append_instr(base + cb.id, std::move(st));
+        }
+        Instruction br;
+        br.op = Opcode::Br;
+        br.type = ir::TypeKind::Void;
+        br.operands = {Value::block_of(post_id)};
+        br.loc = in.loc;
+        br.loop = site_loop;
+        const InstrId nid = append_instr(base + cb.id, std::move(br));
+        imap.emplace(cid, nid);
+      } else {
+        const InstrId nid = append_instr(base + cb.id, std::move(in));
+        imap.emplace(cid, nid);
+      }
+    }
+  }
+
+  // ---- stitch: B -> callee entry; call uses -> load of ret_slot --------
+  {
+    Instruction br;
+    br.op = Opcode::Br;
+    br.type = ir::TypeKind::Void;
+    br.operands = {Value::block_of(base)};  // callee entry is block 0
+    br.loc = call.loc;
+    br.loop = site_loop;
+    append_instr(call_block, std::move(br));
+  }
+  InstrId ret_load = ir::kNoInstr;
+  if (ret_slot != ir::kNoInstr) {
+    Instruction ld;
+    ld.op = Opcode::Load;
+    ld.type = callee.return_type;
+    ld.operands = {Value::reg_of(ret_slot)};
+    ld.loc = call.loc;
+    ld.loop = site_loop;
+    // Prepend to POST.
+    const InstrId id = static_cast<InstrId>(caller.instrs.size());
+    caller.instrs.push_back(std::move(ld));
+    auto& post = caller.blocks[post_id].instrs;
+    post.insert(post.begin(), id);
+    ret_load = id;
+  }
+  // Rewrite every use of the call's register.
+  for (Instruction& in : caller.instrs) {
+    for (Value& v : in.operands) {
+      if (v.is_reg() && v.reg == call_id) {
+        v = (ret_load != ir::kNoInstr) ? Value::reg_of(ret_load)
+                                       : Value();  // void call: no uses exist
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t inline_functions(ir::Module& m, std::size_t max_callee_instrs) {
+  std::size_t inlined = 0;
+  for (auto& fn : m.functions) {
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 8) {
+      changed = false;
+      for (BlockId b = 0; b < fn->blocks.size() && !changed; ++b) {
+        if (loop_structural_block(*fn, b)) continue;
+        const auto& instrs = fn->blocks[b].instrs;
+        for (std::size_t pos = 0; pos < instrs.size(); ++pos) {
+          const Instruction& in = fn->instr(instrs[pos]);
+          if (in.op != Opcode::Call || frontend::find_builtin(in.callee)) {
+            continue;
+          }
+          const ir::Function* callee = m.find(in.callee);
+          if (!callee || callee == fn.get() ||
+              !inlinable_leaf(m, *callee, max_callee_instrs)) {
+            continue;
+          }
+          if (inline_call_site(*fn, *callee, b, pos)) {
+            ++inlined;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (inlined) ir::verify(*fn);
+  }
+  return inlined;
+}
+
+// ---------------------------------------------------------------------------
+// Loop unrolling
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Candidate: innermost for-loop whose subtree is exactly {header, one body
+/// block, latch} with body -> latch -> header edges and a constant trip
+/// count <= max_trip.
+struct UnrollPlan {
+  LoopId loop = ir::kNoLoop;
+  std::int64_t trip = 0;
+};
+
+bool find_candidate(const Function& fn, std::int64_t max_trip,
+                    UnrollPlan& plan) {
+  for (const ir::LoopInfo& l : fn.loops) {
+    if (!l.is_for) continue;
+    // Innermost only.
+    bool has_child = false;
+    for (const ir::LoopInfo& other : fn.loops) {
+      if (other.parent == l.id) has_child = true;
+    }
+    if (has_child) continue;
+    const analysis::LoopBounds b = analysis::derive_bounds(fn, l.id);
+    if (!b.constant_trip || b.step <= 0) continue;
+    const std::int64_t trip =
+        b.hi > b.lo ? (b.hi - b.lo + b.step - 1) / b.step : 0;
+    if (trip > max_trip) continue;
+    // Shape check: the loop's blocks are exactly body and latch, body ends
+    // br latch, latch ends br header (no break/continue/ifs inside).
+    if (l.body == l.latch) continue;
+    const BasicBlock& body = fn.block(l.body);
+    const BasicBlock& latch = fn.block(l.latch);
+    const Instruction& bt = fn.instr(body.instrs.back());
+    const Instruction& lt = fn.instr(latch.instrs.back());
+    if (bt.op != Opcode::Br || bt.operands[0].block != l.latch) continue;
+    if (lt.op != Opcode::Br || lt.operands[0].block != l.header) continue;
+    bool extra_block = false;
+    for (const BasicBlock& bb : fn.blocks) {
+      if (bb.id == l.body || bb.id == l.latch) continue;
+      for (const InstrId id : bb.instrs) {
+        if (fn.instr(id).loop == l.id && bb.id != l.header &&
+            bb.id != l.preheader && bb.id != l.exit) {
+          extra_block = true;
+        }
+      }
+    }
+    if (extra_block) continue;
+    plan.loop = l.id;
+    plan.trip = trip;
+    return true;
+  }
+  return false;
+}
+
+void apply_unroll(Function& fn, const UnrollPlan& plan) {
+  const ir::LoopInfo l = fn.loops[plan.loop];  // copy
+  const LoopId parent = l.parent;
+
+  // Collect the loop's straight-line payload (body without its terminator,
+  // then latch without its terminator).
+  std::vector<InstrId> payload;
+  {
+    const auto& bi = fn.block(l.body).instrs;
+    payload.insert(payload.end(), bi.begin(), bi.end() - 1);
+    const auto& li = fn.block(l.latch).instrs;
+    payload.insert(payload.end(), li.begin(), li.end() - 1);
+  }
+
+  // Rebuild the preheader: strip LoopEnter, then splice `trip` clones of
+  // the payload directly into it, then jump to the exit block.
+  BasicBlock& pre = fn.blocks[l.preheader];
+  pre.instrs.clear();
+  for (std::int64_t k = 0; k < plan.trip; ++k) {
+    std::unordered_map<InstrId, InstrId> imap;
+    for (const InstrId src : payload) {
+      Instruction in = fn.instr(src);
+      in.loop = parent;
+      for (Value& v : in.operands) {
+        if (v.is_reg()) {
+          const auto it = imap.find(v.reg);
+          if (it != imap.end()) v.reg = it->second;
+        }
+      }
+      const InstrId nid = static_cast<InstrId>(fn.instrs.size());
+      fn.instrs.push_back(std::move(in));
+      pre.instrs.push_back(nid);
+      imap.emplace(src, nid);
+    }
+  }
+  {
+    Instruction br;
+    br.op = Opcode::Br;
+    br.type = ir::TypeKind::Void;
+    br.operands = {Value::block_of(l.exit)};
+    br.loop = parent;
+    const InstrId nid = static_cast<InstrId>(fn.instrs.size());
+    fn.instrs.push_back(std::move(br));
+    pre.instrs.push_back(nid);
+  }
+
+  // Strip the LoopExit marker from the exit block.
+  auto& exit_instrs = fn.blocks[l.exit].instrs;
+  std::erase_if(exit_instrs, [&fn, &l](InstrId id) {
+    const Instruction& in = fn.instr(id);
+    return in.op == Opcode::LoopExit && in.loop == l.id;
+  });
+
+  // Empty the now-unreachable header/body/latch by replacing their contents
+  // with a bare branch to the exit (keeps every block well-formed without
+  // renumbering).
+  for (const BlockId dead : {l.header, l.body, l.latch}) {
+    Instruction br;
+    br.op = Opcode::Br;
+    br.type = ir::TypeKind::Void;
+    br.operands = {Value::block_of(l.exit)};
+    br.loop = parent;
+    const InstrId nid = static_cast<InstrId>(fn.instrs.size());
+    fn.instrs.push_back(std::move(br));
+    fn.blocks[dead].instrs.clear();
+    fn.blocks[dead].instrs.push_back(nid);
+  }
+
+  // Delete the LoopInfo and renumber the remaining loops (LoopId is an
+  // index): fix parents, ids, and every instruction's loop field.
+  std::vector<LoopId> remap(fn.loops.size());
+  {
+    LoopId next = 0;
+    for (LoopId i = 0; i < fn.loops.size(); ++i) {
+      remap[i] = (i == plan.loop) ? ir::kNoLoop : next++;
+    }
+  }
+  std::vector<ir::LoopInfo> kept;
+  for (LoopId i = 0; i < fn.loops.size(); ++i) {
+    if (i == plan.loop) continue;
+    ir::LoopInfo info = fn.loops[i];
+    info.id = remap[i];
+    if (info.parent != ir::kNoLoop) info.parent = remap[info.parent];
+    kept.push_back(info);
+  }
+  fn.loops = std::move(kept);
+  for (Instruction& in : fn.instrs) {
+    if (in.loop != ir::kNoLoop) {
+      in.loop = (in.loop == plan.loop) ? parent : remap[in.loop];
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t unroll_loops(ir::Function& fn, std::int64_t max_trip) {
+  std::size_t unrolled = 0;
+  UnrollPlan plan;
+  int guard = 0;
+  while (find_candidate(fn, max_trip, plan) && guard++ < 16) {
+    apply_unroll(fn, plan);
+    ++unrolled;
+  }
+  if (unrolled) {
+    dead_code_elim(fn);  // compacts and cleans the orphaned instructions
+    ir::verify(fn);
+  }
+  return unrolled;
+}
+
+}  // namespace mvgnn::transform

@@ -1,0 +1,275 @@
+#include "transform/passes.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mvgnn::transform {
+
+namespace {
+
+using ir::InstrId;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+bool has_side_effects(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::Store:
+    case Opcode::StoreIdx:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::Call:  // user calls mutate memory; builtins kept for safety
+    case Opcode::LoopEnter:
+    case Opcode::LoopHead:
+    case Opcode::LoopExit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Renumbers the arena to contain exactly the placed instructions, in block
+/// order, and remaps every register reference. Keeps "arena index ==
+/// program order" true after passes delete or orphan instructions.
+void compact(ir::Function& fn) {
+  std::vector<InstrId> remap(fn.instrs.size(), ir::kNoInstr);
+  std::vector<Instruction> fresh;
+  for (const ir::BasicBlock& bb : fn.blocks) {
+    for (const InstrId id : bb.instrs) {
+      remap[id] = static_cast<InstrId>(fresh.size());
+      fresh.push_back(std::move(fn.instrs[id]));
+    }
+  }
+  for (ir::BasicBlock& bb : fn.blocks) {
+    for (InstrId& id : bb.instrs) id = remap[id];
+  }
+  for (Instruction& in : fresh) {
+    for (Value& v : in.operands) {
+      if (v.is_reg()) v.reg = remap[v.reg];
+    }
+  }
+  for (ir::LoopInfo& l : fn.loops) {
+    if (l.induction_slot != ir::kNoInstr &&
+        remap[l.induction_slot] != ir::kNoInstr) {
+      l.induction_slot = remap[l.induction_slot];
+    }
+  }
+  fn.instrs = std::move(fresh);
+}
+
+}  // namespace
+
+std::size_t constant_fold(ir::Function& fn) {
+  std::unordered_map<InstrId, Value> known;  // reg -> folded immediate
+  std::size_t folded = 0;
+
+  auto imm_of = [&known](const Value& v) -> const Value* {
+    if (v.is_imm()) return &v;
+    if (v.is_reg()) {
+      const auto it = known.find(v.reg);
+      if (it != known.end()) return &it->second;
+    }
+    return nullptr;
+  };
+
+  for (ir::BasicBlock& bb : fn.blocks) {
+    for (const InstrId id : bb.instrs) {
+      Instruction& in = fn.instr(id);
+      // Propagate already-known constants into operands.
+      for (Value& v : in.operands) {
+        if (const Value* imm = imm_of(v); imm && &v != imm) v = *imm;
+      }
+      if (has_side_effects(in) || in.op == Opcode::Alloca ||
+          in.op == Opcode::AllocArr || in.op == Opcode::Load ||
+          in.op == Opcode::LoadIdx) {
+        continue;
+      }
+      const bool all_imm = [&] {
+        for (const Value& v : in.operands) {
+          if (!v.is_imm()) return false;
+        }
+        return !in.operands.empty();
+      }();
+      if (!all_imm) continue;
+
+      auto iop = [&](std::size_t k) { return in.operands[k].imm_int; };
+      auto fop = [&](std::size_t k) { return in.operands[k].imm_float; };
+      Value out;
+      bool ok = true;
+      switch (in.op) {
+        case Opcode::Add: out = Value::imm(iop(0) + iop(1)); break;
+        case Opcode::Sub: out = Value::imm(iop(0) - iop(1)); break;
+        case Opcode::Mul: out = Value::imm(iop(0) * iop(1)); break;
+        case Opcode::Div:
+          ok = iop(1) != 0;
+          if (ok) out = Value::imm(iop(0) / iop(1));
+          break;
+        case Opcode::Rem:
+          ok = iop(1) != 0;
+          if (ok) out = Value::imm(iop(0) % iop(1));
+          break;
+        case Opcode::Neg: out = Value::imm(-iop(0)); break;
+        case Opcode::FAdd: out = Value::imm(fop(0) + fop(1)); break;
+        case Opcode::FSub: out = Value::imm(fop(0) - fop(1)); break;
+        case Opcode::FMul: out = Value::imm(fop(0) * fop(1)); break;
+        case Opcode::FDiv: out = Value::imm(fop(0) / fop(1)); break;
+        case Opcode::FNeg: out = Value::imm(-fop(0)); break;
+        case Opcode::CmpEq: out = Value::imm(std::int64_t{iop(0) == iop(1)}); break;
+        case Opcode::CmpNe: out = Value::imm(std::int64_t{iop(0) != iop(1)}); break;
+        case Opcode::CmpLt: out = Value::imm(std::int64_t{iop(0) < iop(1)}); break;
+        case Opcode::CmpLe: out = Value::imm(std::int64_t{iop(0) <= iop(1)}); break;
+        case Opcode::CmpGt: out = Value::imm(std::int64_t{iop(0) > iop(1)}); break;
+        case Opcode::CmpGe: out = Value::imm(std::int64_t{iop(0) >= iop(1)}); break;
+        case Opcode::And: out = Value::imm(std::int64_t{iop(0) != 0 && iop(1) != 0}); break;
+        case Opcode::Or: out = Value::imm(std::int64_t{iop(0) != 0 || iop(1) != 0}); break;
+        case Opcode::Not: out = Value::imm(std::int64_t{iop(0) == 0}); break;
+        case Opcode::IntToFloat: out = Value::imm(static_cast<double>(iop(0))); break;
+        case Opcode::FloatToInt: out = Value::imm(static_cast<std::int64_t>(fop(0))); break;
+        default: ok = false; break;
+      }
+      if (ok) {
+        known.emplace(id, out);
+        ++folded;
+      }
+    }
+  }
+  return folded;
+}
+
+std::size_t strength_reduce(ir::Function& fn) {
+  std::size_t changed = 0;
+  // Identity rewrites (x*1, x+0, x-0) forward the operand into later uses.
+  std::unordered_map<InstrId, Value> forward;
+  auto resolve = [&forward](Value v) {
+    while (v.is_reg()) {
+      const auto it = forward.find(v.reg);
+      if (it == forward.end()) break;
+      v = it->second;
+    }
+    return v;
+  };
+
+  for (ir::BasicBlock& bb : fn.blocks) {
+    for (const InstrId id : bb.instrs) {
+      Instruction& in = fn.instr(id);
+      for (Value& v : in.operands) v = resolve(v);
+
+      auto is_int_const = [&](std::size_t k, std::int64_t c) {
+        return in.operands.size() > k &&
+               in.operands[k].kind == Value::Kind::ImmInt &&
+               in.operands[k].imm_int == c;
+      };
+      switch (in.op) {
+        case Opcode::Mul:
+          if (is_int_const(1, 1)) {
+            forward.emplace(id, in.operands[0]);
+            ++changed;
+          } else if (is_int_const(0, 1)) {
+            forward.emplace(id, in.operands[1]);
+            ++changed;
+          } else if (is_int_const(1, 2)) {
+            in.op = Opcode::Add;  // x*2 -> x+x
+            in.operands[1] = in.operands[0];
+            ++changed;
+          }
+          break;
+        case Opcode::Add:
+          if (is_int_const(1, 0)) {
+            forward.emplace(id, in.operands[0]);
+            ++changed;
+          } else if (is_int_const(0, 0)) {
+            forward.emplace(id, in.operands[1]);
+            ++changed;
+          }
+          break;
+        case Opcode::Sub:
+          if (is_int_const(1, 0)) {
+            forward.emplace(id, in.operands[0]);
+            ++changed;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return changed;
+}
+
+std::size_t dead_code_elim(ir::Function& fn) {
+  // Dead-store pre-pass: a Store into a scalar slot that is never loaded
+  // anywhere in the function has no observable effect.
+  std::unordered_set<InstrId> loaded_slots;
+  for (const Instruction& in : fn.instrs) {
+    if (in.op == Opcode::Load && in.operands[0].is_reg()) {
+      loaded_slots.insert(in.operands[0].reg);
+    }
+  }
+  auto dead_store = [&](const Instruction& in) {
+    return in.op == Opcode::Store && in.operands[0].is_reg() &&
+           !loaded_slots.count(in.operands[0].reg);
+  };
+
+  // Mark: everything with side effects is live; liveness flows into
+  // register operands until fixpoint.
+  std::vector<char> live(fn.instrs.size(), 0);
+  std::vector<InstrId> worklist;
+  for (const ir::BasicBlock& bb : fn.blocks) {
+    for (const InstrId id : bb.instrs) {
+      if (has_side_effects(fn.instr(id)) && !dead_store(fn.instr(id))) {
+        live[id] = 1;
+        worklist.push_back(id);
+      }
+    }
+  }
+  while (!worklist.empty()) {
+    const InstrId id = worklist.back();
+    worklist.pop_back();
+    for (const Value& v : fn.instr(id).operands) {
+      if (v.is_reg() && !live[v.reg]) {
+        live[v.reg] = 1;
+        worklist.push_back(v.reg);
+      }
+    }
+  }
+  // Sweep.
+  std::size_t removed = 0;
+  for (ir::BasicBlock& bb : fn.blocks) {
+    const auto old = bb.instrs.size();
+    std::erase_if(bb.instrs, [&live](InstrId id) { return !live[id]; });
+    removed += old - bb.instrs.size();
+  }
+  // Always compact: other passes (unrolling, inlining) orphan arena entries
+  // without unplacing anything through this sweep.
+  compact(fn);
+  return removed;
+}
+
+const std::vector<Pipeline>& variant_pipelines() {
+  static const std::vector<Pipeline> pipelines = {
+      {"O0-none", false, false, false, false, false, 1},
+      {"O1-fold", true, false, false, false, false, 1},
+      {"O1-dce", false, true, false, false, false, 1},
+      {"O2-fold-dce", true, true, false, false, false, 1},
+      {"O2-strength", true, true, true, false, false, 1},
+      {"O3-inline-unroll", true, true, true, true, true, 2},
+  };
+  return pipelines;
+}
+
+void run_pipeline(ir::Module& m, const Pipeline& p) {
+  if (p.inline_calls) inline_functions(m);
+  for (auto& fn : m.functions) {
+    for (int r = 0; r < p.repeat; ++r) {
+      if (p.fold) constant_fold(*fn);
+      if (p.strength) strength_reduce(*fn);
+      if (p.unroll) unroll_loops(*fn);
+      if (p.dce) dead_code_elim(*fn);
+    }
+    ir::verify(*fn);
+  }
+}
+
+}  // namespace mvgnn::transform

@@ -1,0 +1,62 @@
+// IR-to-IR transformation passes.
+//
+// The paper compiles each source with six clang optimization options to get
+// six LLVM-IR variants per program (section IV-A, "Transformed dataset").
+// These passes play that role for MiniC IR: they change the instruction mix
+// (and hence the inst2vec tokens and graph shapes) while preserving
+// semantics and loop labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mvgnn::transform {
+
+/// Folds constant integer/float arithmetic, comparisons and casts whose
+/// operands are immediates. Returns the number of folded instructions.
+std::size_t constant_fold(ir::Function& fn);
+
+/// Removes side-effect-free instructions whose results are never used.
+/// Returns the number of removed instructions.
+std::size_t dead_code_elim(ir::Function& fn);
+
+/// Strength reduction: multiplications/divisions by powers of two become
+/// shifts-by-addition chains (x*2 -> x+x), x*1/x+0 simplify away.
+/// Returns the number of rewritten instructions.
+std::size_t strength_reduce(ir::Function& fn);
+
+/// Inlines calls to small leaf functions (no loops, no further user calls,
+/// single return at the end, at most `max_callee_instrs` instructions).
+/// Returns the number of call sites inlined. The callee's loop metadata is
+/// irrelevant by construction (leaf functions with loops are not inlined),
+/// so caller loop metadata stays valid.
+std::size_t inline_functions(ir::Module& m, std::size_t max_callee_instrs = 48);
+
+/// Unrolls innermost `for` loops with constant trip count at most
+/// `max_trip` by the full factor, replacing the loop with straight-line
+/// code. The loop's LoopInfo (and its markers) are removed, so unrolled
+/// loops stop being classification samples — exactly what clang -O does to
+/// tiny loops before any analysis sees them. Returns loops unrolled.
+std::size_t unroll_loops(ir::Function& fn, std::int64_t max_trip = 4);
+
+/// A named pass pipeline applied to every function of a module.
+struct Pipeline {
+  std::string name;
+  bool fold = false;
+  bool dce = false;
+  bool strength = false;
+  bool inline_calls = false;  // module-level, runs before per-function passes
+  bool unroll = false;
+  int repeat = 1;
+};
+
+/// The six variant pipelines used by the dataset builder (variant 0 is the
+/// identity, matching -O0).
+[[nodiscard]] const std::vector<Pipeline>& variant_pipelines();
+
+/// Applies `p` to every function in `m`.
+void run_pipeline(ir::Module& m, const Pipeline& p);
+
+}  // namespace mvgnn::transform

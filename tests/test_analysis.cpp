@@ -1,0 +1,424 @@
+// Static analysis tests: affine subscript recovery, loop-bound derivation,
+// ZIV/SIV/GCD/Banerjee dependence verdicts, reduction recognition, and the
+// tool classifiers' designed behaviours.
+#include <gtest/gtest.h>
+
+#include "analysis/dep_test.hpp"
+#include "analysis/reduction.hpp"
+#include "analysis/tools.hpp"
+#include "frontend/lower.hpp"
+#include "profiler/profile.hpp"
+
+namespace {
+
+using namespace mvgnn;
+using analysis::ArrayAccess;
+using analysis::DepVerdict;
+
+struct Compiled {
+  std::unique_ptr<ir::Module> module;
+  const ir::Function* fn = nullptr;
+};
+
+Compiled compile_kernel(const char* src) {
+  Compiled c;
+  c.module = std::make_unique<ir::Module>(frontend::compile(src, "t"));
+  c.fn = c.module->find("kernel");
+  EXPECT_NE(c.fn, nullptr);
+  return c;
+}
+
+TEST(Affine, RecoversLinearSubscripts) {
+  const auto c = compile_kernel(R"(
+const int N = 8;
+void kernel(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    for (int j = 0; j < N; j += 1) {
+      a[i * 8 + j + 3] = 1.0;
+    }
+  }
+}
+)");
+  const auto accesses = analysis::collect_array_accesses(*c.fn, 1);
+  ASSERT_EQ(accesses.size(), 1u);
+  const analysis::AffineExpr& e = accesses[0].index;
+  ASSERT_TRUE(e.affine);
+  EXPECT_EQ(e.constant, 3);
+  ASSERT_EQ(e.iv_coeffs.size(), 2u);
+  const ir::InstrId iv_i = c.fn->loops[0].induction_slot;
+  const ir::InstrId iv_j = c.fn->loops[1].induction_slot;
+  EXPECT_EQ(e.coeff_of(iv_i), 8);
+  EXPECT_EQ(e.coeff_of(iv_j), 1);
+}
+
+TEST(Affine, IndirectAndParametricSubscriptsAreNotAffine) {
+  const auto c = compile_kernel(R"(
+void kernel(float[] a, int[] idx, int n) {
+  for (int i = 0; i < 16; i += 1) {
+    a[idx[i]] = 1.0;
+    a[i * n] = 2.0;
+  }
+}
+)");
+  const auto accesses = analysis::collect_array_accesses(*c.fn, 0);
+  ASSERT_EQ(accesses.size(), 3u);  // idx[i] load + two a stores
+  int non_affine = 0;
+  for (const auto& a : accesses) {
+    if (!a.index.affine) ++non_affine;
+  }
+  EXPECT_EQ(non_affine, 2);  // a[idx[i]] and a[i*n]
+}
+
+TEST(Affine, LoopInvariantSymbolsAreTracked) {
+  const auto c = compile_kernel(R"(
+void kernel(float[] a, int off) {
+  for (int i = 0; i < 8; i += 1) {
+    a[i + off] = 1.0;
+  }
+}
+)");
+  const auto accesses = analysis::collect_array_accesses(*c.fn, 0);
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_TRUE(accesses[0].index.affine);
+  EXPECT_EQ(accesses[0].index.symbols.size(), 1u);
+}
+
+TEST(Bounds, DerivedFromCanonicalLoops) {
+  const auto c = compile_kernel(R"(
+void kernel(float[] a) {
+  for (int i = 2; i <= 14; i += 3) {
+    a[i] = 1.0;
+  }
+}
+)");
+  const auto b = analysis::derive_bounds(*c.fn, 0);
+  ASSERT_TRUE(b.known);
+  ASSERT_TRUE(b.constant_trip);
+  EXPECT_EQ(b.lo, 2);
+  EXPECT_EQ(b.hi, 15);  // `<= 14` normalized to an exclusive bound
+  EXPECT_EQ(b.step, 3);
+}
+
+TEST(Bounds, SymbolicBoundIsKnownButNotConstant) {
+  const auto c = compile_kernel(R"(
+void kernel(float[] a, int n) {
+  for (int i = 0; i < n; i += 1) {
+    a[i] = 1.0;
+  }
+}
+)");
+  const auto b = analysis::derive_bounds(*c.fn, 0);
+  EXPECT_TRUE(b.known);
+  EXPECT_FALSE(b.constant_trip);
+}
+
+TEST(Bounds, DataDependentLoopShapeIsUnknown) {
+  const auto c = compile_kernel(R"(
+void kernel(float[] a, int[] idx) {
+  for (int i = 0; i < idx[0]; i += 1) {
+    a[i] = 1.0;
+  }
+}
+)");
+  EXPECT_FALSE(analysis::derive_bounds(*c.fn, 0).known);
+}
+
+namespace deps {
+
+/// Builds two array accesses on loop 0 of a two-statement kernel and runs
+/// the pair test between the store (first statement) and the load operand
+/// of the second.
+DepVerdict verdict_of(const char* src, bool banerjee = true) {
+  static std::vector<std::unique_ptr<ir::Module>> keep;
+  keep.push_back(std::make_unique<ir::Module>(frontend::compile(src, "t")));
+  const ir::Function* fn = keep.back()->find("kernel");
+  const auto accesses = analysis::collect_array_accesses(*fn, 0);
+  const auto bounds = analysis::derive_bounds(*fn, 0);
+  const ArrayAccess* w = nullptr;
+  const ArrayAccess* r = nullptr;
+  for (const auto& a : accesses) {
+    if (a.is_write && !w) w = &a;
+    if (!a.is_write && !r) r = &a;
+  }
+  EXPECT_NE(w, nullptr);
+  EXPECT_NE(r, nullptr);
+  return analysis::test_pair(*fn, 0, *w, *r, bounds, banerjee);
+}
+
+}  // namespace deps
+
+TEST(DepTest, StrongSivDistances) {
+  // Same subscript: distance 0, not carried.
+  EXPECT_EQ(deps::verdict_of(R"(
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < 16; i += 1) {
+    a[i] = 1.0;
+    b[i] = a[i];
+  }
+}
+)"),
+            DepVerdict::NotCarried);
+  // Distance 1: carried.
+  EXPECT_EQ(deps::verdict_of(R"(
+void kernel(float[] a, float[] b) {
+  for (int i = 1; i < 16; i += 1) {
+    a[i] = 1.0;
+    b[i] = a[i - 1];
+  }
+}
+)"),
+            DepVerdict::Carried);
+  // Distance beyond the trip count: provably independent (Banerjee).
+  EXPECT_EQ(deps::verdict_of(R"(
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < 8; i += 1) {
+    a[i] = 1.0;
+    b[i] = a[i + 8];
+  }
+}
+)"),
+            DepVerdict::NoDep);
+  // ... but unknown without the Banerjee range check (AutoPar mode).
+  EXPECT_EQ(deps::verdict_of(R"(
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < 8; i += 1) {
+    a[i] = 1.0;
+    b[i] = a[i + 8];
+  }
+}
+)",
+                             /*banerjee=*/false),
+            DepVerdict::Carried);
+}
+
+TEST(DepTest, GcdDisprovesInterleavedAccesses) {
+  // Writes even cells, reads odd cells: gcd(2,2)=2 does not divide 1.
+  EXPECT_EQ(deps::verdict_of(R"(
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < 8; i += 1) {
+    a[i * 2] = 1.0;
+    b[i] = a[i * 2 + 1];
+  }
+}
+)"),
+            DepVerdict::NoDep);
+}
+
+TEST(DepTest, ZivSameCellIsCarried) {
+  EXPECT_EQ(deps::verdict_of(R"(
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < 8; i += 1) {
+    a[0] = 1.0;
+    b[i] = a[0];
+  }
+}
+)"),
+            DepVerdict::Carried);
+}
+
+TEST(DepTest, NonAffineIsUnknown) {
+  EXPECT_EQ(deps::verdict_of(R"(
+void kernel(float[] a, float[] b, int[] idx) {
+  for (int i = 0; i < 8; i += 1) {
+    a[idx[i]] = 1.0;
+    b[i] = a[i];
+  }
+}
+)"),
+            DepVerdict::Unknown);
+}
+
+TEST(Reduction, RecognizesScalarAndArrayChains) {
+  const auto sum = compile_kernel(R"(
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < 8; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+)");
+  auto chains = analysis::detect_reductions(*sum.fn, 0);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].op, analysis::ReductionOp::Sum);
+  EXPECT_FALSE(chains[0].is_array);
+
+  const auto hist = compile_kernel(R"(
+void kernel(int[] idx, float[] h) {
+  for (int i = 0; i < 8; i += 1) {
+    h[idx[i]] += 1.0;
+  }
+}
+)");
+  chains = analysis::detect_reductions(*hist.fn, 0);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_TRUE(chains[0].is_array);
+
+  const auto mx = compile_kernel(R"(
+float kernel(float[] a) {
+  float s = -100.0;
+  for (int i = 0; i < 8; i += 1) {
+    s = fmax(s, a[i]);
+  }
+  return s;
+}
+)");
+  chains = analysis::detect_reductions(*mx.fn, 0);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].op, analysis::ReductionOp::Max);
+}
+
+TEST(Reduction, StrayAccessDisqualifies) {
+  const auto c = compile_kernel(R"(
+void kernel(float[] a, float[] b) {
+  float s = 0.0;
+  for (int i = 0; i < 8; i += 1) {
+    s = s + a[i];
+    b[i] = s;
+  }
+}
+)");
+  EXPECT_TRUE(analysis::detect_reductions(*c.fn, 0).empty());
+}
+
+TEST(Reduction, NonCommutativePositionMatters) {
+  // s = x - s is NOT a sum reduction (the accumulator is negated).
+  const auto c = compile_kernel(R"(
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < 8; i += 1) {
+    s = a[i] - s;
+  }
+  return s;
+}
+)");
+  EXPECT_TRUE(analysis::detect_reductions(*c.fn, 0).empty());
+  // s = s - x IS one.
+  const auto ok = compile_kernel(R"(
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < 8; i += 1) {
+    s = s - a[i];
+  }
+  return s;
+}
+)");
+  EXPECT_EQ(analysis::detect_reductions(*ok.fn, 0).size(), 1u);
+}
+
+TEST(Tools, EarlyExitAndCallsBlockStaticTools) {
+  const auto brk = compile_kernel(R"(
+int kernel(float[] a) {
+  for (int i = 0; i < 8; i += 1) {
+    if (a[i] > 2.0) {
+      break;
+    }
+  }
+  return 0;
+}
+)");
+  EXPECT_TRUE(analysis::has_early_exit(*brk.fn, 0));
+  EXPECT_FALSE(analysis::autopar_classify(*brk.fn, 0).parallel);
+  EXPECT_FALSE(analysis::pluto_classify(*brk.fn, 0).parallel);
+
+  const auto call = compile_kernel(R"(
+float helper(float x) { return x + 1.0; }
+void kernel(float[] a) {
+  for (int i = 0; i < 8; i += 1) {
+    a[i] = helper(a[i]);
+  }
+}
+)");
+  EXPECT_TRUE(analysis::has_user_call(*call.fn, 0));
+  EXPECT_FALSE(analysis::autopar_classify(*call.fn, 0).parallel);
+  // Builtins do not count as opaque calls.
+  const auto builtin = compile_kernel(R"(
+void kernel(float[] a) {
+  for (int i = 0; i < 8; i += 1) {
+    a[i] = sqrt(fabs(a[i]));
+  }
+}
+)");
+  EXPECT_FALSE(analysis::has_user_call(*builtin.fn, 0));
+  EXPECT_TRUE(analysis::autopar_classify(*builtin.fn, 0).parallel);
+}
+
+TEST(Tools, InnerBreakDoesNotPoisonOuterLoop) {
+  const auto c = compile_kernel(R"(
+void kernel(float[] a) {
+  for (int i = 0; i < 8; i += 1) {
+    for (int j = 0; j < 8; j += 1) {
+      if (a[j] > 2.0) {
+        break;
+      }
+    }
+    a[i] = 1.0;
+  }
+}
+)");
+  EXPECT_FALSE(analysis::has_early_exit(*c.fn, 0));
+  EXPECT_TRUE(analysis::has_early_exit(*c.fn, 1));
+}
+
+TEST(Tools, PlutoRejectsScalarReductionsButAutoParAccepts) {
+  const auto c = compile_kernel(R"(
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < 8; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+)");
+  EXPECT_TRUE(analysis::autopar_classify(*c.fn, 0).parallel);
+  EXPECT_FALSE(analysis::pluto_classify(*c.fn, 0).parallel);
+}
+
+TEST(Tools, DynamicToolsSeeThroughIndirection) {
+  static std::vector<std::unique_ptr<ir::Module>> keep;
+  keep.push_back(std::make_unique<ir::Module>(frontend::compile(R"(
+const int N = 24;
+void kernel(float[] a, int[] idx, float[] b) {
+  for (int i = 0; i < N; i += 1) {
+    b[i] = a[idx[i]];
+  }
+}
+)",
+                                                                "t")));
+  const ir::Function* fn = keep.back()->find("kernel");
+  std::vector<profiler::ArgInit> args = {profiler::ArgInit::of_array(24, 1),
+                                         profiler::ArgInit::of_array(24, 2),
+                                         profiler::ArgInit::of_array(24, 3)};
+  const auto prof = profiler::profile(*keep.back(), "kernel", args);
+  EXPECT_TRUE(analysis::discopop_classify(*fn, 0, prof.dep).parallel);
+  EXPECT_TRUE(analysis::oracle_classify(*fn, 0, prof.dep).parallel);
+  EXPECT_FALSE(analysis::pluto_classify(*fn, 0).parallel);
+}
+
+TEST(Tools, OrderDependentScatterIsRejectedByTheOracle) {
+  static std::vector<std::unique_ptr<ir::Module>> keep;
+  keep.push_back(std::make_unique<ir::Module>(frontend::compile(R"(
+const int N = 32;
+float kernel(int[] idx, float[] a, float[] b) {
+  for (int i = 0; i < N; i += 1) {
+    a[idx[i]] = b[i];
+  }
+  float s = 0.0;
+  for (int j = 0; j < N; j += 1) {
+    s = s + a[j];
+  }
+  return s;
+}
+)",
+                                                                "t")));
+  const ir::Function* fn = keep.back()->find("kernel");
+  std::vector<profiler::ArgInit> args = {profiler::ArgInit::of_array(32, 1),
+                                         profiler::ArgInit::of_array(32, 2),
+                                         profiler::ArgInit::of_array(32, 3)};
+  const auto prof = profiler::profile(*keep.back(), "kernel", args);
+  EXPECT_FALSE(analysis::oracle_classify(*fn, 0, prof.dep).parallel);
+  // The checksum reduction itself stays parallelizable.
+  EXPECT_TRUE(analysis::oracle_classify(*fn, 1, prof.dep).parallel);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// MV-GNN model tests: shapes, configuration validation, training on a
+// small dataset (the model must beat chance comfortably), view heads, and
+// the single-view baseline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/trainer.hpp"
+#include "ml/ncc.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+const data::Dataset& shared_dataset() {
+  static const data::Dataset ds = [] {
+    auto programs = data::build_generated_corpus(260, 21);
+    data::DatasetOptions opts;
+    opts.seed = 13;
+    return data::build_dataset(programs, opts);
+  }();
+  return ds;
+}
+
+TEST(Dgcnn, ForwardShapesAndPadding) {
+  par::Rng rng(1);
+  core::DgcnnConfig cfg;
+  cfg.in_dim = 8;
+  cfg.gcn_channels = {16, 16, 1};
+  cfg.sort_k = 12;
+  core::Dgcnn net(cfg, rng);
+  // Tiny graph (3 nodes, fewer than sort_k): padding must kick in.
+  core::GraphInput g;
+  g.ahat = nn::dgcnn_adjacency(3, {{0, 1}, {1, 2}});
+  g.ahat.set_requires_grad(false);
+  par::Rng data_rng(2);
+  g.features = ag::Tensor::randn({3, 8}, data_rng, 1.0f, false);
+  const auto out = net.forward(g, /*training=*/false, rng);
+  EXPECT_EQ(out.logits.rows(), 1u);
+  EXPECT_EQ(out.logits.cols(), 2u);
+  EXPECT_EQ(out.pooled.cols(), net.rep_dim());
+}
+
+TEST(Dgcnn, RejectsInvalidConfigs) {
+  par::Rng rng(1);
+  core::DgcnnConfig bad;
+  bad.gcn_channels = {16, 8};  // last channel must be 1 for SortPooling
+  EXPECT_THROW(core::Dgcnn(bad, rng), std::invalid_argument);
+  core::DgcnnConfig tiny;
+  tiny.gcn_channels = {16, 1};
+  tiny.sort_k = 4;       // k/2 = 2 < conv2_kernel
+  tiny.conv2_kernel = 5;
+  EXPECT_THROW(core::Dgcnn(tiny, rng), std::invalid_argument);
+}
+
+TEST(MvGnn, ForwardBackwardRunsAndParametersCover) {
+  const auto& ds = shared_dataset();
+  core::Normalizer norm = core::Normalizer::fit(ds, ds.suite_indices(""));
+  core::Featurizer feats(ds, norm);
+  par::Rng rng(3);
+  core::MvGnn model(core::default_config(feats), rng);
+  const core::SampleInput& in = feats.get(0);
+  auto out = model.forward(in, /*training=*/true, rng);
+  ag::Tensor loss = ag::cross_entropy_logits(out.logits, {in.label});
+  EXPECT_NO_THROW(loss.backward());
+  EXPECT_GT(model.num_parameters(), 1000u);
+  // Every parameter receives some gradient signal over a few samples.
+  ag::Adam opt(1e-3f);
+  opt.add_params(model.parameters());
+  opt.zero_grad();
+  for (std::size_t i = 0; i < 5 && i < ds.samples.size(); ++i) {
+    auto o = model.forward(feats.get(i), true, rng);
+    ag::Tensor l = ag::add(
+        ag::cross_entropy_logits(o.logits, {feats.get(i).label}),
+        ag::add(ag::cross_entropy_logits(o.node_logits, {feats.get(i).label}),
+                ag::cross_entropy_logits(o.struct_logits,
+                                         {feats.get(i).label})));
+    l.backward();
+  }
+  std::size_t touched = 0, total = 0;
+  for (const auto& p : model.parameters()) {
+    bool any = false;
+    for (const float g : p.grad()) {
+      if (g != 0.0f) any = true;
+    }
+    touched += any;
+    ++total;
+  }
+  EXPECT_GT(touched, total * 3 / 4);
+}
+
+TEST(Trainer, LearnsWellAboveChance) {
+  const auto& ds = shared_dataset();
+  auto [train, test] = data::split_by_kernel(ds, 0.75, 3);
+  train = data::balance_classes(ds, train, 3);
+  ASSERT_GE(train.size(), 20u);
+  ASSERT_GE(test.size(), 10u);
+  core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::TrainConfig tc;
+  tc.epochs = 25;
+  core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
+  const auto curve = trainer.fit(train, test);
+  ASSERT_EQ(curve.size(), tc.epochs);
+  // Loss decreases over training (compare first/last thirds).
+  double early = 0, late = 0;
+  for (std::size_t i = 0; i < 5; ++i) early += curve[i].loss;
+  for (std::size_t i = curve.size() - 5; i < curve.size(); ++i) {
+    late += curve[i].loss;
+  }
+  EXPECT_LT(late, early);
+  EXPECT_GE(trainer.accuracy(test), 0.70);
+  // View predictions exist and mostly agree with the fused head.
+  int agree = 0;
+  for (const std::size_t i : test) {
+    const auto p = trainer.predict(i);
+    agree += (p.node_view == p.fused);
+  }
+  EXPECT_GT(agree, static_cast<int>(test.size()) / 2);
+}
+
+TEST(Trainer, StaticGnnTrainsButUsesNoDynamicFeatures) {
+  const auto& ds = shared_dataset();
+  auto [train, test] = data::split_by_kernel(ds, 0.75, 4);
+  train = data::balance_classes(ds, train, 4);
+  core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::TrainConfig tc;
+  tc.epochs = 15;
+  core::StaticGnnTrainer trainer(feats, core::default_config(feats).node_view,
+                                 tc);
+  trainer.fit(train, {});
+  const double acc = trainer.accuracy(test);
+  EXPECT_GE(acc, 0.5);  // learns something
+}
+
+TEST(Normalizer, ZeroMeanUnitVarianceOnTrainingNodes) {
+  const auto& ds = shared_dataset();
+  const auto idx = ds.suite_indices("");
+  const auto norm = core::Normalizer::fit(ds, idx);
+  std::array<double, 7> sum{}, sq{};
+  std::size_t n = 0;
+  for (const std::size_t i : idx) {
+    for (const auto& row : ds.samples[i].node_dynamic) {
+      const auto z = norm.apply(row);
+      for (int k = 0; k < 7; ++k) {
+        sum[k] += z[k];
+        sq[k] += z[k] * z[k];
+      }
+      ++n;
+    }
+  }
+  for (int k = 0; k < 7; ++k) {
+    EXPECT_NEAR(sum[k] / n, 0.0, 0.05);
+    EXPECT_NEAR(sq[k] / n, 1.0, 0.1);
+  }
+}
+
+TEST(Ncc, OverfitsATinySubset) {
+  const auto& ds = shared_dataset();
+  // Pick a small balanced subset.
+  std::vector<std::size_t> subset;
+  int pos = 0, neg = 0;
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    if (ds.samples[i].label && pos < 6) {
+      subset.push_back(i);
+      ++pos;
+    } else if (!ds.samples[i].label && neg < 6) {
+      subset.push_back(i);
+      ++neg;
+    }
+  }
+  ASSERT_EQ(subset.size(), 12u);
+  ml::NccConfig cfg;
+  ml::NccTrainConfig tc;
+  tc.epochs = 30;
+  ml::NccTrainer trainer(ds, cfg, tc);
+  trainer.fit(subset);
+  // Some corpus templates have identical token streams with different
+  // labels (the offset patterns) — those are irreducible for a token-only
+  // model, so even overfitting caps below 100%.
+  EXPECT_GE(trainer.accuracy(subset), 0.65);
+}
+
+}  // namespace
+
+namespace batch_tests {
+
+using namespace mvgnn;
+
+TEST(Trainer, MiniBatchAccumulationStillLearns) {
+  const auto& ds = shared_dataset();
+  auto [train, test] = data::split_by_kernel(ds, 0.75, 12);
+  train = data::balance_classes(ds, train, 12);
+  core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 8;
+  tc.lr = 3e-3f;  // larger batches tolerate a larger rate
+  core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
+  const auto curve = trainer.fit(train, {});
+  EXPECT_LT(curve.back().loss, curve.front().loss);
+  EXPECT_GE(trainer.accuracy(test), 0.65);
+}
+
+TEST(Trainer, OversampleBalanceKeepsAllSamples) {
+  const auto& ds = shared_dataset();
+  const auto idx = ds.suite_indices("");
+  const auto balanced = data::oversample_balance(ds, idx, 1);
+  EXPECT_GE(balanced.size(), idx.size());
+  int pos = 0, neg = 0;
+  for (const auto i : balanced) {
+    (ds.samples[i].label ? pos : neg)++;
+  }
+  EXPECT_EQ(pos, neg);
+  // Every original index still present.
+  std::set<std::size_t> set(balanced.begin(), balanced.end());
+  for (const auto i : idx) EXPECT_TRUE(set.count(i));
+}
+
+}  // namespace batch_tests
+
+namespace determinism_tests {
+
+using namespace mvgnn;
+
+TEST(Trainer, TrainingIsDeterministicGivenSeeds) {
+  const auto& ds = shared_dataset();
+  auto [train, test] = data::split_by_kernel(ds, 0.75, 8);
+  train = data::balance_classes(ds, train, 8);
+  core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::TrainConfig tc;
+  tc.epochs = 6;
+
+  core::MvGnnTrainer a(feats, core::default_config(feats), tc);
+  const auto curve_a = a.fit(train, {});
+  core::MvGnnTrainer b(feats, core::default_config(feats), tc);
+  const auto curve_b = b.fit(train, {});
+
+  ASSERT_EQ(curve_a.size(), curve_b.size());
+  for (std::size_t e = 0; e < curve_a.size(); ++e) {
+    EXPECT_DOUBLE_EQ(curve_a[e].loss, curve_b[e].loss) << "epoch " << e;
+  }
+  for (const std::size_t i : test) {
+    EXPECT_EQ(a.predict(i).fused, b.predict(i).fused);
+  }
+}
+
+TEST(Dataset, BuildIsDeterministicDespiteParallelism) {
+  // The dataset builder fans out over the thread pool; results must be
+  // identical run to run (per-item noise streams, ordered collection).
+  auto programs = data::build_generated_corpus(90, 66);
+  data::DatasetOptions opts;
+  opts.seed = 9;
+  opts.walk.gamma = 8;
+  const data::Dataset a = data::build_dataset(programs, opts);
+  const data::Dataset b = data::build_dataset(programs, opts);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].label, b.samples[i].label);
+    EXPECT_EQ(a.samples[i].node_dynamic, b.samples[i].node_dynamic);
+    EXPECT_EQ(a.samples[i].edges, b.samples[i].edges);
+  }
+}
+
+}  // namespace determinism_tests

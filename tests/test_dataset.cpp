@@ -1,0 +1,315 @@
+// Corpus and dataset-construction tests: Table II loop populations, label
+// sanity per pattern, split/balance invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "data/dataset.hpp"
+#include "data/serialize.hpp"
+
+namespace {
+
+using namespace mvgnn;
+using data::Pattern;
+
+data::Dataset small_dataset() {
+  // A small but pattern-diverse corpus keeps this test fast.
+  std::vector<data::ProgramSpec> programs;
+  par::Rng rng(7);
+  const Pattern pats[] = {
+      Pattern::VecMap,         Pattern::ReduceSum,    Pattern::ReduceMax,
+      Pattern::Recurrence,     Pattern::PrivTemp,     Pattern::PrivArrayTemp,
+      Pattern::IndirectGather, Pattern::IndirectScatter,
+      Pattern::EarlyExit,      Pattern::MatMulNest,   Pattern::Jacobi2D,
+      Pattern::Seidel2D,       Pattern::CallMapPure,  Pattern::ColdPath,
+      Pattern::DisjointCopy,   Pattern::ArrayAccumNest,
+  };
+  int i = 0;
+  for (const Pattern p : pats) {
+    data::ProgramSpec ps;
+    ps.suite = "Test";
+    ps.app = "t";
+    ps.pattern = p;
+    ps.kernel = data::generate_kernel(p, "t_k" + std::to_string(i++), rng);
+    programs.push_back(std::move(ps));
+  }
+  data::DatasetOptions opts;
+  opts.seed = 11;
+  std::size_t skipped = 99;
+  data::Dataset ds = data::build_dataset(programs, opts, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  return ds;
+}
+
+TEST(Corpus, Table2LoopCountsMatchThePaper) {
+  const auto programs = data::build_benchmark_corpus(123);
+  std::map<std::string, int> loops;
+  for (const auto& p : programs) loops[p.app] += p.kernel.for_loops;
+  EXPECT_EQ(loops["BT"], 184);
+  EXPECT_EQ(loops["SP"], 252);
+  EXPECT_EQ(loops["LU"], 173);
+  EXPECT_EQ(loops["IS"], 25);
+  EXPECT_EQ(loops["EP"], 10);
+  EXPECT_EQ(loops["CG"], 32);
+  EXPECT_EQ(loops["MG"], 74);
+  EXPECT_EQ(loops["FT"], 37);
+  EXPECT_EQ(loops["2mm"], 17);
+  EXPECT_EQ(loops["jacobi-2d"], 10);
+  EXPECT_EQ(loops["syr2k"], 11);
+  EXPECT_EQ(loops["trmm"], 9);
+  EXPECT_EQ(loops["fib"], 2);
+  EXPECT_EQ(loops["nqueens"], 4);
+  int total = 0;
+  for (const auto& [app, n] : loops) total += n;
+  EXPECT_EQ(total, 840);
+}
+
+TEST(Corpus, EveryBenchmarkProgramCompilesAndProfiles) {
+  const auto programs = data::build_benchmark_corpus(123);
+  std::size_t skipped = 0;
+  data::DatasetOptions opts;
+  opts.walk.gamma = 8;  // keep this test fast
+  const data::Dataset ds = data::build_dataset(programs, opts, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  // Every for-loop became exactly one sample.
+  EXPECT_EQ(ds.samples.size(), 840u);
+}
+
+TEST(Dataset, SampleShapesAreConsistent) {
+  const data::Dataset ds = small_dataset();
+  ASSERT_FALSE(ds.samples.empty());
+  for (const auto& s : ds.samples) {
+    EXPECT_GE(s.n, 1u);
+    ASSERT_EQ(s.node_static.size(), s.n);
+    ASSERT_EQ(s.node_dynamic.size(), s.n);
+    ASSERT_EQ(s.aw_dist.size(), s.n);
+    for (const auto& row : s.node_static) {
+      EXPECT_EQ(row.size(), ds.static_dim);
+    }
+    for (const auto& row : s.aw_dist) {
+      EXPECT_EQ(row.size(), ds.aw_vocab);
+    }
+    for (const auto& [a, b] : s.edges) {
+      EXPECT_LT(a, s.n);
+      EXPECT_LT(b, s.n);
+    }
+  }
+}
+
+TEST(Dataset, PatternLabelsMatchExpectations) {
+  const data::Dataset ds = small_dataset();
+  auto label_of = [&](const std::string& kernel_prefix, int loop_index) {
+    int seen = 0;
+    for (const auto& s : ds.samples) {
+      if (s.kernel.rfind(kernel_prefix, 0) == 0) {
+        if (seen++ == loop_index) return s.label;
+      }
+    }
+    ADD_FAILURE() << "no sample for " << kernel_prefix;
+    return -1;
+  };
+  EXPECT_EQ(label_of("t_k0", 0), 1);  // VecMap -> parallel
+  EXPECT_EQ(label_of("t_k1", 0), 1);  // ReduceSum -> parallel (reduction)
+  EXPECT_EQ(label_of("t_k2", 0), 1);  // ReduceMax -> parallel (expert)
+  EXPECT_EQ(label_of("t_k3", 0), 0);  // Recurrence -> sequential
+  EXPECT_EQ(label_of("t_k4", 0), 1);  // PrivTemp -> parallel
+  EXPECT_EQ(label_of("t_k8", 0), 0);  // EarlyExit -> sequential
+}
+
+TEST(Dataset, ToolVerdictsShowTheCharacteristicGaps) {
+  const data::Dataset ds = small_dataset();
+  auto find = [&](const std::string& kernel, int loop_index) {
+    int seen = 0;
+    for (const auto& s : ds.samples) {
+      if (s.kernel == kernel && seen++ == loop_index) return &s;
+    }
+    return static_cast<const data::GraphSample*>(nullptr);
+  };
+  // ReduceMax (t_k2): expert parallel, DiscoPoP misses min/max reductions.
+  const auto* rmax = find("t_k2", 0);
+  ASSERT_NE(rmax, nullptr);
+  EXPECT_EQ(rmax->label, 1);
+  EXPECT_FALSE(rmax->tool_discopop);
+  // IndirectGather (t_k6): parallel; the indirection is read-only, so the
+  // GCD-based tool can still prove it, but the polyhedral model cannot
+  // represent the non-affine subscript at all.
+  const auto* gather = find("t_k6", 0);
+  ASSERT_NE(gather, nullptr);
+  EXPECT_EQ(gather->label, 1);
+  EXPECT_TRUE(gather->tool_discopop);
+  EXPECT_TRUE(gather->tool_autopar);
+  EXPECT_FALSE(gather->tool_pluto);
+  // CallMapPure (t_k12): parallel, static tools give up at the call.
+  const auto* call = find("t_k12", 0);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->label, 1);
+  EXPECT_TRUE(call->tool_discopop);
+  EXPECT_FALSE(call->tool_autopar);
+}
+
+TEST(Dataset, SplitKeepsKernelsDisjointAndBalanceWorks) {
+  const data::Dataset ds = small_dataset();
+  const auto [train, test] = data::split_by_kernel(ds, 0.75, 5);
+  EXPECT_EQ(train.size() + test.size(), ds.samples.size());
+  std::set<std::string> train_kernels, test_kernels;
+  for (const auto i : train) train_kernels.insert(ds.samples[i].kernel);
+  for (const auto i : test) test_kernels.insert(ds.samples[i].kernel);
+  for (const auto& k : train_kernels) {
+    EXPECT_EQ(test_kernels.count(k), 0u) << k << " appears on both sides";
+  }
+  const auto balanced = data::balance_classes(ds, train, 5);
+  int pos = 0, neg = 0;
+  for (const auto i : balanced) {
+    (ds.samples[i].label ? pos : neg)++;
+  }
+  EXPECT_EQ(pos, neg);
+}
+
+}  // namespace
+
+namespace serialize_tests {
+
+using namespace mvgnn;
+
+TEST(Serialize, DatasetRoundTripsExactly) {
+  par::Rng rng(3);
+  std::vector<data::ProgramSpec> programs;
+  for (const auto p : {data::Pattern::ReduceSum, data::Pattern::OffsetStencil,
+                       data::Pattern::MatMulNest}) {
+    data::ProgramSpec ps;
+    ps.suite = "T";
+    ps.app = "t";
+    ps.pattern = p;
+    ps.kernel = data::generate_kernel(p, std::string("sk_") +
+                                             data::pattern_name(p), rng);
+    programs.push_back(std::move(ps));
+  }
+  data::DatasetOptions opts;
+  opts.walk.gamma = 8;
+  const data::Dataset ds = data::build_dataset(programs, opts);
+
+  std::stringstream buf;
+  data::save_dataset(ds, buf);
+  const data::Dataset back = data::load_dataset(buf);
+
+  EXPECT_EQ(back.static_dim, ds.static_dim);
+  EXPECT_EQ(back.aw_vocab, ds.aw_vocab);
+  EXPECT_EQ(back.token_vocab.size(), ds.token_vocab.size());
+  EXPECT_EQ(back.aw_vocab_table.size(), ds.aw_vocab_table.size());
+  ASSERT_EQ(back.samples.size(), ds.samples.size());
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    const auto& a = ds.samples[i];
+    const auto& b = back.samples[i];
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.edge_kinds, b.edge_kinds);
+    EXPECT_EQ(a.node_static, b.node_static);
+    EXPECT_EQ(a.aw_dist, b.aw_dist);
+    EXPECT_EQ(a.node_dynamic, b.node_dynamic);
+    EXPECT_EQ(a.loop_features, b.loop_features);
+    EXPECT_EQ(a.token_seq, b.token_seq);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.pattern_label, b.pattern_label);
+    EXPECT_EQ(a.tool_autopar, b.tool_autopar);
+    EXPECT_EQ(a.tool_pluto, b.tool_pluto);
+    EXPECT_EQ(a.tool_discopop, b.tool_discopop);
+    EXPECT_EQ(a.suite, b.suite);
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.loop_line, b.loop_line);
+  }
+  // inst2vec rows survive bit-exactly.
+  for (std::uint32_t v = 0; v < ds.inst2vec.vocab_size(); ++v) {
+    const auto ra = ds.inst2vec.row(v);
+    const auto rb = back.inst2vec.row(v);
+    for (std::size_t d = 0; d < ra.size(); ++d) {
+      EXPECT_EQ(ra[d], rb[d]);
+    }
+  }
+}
+
+TEST(Serialize, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a dataset");
+  EXPECT_THROW((void)data::load_dataset(garbage), std::runtime_error);
+
+  // Truncated valid stream.
+  par::Rng rng(5);
+  data::ProgramSpec ps;
+  ps.suite = "T";
+  ps.app = "t";
+  ps.pattern = data::Pattern::VecMap;
+  ps.kernel = data::generate_kernel(data::Pattern::VecMap, "sk_trunc", rng);
+  data::DatasetOptions opts;
+  opts.walk.gamma = 4;
+  const data::Dataset ds = data::build_dataset({ps}, opts);
+  std::stringstream buf;
+  data::save_dataset(ds, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)data::load_dataset(cut), std::runtime_error);
+}
+
+}  // namespace serialize_tests
+
+namespace featurize_tests {
+
+using namespace mvgnn;
+
+TEST(Featurize, UnseenProgramMatchesReferenceWidths) {
+  // Reference corpus.
+  auto programs = data::build_generated_corpus(120, 33);
+  data::DatasetOptions opts;
+  opts.seed = 3;
+  const data::Dataset ds = data::build_dataset(programs, opts);
+
+  // A brand-new program (not in the corpus).
+  par::Rng rng(99);
+  data::ProgramSpec fresh;
+  fresh.suite = "User";
+  fresh.app = "user";
+  fresh.pattern = data::Pattern::StencilCopy;
+  fresh.kernel =
+      data::generate_kernel(data::Pattern::StencilCopy, "fresh", rng);
+
+  const auto samples = data::featurize_program(fresh, ds, opts);
+  ASSERT_EQ(samples.size(), 1u);
+  const auto& s = samples[0];
+  EXPECT_EQ(s.label, 1);  // out-of-place stencil is parallel
+  ASSERT_EQ(s.node_static.size(), s.n);
+  for (const auto& row : s.node_static) {
+    EXPECT_EQ(row.size(), ds.static_dim);
+  }
+  for (const auto& row : s.aw_dist) {
+    EXPECT_EQ(row.size(), ds.aw_vocab);  // frozen vocab width
+  }
+  // Frozen vocabularies must not have grown.
+  EXPECT_EQ(ds.aw_vocab_table.size(), ds.aw_vocab);
+}
+
+TEST(Featurize, WorksAfterDatasetReload) {
+  auto programs = data::build_generated_corpus(60, 44);
+  data::DatasetOptions opts;
+  opts.seed = 4;
+  opts.walk.gamma = 8;
+  const data::Dataset ds = data::build_dataset(programs, opts);
+  std::stringstream buf;
+  data::save_dataset(ds, buf);
+  const data::Dataset back = data::load_dataset(buf);
+
+  par::Rng rng(5);
+  data::ProgramSpec fresh;
+  fresh.suite = "User";
+  fresh.app = "user";
+  fresh.kernel = data::generate_kernel(data::Pattern::ReduceSum, "fr", rng);
+  const auto a = data::featurize_program(fresh, ds, opts);
+  const auto b = data::featurize_program(fresh, back, opts);
+  ASSERT_EQ(a.size(), b.size());
+  // Identical featurization from the reloaded dataset.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node_static, b[i].node_static);
+    EXPECT_EQ(a[i].aw_dist, b[i].aw_dist);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+}  // namespace featurize_tests

@@ -1,0 +1,129 @@
+// inst2vec-style embedding tests: statement normalization, context pair
+// generation, and skip-gram training sanity.
+#include <gtest/gtest.h>
+
+#include "embedding/normalizer.hpp"
+#include "embedding/skipgram.hpp"
+#include "frontend/lower.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+TEST(Normalizer, AbstractsIdentifiersAndConstants) {
+  const ir::Module m = frontend::compile(R"(
+float kernel(float[] a, float[] b) {
+  float x = a[0] * 2.0;
+  float y = b[1] * 3.5;
+  return x + y;
+}
+)",
+                                         "t");
+  const ir::Function& fn = *m.find("kernel");
+  // The two `arrayload * constant` statements normalize to the same token
+  // despite different arrays and constants.
+  std::vector<std::string> muls;
+  for (const ir::Instruction& in : fn.instrs) {
+    if (in.op == ir::Opcode::FMul) muls.push_back(embedding::normalize(in));
+  }
+  ASSERT_EQ(muls.size(), 2u);
+  EXPECT_EQ(muls[0], muls[1]);
+}
+
+TEST(Normalizer, BuiltinsKeepTheirNamesUserCallsDoNot) {
+  const ir::Module m = frontend::compile(R"(
+float helper(float x) { return x; }
+float kernel(float a) {
+  return sqrt(a) + exp(a) + helper(a);
+}
+)",
+                                         "t");
+  const ir::Function& fn = *m.find("kernel");
+  std::vector<std::string> calls;
+  for (const ir::Instruction& in : fn.instrs) {
+    if (in.op == ir::Opcode::Call) calls.push_back(embedding::normalize(in));
+  }
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_NE(calls[0], calls[1]);  // sqrt vs exp differ
+  EXPECT_NE(calls[2].find("@user"), std::string::npos);
+}
+
+TEST(Vocab, GrowsAndFreezes) {
+  embedding::Vocab v;
+  const auto a = v.id_of("tok_a", true);
+  const auto b = v.id_of("tok_b", true);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(v.id_of("tok_a", true), a);
+  v.freeze();
+  EXPECT_EQ(v.id_of("tok_new", true), 0u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ContextPairs, SymmetricAndNonEmpty) {
+  const ir::Module m = frontend::compile(R"(
+float kernel(float a) {
+  float x = a * 2.0;
+  return x + 1.0;
+}
+)",
+                                         "t");
+  embedding::Vocab v;
+  const auto pairs =
+      embedding::context_pairs(*m.find("kernel"), v, /*grow=*/true);
+  ASSERT_FALSE(pairs.empty());
+  // Every (a, b) has its mirror (b, a).
+  for (const auto& [x, y] : pairs) {
+    EXPECT_NE(std::find(pairs.begin(), pairs.end(), std::make_pair(y, x)),
+              pairs.end());
+  }
+}
+
+TEST(SkipGram, CoOccurringTokensEndUpCloser) {
+  // Synthetic vocabulary: tokens 1 and 2 always co-occur, token 3 only ever
+  // pairs with 4. After training, sim(1,2) should beat sim(1,3).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (int i = 0; i < 400; ++i) {
+    pairs.emplace_back(1, 2);
+    pairs.emplace_back(2, 1);
+    pairs.emplace_back(3, 4);
+    pairs.emplace_back(4, 3);
+  }
+  embedding::SkipGramParams params;
+  params.dim = 16;
+  params.epochs = 4;
+  par::Rng rng(11);
+  const auto table = embedding::train_skipgram(5, pairs, params, rng);
+  EXPECT_GT(table.cosine(1, 2), table.cosine(1, 3));
+  EXPECT_GT(table.cosine(3, 4), table.cosine(3, 2));
+}
+
+TEST(SkipGram, MeanOfIsAverageAndHandlesEmpty) {
+  embedding::EmbeddingTable t(3, 4);
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    t.row(1)[d] = 1.0f;
+    t.row(2)[d] = 3.0f;
+  }
+  const std::vector<std::uint32_t> ids = {1, 2};
+  const auto mean = t.mean_of(ids);
+  for (const float x : mean) EXPECT_FLOAT_EQ(x, 2.0f);
+  const auto empty = t.mean_of(std::span<const std::uint32_t>{});
+  for (const float x : empty) EXPECT_FLOAT_EQ(x, 0.0f);
+}
+
+TEST(SkipGram, DeterministicGivenSeed) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {
+      {1, 2}, {2, 1}, {1, 3}, {3, 1}};
+  embedding::SkipGramParams params;
+  params.dim = 8;
+  par::Rng r1(5), r2(5);
+  const auto a = embedding::train_skipgram(4, pairs, params, r1);
+  const auto b = embedding::train_skipgram(4, pairs, params, r2);
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    for (std::uint32_t d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ(a.row(v)[d], b.row(v)[d]);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// MiniC frontend tests: lexer, parser, semantic checks, lowering structure.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+
+namespace {
+
+using namespace mvgnn;
+using frontend::FrontendError;
+using frontend::Tok;
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  const auto t2 = frontend::lex("a1 _b 12 1.5 == != <= >= && || ! ( ) [ ] ;");
+  std::vector<Tok> kinds;
+  for (const auto& t : t2) kinds.push_back(t.kind);
+  const std::vector<Tok> want = {
+      Tok::Ident, Tok::Ident, Tok::IntLit, Tok::FloatLit, Tok::Eq, Tok::Ne,
+      Tok::Le, Tok::Ge, Tok::AndAnd, Tok::OrOr, Tok::Bang, Tok::LParen,
+      Tok::RParen, Tok::LBracket, Tok::RBracket, Tok::Semi, Tok::End};
+  EXPECT_EQ(kinds, want);
+  EXPECT_EQ(t2[2].int_val, 12);
+  EXPECT_DOUBLE_EQ(t2[3].float_val, 1.5);
+  // Scientific notation and comments.
+  const auto sci = frontend::lex("3.5e2 /*block*/ 2E-3 // tail\n7");
+  EXPECT_EQ(sci[0].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(sci[0].float_val, 350.0);
+  EXPECT_EQ(sci[1].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(sci[1].float_val, 0.002);
+  EXPECT_EQ(sci[2].kind, Tok::IntLit);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = frontend::lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(frontend::lex("a @ b"), FrontendError);
+  EXPECT_THROW(frontend::lex("a & b"), FrontendError);
+  EXPECT_THROW(frontend::lex("/* unterminated"), FrontendError);
+}
+
+TEST(Parser, ConstExpressionsFold) {
+  const auto prog = frontend::parse(
+      "const int N = 4 * 8; const int M = N / 2 + (3 - 1); void f() {}");
+  ASSERT_EQ(prog.consts.size(), 2u);
+  EXPECT_EQ(prog.consts[0].value, 32);
+  EXPECT_EQ(prog.consts[1].value, 18);
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+  EXPECT_THROW(frontend::parse("void f( {}"), FrontendError);
+  EXPECT_THROW(frontend::parse("void f() { x = ; }"), FrontendError);
+  EXPECT_THROW(frontend::parse("void f() { for (1; 2; 3) {} }"), FrontendError);
+  EXPECT_THROW(frontend::parse("const int N = 1/0;"), FrontendError);
+  EXPECT_THROW(frontend::parse("void f() { 3 = x; }"), FrontendError);
+}
+
+TEST(Sema, CatchesTypeAndNameErrors) {
+  auto check = [](const char* src) {
+    auto prog = frontend::parse(src);
+    frontend::analyze(prog);
+  };
+  EXPECT_THROW(check("void f() { x = 1; }"), FrontendError);
+  EXPECT_THROW(check("void f() { int x = 1; int x = 2; }"), FrontendError);
+  EXPECT_THROW(check("void f(float[] a) { a = a; }"), FrontendError);
+  EXPECT_THROW(check("void f(int x) { if (1) { float y = x[0]; } }"),
+               FrontendError);
+  EXPECT_THROW(check("void f() { break; }"), FrontendError);
+  EXPECT_THROW(check("int f() { return; }"), FrontendError);
+  EXPECT_THROW(check("void f() { g(); }"), FrontendError);
+  EXPECT_THROW(check("void f() { int x = sqrt(1.0); }"), FrontendError);
+  EXPECT_THROW(check("float sqrt(float x) { return x; }"), FrontendError);
+  // Valid: implicit int->float widening.
+  EXPECT_NO_THROW(check("void f() { float x = 1; x = x + 2; }"));
+}
+
+TEST(Lowering, ForLoopStructureAndMarkers) {
+  const ir::Module m = frontend::compile(R"(
+const int N = 8;
+void f(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = 1.0;
+  }
+}
+)",
+                                         "t");
+  const ir::Function* fn = m.find("f");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->loops.size(), 1u);
+  const ir::LoopInfo& l = fn->loops[0];
+  EXPECT_TRUE(l.is_for);
+  EXPECT_EQ(l.depth, 0);
+  EXPECT_NE(l.induction_slot, ir::kNoInstr);
+  // Marker placement: Enter in preheader, Head first in header, Exit first
+  // in the exit block.
+  EXPECT_EQ(fn->instr(fn->block(l.preheader).instrs[0]).op,
+            ir::Opcode::LoopEnter);
+  EXPECT_EQ(fn->instr(fn->block(l.header).instrs[0]).op, ir::Opcode::LoopHead);
+  EXPECT_EQ(fn->instr(fn->block(l.exit).instrs[0]).op, ir::Opcode::LoopExit);
+  // Printing works and mentions the loop markers.
+  const std::string text = ir::to_string(*fn);
+  EXPECT_NE(text.find("loop.enter"), std::string::npos);
+}
+
+TEST(Lowering, NestedLoopsRecordParents) {
+  const ir::Module m = frontend::compile(R"(
+void f(float[] a) {
+  for (int i = 0; i < 4; i += 1) {
+    for (int j = 0; j < 4; j += 1) {
+      a[i * 4 + j] = 0.0;
+    }
+  }
+}
+)",
+                                         "t");
+  const ir::Function* fn = m.find("f");
+  ASSERT_EQ(fn->loops.size(), 2u);
+  EXPECT_EQ(fn->loops[0].parent, ir::kNoLoop);
+  EXPECT_EQ(fn->loops[1].parent, fn->loops[0].id);
+  EXPECT_EQ(fn->loops[1].depth, 1);
+}
+
+TEST(Lowering, WhileLoopsAreNotForLoops) {
+  const ir::Module m = frontend::compile(R"(
+void f() {
+  int i = 0;
+  while (i < 4) {
+    i = i + 1;
+  }
+}
+)",
+                                         "t");
+  const ir::Function* fn = m.find("f");
+  ASSERT_EQ(fn->loops.size(), 1u);
+  EXPECT_FALSE(fn->loops[0].is_for);
+}
+
+TEST(Lowering, GlobalConstsBecomeImmediates) {
+  const ir::Module m = frontend::compile(
+      "const int N = 7; int f() { return N; }", "t");
+  const ir::Function* fn = m.find("f");
+  bool found = false;
+  for (const ir::Instruction& in : fn->instrs) {
+    if (in.op == ir::Opcode::Ret && !in.operands.empty() &&
+        in.operands[0].kind == ir::Value::Kind::ImmInt) {
+      EXPECT_EQ(in.operands[0].imm_int, 7);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lowering, VerifierAcceptsEveryCorpusModule) {
+  // compile() runs ir::verify internally; this exercises dead-code paths
+  // (return inside loops, break/continue, if-else chains).
+  EXPECT_NO_THROW(frontend::compile(R"(
+int f(float[] a) {
+  for (int i = 0; i < 8; i += 1) {
+    if (a[i] > 1.0) {
+      return i;
+    } else {
+      if (a[i] < 0.1) {
+        continue;
+      }
+    }
+    a[i] = 0.5;
+    if (a[i] > 0.4) {
+      break;
+    }
+  }
+  return -1;
+}
+)",
+                                    "t"));
+}
+
+TEST(Lowering, SourceLinesSurviveLowering) {
+  const ir::Module m = frontend::compile(R"(
+void f(float[] a) {
+  for (int i = 0; i < 4; i += 1) {
+    a[i] = 2.0;
+  }
+}
+)",
+                                         "t");
+  const ir::Function* fn = m.find("f");
+  EXPECT_EQ(fn->loops[0].start_line, 3);
+  EXPECT_EQ(fn->loops[0].end_line, 5);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Grammar fuzzing: randomly generated (but by-construction fault-free)
+// MiniC programs must flow through the ENTIRE pipeline — compile, verify,
+// every transform pipeline, profile, PEG, sub-PEGs, features, oracle and
+// tool classification — without crashes, faults, or verifier complaints.
+//
+// The generator constrains itself so runtime faults cannot occur: every
+// array subscript is reduced modulo the array length, there is no division,
+// loop bounds are small constants, and nesting is capped. Anything the
+// pipeline then throws is a real bug.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/tools.hpp"
+#include "parallel/rng.hpp"
+#include "frontend/lower.hpp"
+#include "graph/peg.hpp"
+#include "profiler/profile.hpp"
+#include "transform/passes.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+/// Random MiniC program generator. Scalars: i/j loop variables, s/t floats.
+/// Arrays: a, b (float, length N).
+class Fuzzer {
+ public:
+  explicit Fuzzer(std::uint64_t seed) : rng_(seed) {}
+
+  std::string program() {
+    os_.str("");
+    n_ = 8 + 4 * rng_.uniform_int(0, 4);
+    os_ << "const int N = " << n_ << ";\n";
+    os_ << "float kernel(float[] a, float[] b) {\n";
+    os_ << "  float s = 0.0;\n";
+    os_ << "  float t = 1.0;\n";
+    const int stmts = 2 + static_cast<int>(rng_.uniform_int(0, 4));
+    for (int k = 0; k < stmts; ++k) stmt(1, 0);
+    os_ << "  return s + t + a[0] + b[0];\n";
+    os_ << "}\n";
+    return os_.str();
+  }
+
+ private:
+  void indent(int depth) {
+    for (int i = 0; i < depth; ++i) os_ << "  ";
+  }
+
+  /// An int expression that stays small and non-negative.
+  std::string int_expr(int loop_depth) {
+    switch (rng_.uniform_int(0, 3)) {
+      case 0: return std::to_string(rng_.uniform_int(0, n_ - 1));
+      case 1:
+        if (loop_depth >= 1) return "i";
+        return std::to_string(rng_.uniform_int(0, 3));
+      case 2:
+        if (loop_depth >= 2) return "j";
+        if (loop_depth >= 1) return "i + 1";
+        return "2";
+      default:
+        if (loop_depth >= 1) {
+          return "i * " + std::to_string(1 + rng_.uniform_int(0, 3));
+        }
+        return std::to_string(rng_.uniform_int(0, 5));
+    }
+  }
+
+  /// A guaranteed-in-bounds subscript.
+  std::string index(int loop_depth) {
+    return "(" + int_expr(loop_depth) + ") % N";
+  }
+
+  /// A float expression (no division).
+  std::string float_expr(int loop_depth, int budget = 2) {
+    if (budget <= 0 || rng_.bernoulli(0.3)) {
+      switch (rng_.uniform_int(0, 3)) {
+        case 0: return "s";
+        case 1: return "t";
+        case 2: {
+          std::ostringstream w;
+          w << (0.1 + rng_.uniform());
+          return w.str();
+        }
+        default:
+          return std::string(rng_.bernoulli(0.5) ? "a" : "b") + "[" +
+                 index(loop_depth) + "]";
+      }
+    }
+    const char* ops[] = {" + ", " - ", " * "};
+    const std::string lhs = float_expr(loop_depth, budget - 1);
+    const std::string rhs = float_expr(loop_depth, budget - 1);
+    if (rng_.bernoulli(0.2)) return "fabs(" + lhs + ")";
+    if (rng_.bernoulli(0.15)) return "fmax(" + lhs + ", " + rhs + ")";
+    return "(" + lhs + ops[rng_.uniform_u64(3)] + rhs + ")";
+  }
+
+  void stmt(int depth, int loop_depth) {
+    // Loops only shallowly (bounds the program size and keeps i/j scoping
+    // trivially correct).
+    const bool allow_for = depth <= 2 && loop_depth < 2;
+    switch (rng_.uniform_int(0, allow_for ? 4 : 3)) {
+      case 0: {  // scalar assignment
+        indent(depth);
+        os_ << (rng_.bernoulli(0.5) ? "s" : "t") << " = "
+            << float_expr(loop_depth) << ";\n";
+        return;
+      }
+      case 1: {  // array store
+        indent(depth);
+        os_ << (rng_.bernoulli(0.5) ? "a" : "b") << "[" << index(loop_depth)
+            << "] = " << float_expr(loop_depth) << ";\n";
+        return;
+      }
+      case 2: {  // if/else
+        indent(depth);
+        os_ << "if (" << float_expr(loop_depth, 1) << " > "
+            << float_expr(loop_depth, 1) << ") {\n";
+        stmt(depth + 1, loop_depth);
+        indent(depth);
+        if (rng_.bernoulli(0.5)) {
+          os_ << "} else {\n";
+          stmt(depth + 1, loop_depth);
+          indent(depth);
+        }
+        os_ << "}\n";
+        return;
+      }
+      case 3: {  // compound array update (reduction-shaped)
+        indent(depth);
+        os_ << (rng_.bernoulli(0.5) ? "a" : "b") << "[" << index(loop_depth)
+            << "] += " << float_expr(loop_depth, 1) << ";\n";
+        return;
+      }
+      default: {  // for loop (bounded nesting)
+        const char* iv = loop_depth == 0 ? "i" : "j";
+        const int trip = 2 + static_cast<int>(rng_.uniform_int(0, 6));
+        indent(depth);
+        os_ << "for (int " << iv << " = 0; " << iv << " < " << trip << "; "
+            << iv << " += 1) {\n";
+        const int body = 1 + static_cast<int>(rng_.uniform_int(0, 2));
+        for (int k = 0; k < body; ++k) stmt(depth + 1, loop_depth + 1);
+        indent(depth);
+        os_ << "}\n";
+        return;
+      }
+    }
+  }
+
+  par::Rng rng_;
+  std::ostringstream os_;
+  std::int64_t n_ = 16;
+};
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, WholePipelineSurvivesRandomPrograms) {
+  Fuzzer fuzz(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    const std::string source = fuzz.program();
+    SCOPED_TRACE(source);
+
+    // Compile + verify.
+    ir::Module m;
+    ASSERT_NO_THROW(m = frontend::compile(source, "fuzz")) << source;
+
+    // Every transform pipeline keeps it valid and semantics-stable.
+    profiler::NullObserver obs;
+    const std::vector<profiler::ArgInit> args = {
+        profiler::ArgInit::of_array(64, 1), profiler::ArgInit::of_array(64, 2)};
+    double reference = 0.0;
+    ASSERT_NO_THROW(reference =
+                        profiler::run(m, "kernel", args, obs).return_value.f);
+    for (const auto& pipeline : transform::variant_pipelines()) {
+      ir::Module v = frontend::compile(source, pipeline.name);
+      ASSERT_NO_THROW(transform::run_pipeline(v, pipeline)) << pipeline.name;
+      double out = 0.0;
+      ASSERT_NO_THROW(out = profiler::run(v, "kernel", args, obs)
+                                .return_value.f)
+          << pipeline.name;
+      EXPECT_DOUBLE_EQ(out, reference) << pipeline.name << "\n" << source;
+    }
+
+    // Full profile + graph + per-loop analyses.
+    profiler::ProfileResult prof;
+    ASSERT_NO_THROW(prof = profiler::profile(m, "kernel", args));
+    const graph::Peg peg = graph::build_peg(m, prof);
+    EXPECT_GE(peg.num_nodes(), 1u);
+    for (const auto& loop : prof.loops) {
+      const auto sub = graph::extract_sub_peg(peg, loop.fn, loop.loop);
+      EXPECT_GE(sub.num_nodes(), 1u);
+      EXPECT_NO_THROW(
+          (void)analysis::oracle_classify(*loop.fn, loop.loop, prof.dep));
+      EXPECT_NO_THROW((void)analysis::autopar_classify(*loop.fn, loop.loop));
+      EXPECT_NO_THROW((void)analysis::pluto_classify(*loop.fn, loop.loop));
+      EXPECT_NO_THROW(
+          (void)analysis::discopop_classify(*loop.fn, loop.loop, prof.dep));
+      EXPECT_NO_THROW(
+          (void)analysis::oracle_pattern(*loop.fn, loop.loop, prof.dep));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Interpreter semantics: arithmetic, control flow, builtins, recursion,
+// faults, and deterministic argument synthesis.
+#include <gtest/gtest.h>
+
+#include "frontend/lower.hpp"
+#include "profiler/interp.hpp"
+
+namespace {
+
+using namespace mvgnn;
+using profiler::ArgInit;
+using profiler::InterpError;
+
+double run_f(const std::string& body, std::vector<ArgInit> args = {}) {
+  const ir::Module m = frontend::compile(body, "t");
+  profiler::NullObserver obs;
+  return profiler::run(m, "kernel", args, obs).return_value.f;
+}
+
+std::int64_t run_i(const std::string& body, std::vector<ArgInit> args = {}) {
+  const ir::Module m = frontend::compile(body, "t");
+  profiler::NullObserver obs;
+  return profiler::run(m, "kernel", args, obs).return_value.i;
+}
+
+TEST(Interp, IntegerArithmetic) {
+  EXPECT_EQ(run_i("int kernel() { return (7 + 3) * 2 - 5 / 2 % 2; }"),
+            (7 + 3) * 2 - 5 / 2 % 2);
+  EXPECT_EQ(run_i("int kernel() { return -4 % 3; }"), -4 % 3);
+  EXPECT_EQ(run_i("int kernel() { return 3 < 5 && 2 >= 2; }"), 1);
+  EXPECT_EQ(run_i("int kernel() { return !(1 == 1) || 0 != 0; }"), 0);
+}
+
+TEST(Interp, FloatArithmeticAndCasts) {
+  EXPECT_DOUBLE_EQ(run_f("float kernel() { return 1.5 * 4.0 - 1.0; }"), 5.0);
+  EXPECT_EQ(run_i("int kernel() { return (int) 3.9; }"), 3);
+  EXPECT_DOUBLE_EQ(run_f("float kernel() { return (float) 7 / 2.0; }"), 3.5);
+}
+
+TEST(Interp, Builtins) {
+  EXPECT_DOUBLE_EQ(run_f("float kernel() { return sqrt(16.0); }"), 4.0);
+  EXPECT_DOUBLE_EQ(run_f("float kernel() { return fmax(1.0, -3.0); }"), 1.0);
+  EXPECT_DOUBLE_EQ(run_f("float kernel() { return fmin(1.0, -3.0); }"), -3.0);
+  EXPECT_DOUBLE_EQ(run_f("float kernel() { return fabs(-2.5); }"), 2.5);
+  EXPECT_DOUBLE_EQ(run_f("float kernel() { return pow(2.0, 10.0); }"), 1024.0);
+  EXPECT_EQ(run_i("int kernel() { return imax(3, 9) + imin(3, 9) + iabs(-4); }"),
+            9 + 3 + 4);
+}
+
+TEST(Interp, LoopsComputeCorrectValues) {
+  EXPECT_EQ(run_i(R"(
+int kernel() {
+  int s = 0;
+  for (int i = 1; i <= 10; i += 1) {
+    s += i;
+  }
+  return s;
+}
+)"),
+            55);
+  EXPECT_EQ(run_i(R"(
+int kernel() {
+  int s = 0;
+  int i = 0;
+  while (i < 5) {
+    s = s + 2;
+    i = i + 1;
+  }
+  return s;
+}
+)"),
+            10);
+}
+
+TEST(Interp, BreakAndContinueSemantics) {
+  EXPECT_EQ(run_i(R"(
+int kernel() {
+  int s = 0;
+  for (int i = 0; i < 10; i += 1) {
+    if (i == 3) {
+      continue;
+    }
+    if (i == 6) {
+      break;
+    }
+    s += i;
+  }
+  return s;
+}
+)"),
+            0 + 1 + 2 + 4 + 5);
+}
+
+TEST(Interp, RecursionComputesFib) {
+  EXPECT_EQ(run_i(R"(
+int fib(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+int kernel() { return fib(12); }
+)"),
+            144);
+}
+
+TEST(Interp, LocalArraysAreZeroInitialized) {
+  EXPECT_DOUBLE_EQ(run_f(R"(
+const int N = 8;
+float kernel() {
+  float t[N];
+  float s = 1.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + t[i];
+  }
+  return s;
+}
+)"),
+                   1.0);
+}
+
+TEST(Interp, MutableScalarParameters) {
+  EXPECT_EQ(run_i(R"(
+int kernel(int n) {
+  n = n + 5;
+  return n * 2;
+}
+)",
+                  {ArgInit::of_int(10)}),
+            30);
+}
+
+TEST(Interp, ArrayArgumentsReadAndWrite) {
+  const ir::Module m = frontend::compile(R"(
+const int N = 4;
+float kernel(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = (float) i;
+  }
+  return a[3];
+}
+)",
+                                         "t");
+  profiler::NullObserver obs;
+  std::vector<ArgInit> args = {ArgInit::of_array(4)};
+  EXPECT_DOUBLE_EQ(profiler::run(m, "kernel", args, obs).return_value.f, 3.0);
+}
+
+TEST(Interp, DeterministicArgumentFill) {
+  const char* src = R"(
+const int N = 16;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+)";
+  const double a = run_f(src, {ArgInit::of_array(16, 3)});
+  const double b = run_f(src, {ArgInit::of_array(16, 3)});
+  const double c = run_f(src, {ArgInit::of_array(16, 4)});
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Interp, IntArrayFillStaysInBounds) {
+  // Indirect self-indexing: every idx element must be < N.
+  EXPECT_NO_THROW(run_f(R"(
+const int N = 32;
+float kernel(int[] idx, float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + a[idx[idx[i]]];
+  }
+  return s;
+}
+)",
+                        {ArgInit::of_array(32, 1), ArgInit::of_array(32, 2)}));
+}
+
+TEST(Interp, FaultsAreReported) {
+  EXPECT_THROW(run_i("int kernel() { return 1 / 0; }"), InterpError);
+  EXPECT_THROW(run_i("int kernel() { return 1 % 0; }"), InterpError);
+  EXPECT_THROW(run_f(R"(
+float kernel(float[] a) { return a[99]; }
+)",
+                     {ArgInit::of_array(4)}),
+               InterpError);
+  EXPECT_THROW(run_f(R"(
+float kernel(float[] a) { return a[-1]; }
+)",
+                     {ArgInit::of_array(4)}),
+               InterpError);
+}
+
+TEST(Interp, StepBudgetStopsRunaway) {
+  const ir::Module m = frontend::compile(R"(
+int kernel() {
+  int i = 0;
+  while (0 == 0) {
+    i = i + 1;
+  }
+  return i;
+}
+)",
+                                         "t");
+  profiler::NullObserver obs;
+  profiler::InterpOptions opts;
+  opts.max_steps = 10'000;
+  EXPECT_THROW(profiler::run(m, "kernel", {}, obs, opts), InterpError);
+}
+
+TEST(Interp, CallDepthLimitStopsInfiniteRecursion) {
+  const ir::Module m = frontend::compile(R"(
+int rec(int n) { return rec(n + 1); }
+int kernel() { return rec(0); }
+)",
+                                         "t");
+  profiler::NullObserver obs;
+  profiler::InterpOptions opts;
+  opts.max_call_depth = 64;
+  EXPECT_THROW(profiler::run(m, "kernel", {}, obs, opts), InterpError);
+}
+
+TEST(Interp, MissingEntryAndArgMismatch) {
+  const ir::Module m = frontend::compile("void f() {}", "t");
+  profiler::NullObserver obs;
+  EXPECT_THROW(profiler::run(m, "kernel", {}, obs), InterpError);
+  std::vector<ArgInit> extra = {ArgInit::of_int(1)};
+  EXPECT_THROW(profiler::run(m, "f", extra, obs), InterpError);
+}
+
+}  // namespace

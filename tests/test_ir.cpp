@@ -1,0 +1,181 @@
+// IR-level unit tests: builder invariants, verifier rejections on
+// hand-built malformed IR, printer output, value equality.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/function.hpp"
+
+namespace {
+
+using namespace mvgnn;
+using ir::BlockId;
+using ir::Function;
+using ir::Instruction;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::TypeKind;
+using ir::Value;
+
+/// Minimal well-formed function: entry { ret 0 }.
+Function make_trivial() {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = TypeKind::Int;
+  IrBuilder b(fn);
+  const BlockId entry = b.new_block("entry");
+  b.set_insert(entry);
+  b.ret(Value::imm(std::int64_t{0}));
+  return fn;
+}
+
+TEST(IrVerifier, AcceptsWellFormedFunction) {
+  const Function fn = make_trivial();
+  EXPECT_NO_THROW(ir::verify(fn));
+}
+
+TEST(IrVerifier, RejectsMissingTerminator) {
+  Function fn;
+  fn.name = "f";
+  IrBuilder b(fn);
+  b.set_insert(b.new_block());
+  b.emit(Opcode::Add, TypeKind::Int,
+         {Value::imm(std::int64_t{1}), Value::imm(std::int64_t{2})});
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrVerifier, RejectsTerminatorMidBlock) {
+  Function fn = make_trivial();
+  // Append another instruction after the ret by hand.
+  Instruction extra;
+  extra.op = Opcode::Ret;
+  fn.instrs.push_back(extra);
+  fn.blocks[0].instrs.push_back(1);
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrVerifier, RejectsDanglingRegister) {
+  Function fn;
+  fn.name = "f";
+  IrBuilder b(fn);
+  b.set_insert(b.new_block());
+  b.ret(Value::reg_of(99));
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrVerifier, RejectsDanglingBlockTarget) {
+  Function fn;
+  fn.name = "f";
+  IrBuilder b(fn);
+  b.set_insert(b.new_block());
+  b.br(7);  // no such block
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrVerifier, RejectsBadArity) {
+  Function fn = make_trivial();
+  Instruction bad;
+  bad.op = Opcode::Add;
+  bad.type = TypeKind::Int;
+  bad.operands = {Value::imm(std::int64_t{1})};  // Add wants 2
+  fn.instrs.push_back(bad);
+  fn.blocks[0].instrs.insert(fn.blocks[0].instrs.begin(), 1);
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrVerifier, RejectsCallWithoutCallee) {
+  Function fn = make_trivial();
+  Instruction call;
+  call.op = Opcode::Call;
+  call.type = TypeKind::Void;
+  fn.instrs.push_back(call);
+  fn.blocks[0].instrs.insert(fn.blocks[0].instrs.begin(), 1);
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrVerifier, RejectsMarkerWithDanglingLoop) {
+  Function fn = make_trivial();
+  Instruction marker;
+  marker.op = Opcode::LoopHead;
+  marker.type = TypeKind::Void;
+  marker.loop = 3;  // no loops registered
+  fn.instrs.push_back(marker);
+  fn.blocks[0].instrs.insert(fn.blocks[0].instrs.begin(), 1);
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrVerifier, RejectsDuplicatePlacement) {
+  Function fn;
+  fn.name = "f";
+  IrBuilder b(fn);
+  const BlockId entry = b.new_block();
+  b.set_insert(entry);
+  const Value v = b.emit(Opcode::Add, TypeKind::Int,
+                         {Value::imm(std::int64_t{1}), Value::imm(std::int64_t{2})});
+  b.ret(v);
+  fn.blocks[0].instrs.insert(fn.blocks[0].instrs.begin(),
+                             fn.blocks[0].instrs[0]);  // placed twice
+  EXPECT_THROW(ir::verify(fn), std::runtime_error);
+}
+
+TEST(IrBuilder, BlockTerminationTracking) {
+  Function fn;
+  IrBuilder b(fn);
+  b.set_insert(b.new_block());
+  EXPECT_FALSE(b.block_terminated());
+  b.ret();
+  EXPECT_TRUE(b.block_terminated());
+}
+
+TEST(IrBuilder, LoopNestingBookkeeping) {
+  Function fn;
+  IrBuilder b(fn);
+  b.set_insert(b.new_block());
+  EXPECT_EQ(b.current_loop(), ir::kNoLoop);
+  const auto outer = b.open_loop(ir::LoopInfo{});
+  const auto inner = b.open_loop(ir::LoopInfo{});
+  EXPECT_EQ(fn.loops[inner].parent, outer);
+  EXPECT_EQ(fn.loops[inner].depth, 1);
+  EXPECT_EQ(b.current_loop(), inner);
+  b.close_loop();
+  EXPECT_EQ(b.current_loop(), outer);
+  b.close_loop();
+  EXPECT_EQ(b.current_loop(), ir::kNoLoop);
+}
+
+TEST(IrPrinter, RendersRegistersTypesAndLocations) {
+  Function fn;
+  fn.name = "demo";
+  fn.return_type = TypeKind::Int;
+  fn.params.push_back({"x", TypeKind::Int});
+  IrBuilder b(fn);
+  b.set_insert(b.new_block("entry"));
+  const Value v = b.emit(Opcode::Add, TypeKind::Int,
+                         {Value::arg_of(0), Value::imm(std::int64_t{5})},
+                         {3, 1});
+  b.ret(v);
+  const std::string text = ir::to_string(fn);
+  EXPECT_NE(text.find("func @demo"), std::string::npos);
+  EXPECT_NE(text.find("$0 x:i64"), std::string::npos);
+  EXPECT_NE(text.find("add $0, 5"), std::string::npos);
+  EXPECT_NE(text.find("line 3"), std::string::npos);
+  EXPECT_NE(text.find("ret %"), std::string::npos);
+}
+
+TEST(IrValue, EqualityComparesKindAndPayload) {
+  EXPECT_EQ(Value::imm(std::int64_t{3}), Value::imm(std::int64_t{3}));
+  EXPECT_FALSE(Value::imm(std::int64_t{3}) == Value::imm(std::int64_t{4}));
+  EXPECT_FALSE(Value::imm(std::int64_t{3}) == Value::imm(3.0));
+  EXPECT_EQ(Value::reg_of(7), Value::reg_of(7));
+  EXPECT_FALSE(Value::reg_of(7) == Value::arg_of(7));
+  EXPECT_EQ(Value::block_of(2), Value::block_of(2));
+}
+
+TEST(IrTypes, HelpersBehave) {
+  EXPECT_TRUE(ir::is_scalar(TypeKind::Int));
+  EXPECT_TRUE(ir::is_array(TypeKind::ArrFloat));
+  EXPECT_EQ(ir::element_type(TypeKind::ArrInt), TypeKind::Int);
+  EXPECT_EQ(ir::element_type(TypeKind::Float), TypeKind::Void);
+  EXPECT_EQ(std::string(ir::type_name(TypeKind::ArrFloat)), "f64*");
+}
+
+}  // namespace

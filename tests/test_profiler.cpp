@@ -1,0 +1,302 @@
+// Dependence recorder precision: RAW/WAR/WAW kinds, loop-carried vs
+// iteration-local classification, nested carriers, cross-instance behaviour,
+// CU construction, and Table I loop features.
+#include <gtest/gtest.h>
+
+#include "frontend/lower.hpp"
+#include "profiler/profile.hpp"
+
+namespace {
+
+using namespace mvgnn;
+using profiler::ArgInit;
+using profiler::DepEdge;
+using profiler::DepType;
+
+profiler::ProfileResult prof(const char* src, std::vector<ArgInit> args) {
+  // The module must outlive the profile (it holds Function pointers); keep
+  // every test module alive for the process lifetime.
+  static std::vector<std::unique_ptr<ir::Module>> keep;
+  keep.push_back(std::make_unique<ir::Module>(frontend::compile(src, "t")));
+  return profiler::profile(*keep.back(), "kernel", args);
+}
+
+/// Finds the first edge of `type` on an object named `obj`.
+const DepEdge* find_edge(const profiler::ProfileResult& r, DepType type,
+                         const std::string& obj) {
+  for (const DepEdge& e : r.dep.edges) {
+    if (e.type == type && r.dep.objects.object(e.object).name == obj) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+TEST(DepRecorder, ClassifiesCarriedRawOnRecurrence) {
+  auto r = prof(R"(
+const int N = 16;
+void kernel(float[] a) {
+  for (int i = 1; i < N; i += 1) {
+    a[i] = a[i - 1] + 1.0;
+  }
+}
+)",
+                {ArgInit::of_array(16)});
+  const DepEdge* raw = find_edge(r, DepType::RAW, "a");
+  ASSERT_NE(raw, nullptr);
+  EXPECT_TRUE(raw->loop_carried());
+  EXPECT_EQ(raw->intra_count, 0u);
+}
+
+TEST(DepRecorder, SameIndexAccessIsIntraIterationOnly) {
+  // a[i] read then written in the same iteration: the read-before-write
+  // pair is a WAR dependence that must never be flagged loop-carried.
+  auto r = prof(R"(
+const int N = 16;
+void kernel(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = a[i] * 2.0;
+  }
+}
+)",
+                {ArgInit::of_array(16)});
+  const DepEdge* war = find_edge(r, DepType::WAR, "a");
+  ASSERT_NE(war, nullptr);
+  EXPECT_FALSE(war->loop_carried());
+  EXPECT_EQ(war->intra_count, 16u);
+  // And a read-modify-write pair becomes an intra RAW once a store exists.
+  auto r2 = prof(R"(
+const int N = 16;
+void kernel(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = 1.0;
+    a[i] = a[i] * 2.0;
+  }
+}
+)",
+                 {ArgInit::of_array(16)});
+  const DepEdge* raw = find_edge(r2, DepType::RAW, "a");
+  ASSERT_NE(raw, nullptr);
+  EXPECT_FALSE(raw->loop_carried());
+}
+
+TEST(DepRecorder, AntiDependenceIsWarCarried) {
+  auto r = prof(R"(
+const int N = 16;
+void kernel(float[] a) {
+  for (int i = 0; i < N - 1; i += 1) {
+    a[i] = a[i + 1] * 0.5;
+  }
+}
+)",
+                {ArgInit::of_array(16)});
+  const DepEdge* war = find_edge(r, DepType::WAR, "a");
+  ASSERT_NE(war, nullptr);
+  EXPECT_TRUE(war->loop_carried());
+  EXPECT_EQ(find_edge(r, DepType::RAW, "a"), nullptr);
+}
+
+TEST(DepRecorder, OutputDependenceIsWawCarried) {
+  auto r = prof(R"(
+const int N = 16;
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < N; i += 1) {
+    a[0] = b[i];
+  }
+}
+)",
+                {ArgInit::of_array(16), ArgInit::of_array(16)});
+  const DepEdge* waw = find_edge(r, DepType::WAW, "a");
+  ASSERT_NE(waw, nullptr);
+  EXPECT_TRUE(waw->loop_carried());
+}
+
+TEST(DepRecorder, NestedLoopsCarryAtTheRightLevel) {
+  auto r = prof(R"(
+const int N = 8;
+void kernel(float[] a) {
+  for (int i = 1; i < N; i += 1) {
+    for (int j = 0; j < N; j += 1) {
+      a[i * N + j] = a[(i - 1) * N + j] + 1.0;
+    }
+  }
+}
+)",
+                {ArgInit::of_array(64)});
+  // The i-1 -> i dependence must be carried by the OUTER loop (loop 0),
+  // never by the inner one.
+  const DepEdge* raw = find_edge(r, DepType::RAW, "a");
+  ASSERT_NE(raw, nullptr);
+  ASSERT_EQ(raw->carried.size(), 1u);
+  EXPECT_EQ(raw->carried[0].first.loop, 0u);
+}
+
+TEST(DepRecorder, CrossInstanceIsNotCarried) {
+  // Two back-to-back loops over the same array: deps between them are
+  // loop-independent with respect to either loop.
+  auto r = prof(R"(
+const int N = 8;
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = 1.5;
+  }
+  for (int j = 0; j < N; j += 1) {
+    b[j] = a[j];
+  }
+}
+)",
+                {ArgInit::of_array(8), ArgInit::of_array(8)});
+  const DepEdge* raw = find_edge(r, DepType::RAW, "a");
+  ASSERT_NE(raw, nullptr);
+  EXPECT_FALSE(raw->loop_carried());
+  EXPECT_EQ(raw->intra_count, 8u);
+}
+
+TEST(DepRecorder, LoopRuntimeCountsBodiesAndInstances) {
+  auto r = prof(R"(
+const int N = 6;
+void kernel(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    for (int j = 0; j < 4; j += 1) {
+      a[j] = a[j] + 1.0;
+    }
+  }
+}
+)",
+                {ArgInit::of_array(8)});
+  ASSERT_EQ(r.loops.size(), 2u);
+  EXPECT_EQ(r.loops[0].features.exec_times, 6u);     // outer iterations
+  EXPECT_EQ(r.loops[1].features.exec_times, 24u);    // 6 instances x 4
+  const auto rt =
+      r.dep.loop_runtime.at(profiler::LoopRef{r.loops[1].fn, r.loops[1].loop});
+  EXPECT_EQ(rt.instances, 6u);
+}
+
+TEST(DepRecorder, CalleeAccessesAttributeToCallerLoops) {
+  auto r = prof(R"(
+const int N = 8;
+void bump(float[] acc) {
+  acc[0] = acc[0] + 1.0;
+}
+void kernel(float[] acc) {
+  for (int i = 0; i < N; i += 1) {
+    bump(acc);
+  }
+}
+)",
+                {ArgInit::of_array(4)});
+  // The accumulation happens inside bump(), yet it must show up as carried
+  // by kernel's loop: the loop stack is not popped across calls.
+  const DepEdge* raw = find_edge(r, DepType::RAW, "acc");
+  ASSERT_NE(raw, nullptr);
+  EXPECT_TRUE(raw->loop_carried());
+}
+
+TEST(Cu, Figure4ExampleYieldsTwoCus) {
+  // The paper's Fig. 4 shape: x's read-compute-write chain and y's chain
+  // form two separate CUs.
+  const ir::Module m = frontend::compile(R"(
+void kernel(float a, float b, float[] out) {
+  float x = a * 2.0;
+  float y = b + 1.0;
+  float u = x * x;
+  float v = x + 3.0;
+  x = u + v;
+  float w = y * y;
+  y = w + 2.0;
+  out[0] = x;
+  out[1] = y;
+}
+)",
+                                         "t");
+  const auto cus = profiler::build_cus(*m.find("kernel"));
+  // Exactly the x-chain and the y-chain, as in the paper's figure.
+  ASSERT_EQ(cus.size(), 2u);
+  EXPECT_GT(cus[0].instrs.size(), 5u);
+  EXPECT_GT(cus[1].instrs.size(), 5u);
+  // The chains end at their respective output lines (10 for x, 11 for y).
+  const int last0 = cus[0].end_line, last1 = cus[1].end_line;
+  EXPECT_EQ(std::min(last0, last1), 10);
+  EXPECT_EQ(std::max(last0, last1), 11);
+}
+
+TEST(Cu, MembersShareTheInnermostCommonLoop) {
+  const ir::Module m = frontend::compile(R"(
+const int N = 4;
+void kernel(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = a[i] * 2.0;
+  }
+}
+)",
+                                         "t");
+  const auto cus = profiler::build_cus(*m.find("kernel"));
+  bool loop_cu = false;
+  for (const auto& cu : cus) {
+    if (cu.loop != ir::kNoLoop) loop_cu = true;
+  }
+  EXPECT_TRUE(loop_cu);
+}
+
+TEST(LoopFeatures, InternalDepCountsOnlyCarriedNonInduction) {
+  auto clean = prof(R"(
+const int N = 16;
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < N; i += 1) {
+    b[i] = a[i] * 2.0;
+  }
+}
+)",
+                    {ArgInit::of_array(16), ArgInit::of_array(16)});
+  EXPECT_EQ(clean.loops[0].features.internal_dep, 0u);
+
+  auto carried = prof(R"(
+const int N = 16;
+void kernel(float[] a) {
+  for (int i = 1; i < N; i += 1) {
+    a[i] = a[i - 1] + 1.0;
+  }
+}
+)",
+                      {ArgInit::of_array(16)});
+  EXPECT_GT(carried.loops[0].features.internal_dep, 0u);
+}
+
+TEST(LoopFeatures, EspIsAtLeastOneAndCflPositive) {
+  auto r = prof(R"(
+const int N = 16;
+void kernel(float[] a, float[] b) {
+  for (int i = 0; i < N; i += 1) {
+    b[i] = sqrt(fabs(a[i])) * 2.0 + 1.0;
+  }
+}
+)",
+                {ArgInit::of_array(16), ArgInit::of_array(16)});
+  const auto& f = r.loops[0].features;
+  EXPECT_GE(f.esp, 1.0);
+  EXPECT_GT(f.cfl, 0.0);
+  EXPECT_GT(f.n_inst, 0u);
+}
+
+TEST(Profiler, ObserverOverheadIsPureAddition) {
+  // NullObserver and DepRecorder runs must execute the same dynamic
+  // instruction count.
+  const ir::Module m = frontend::compile(R"(
+const int N = 32;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+)",
+                                         "t");
+  std::vector<ArgInit> args = {ArgInit::of_array(32)};
+  profiler::NullObserver null_obs;
+  const auto plain = profiler::run(m, "kernel", args, null_obs);
+  const auto full = profiler::profile(m, "kernel", args);
+  EXPECT_EQ(plain.steps, full.run.steps);
+}
+
+}  // namespace

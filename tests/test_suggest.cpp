@@ -1,0 +1,128 @@
+// OpenMP suggestion generator tests: clause synthesis, ranking, and
+// sequential explanations.
+#include <gtest/gtest.h>
+
+#include "analysis/suggest.hpp"
+#include "frontend/lower.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+struct Run {
+  std::unique_ptr<ir::Module> module;
+  profiler::ProfileResult prof;
+  std::vector<analysis::Suggestion> suggestions;
+};
+
+Run run(const char* src, std::vector<profiler::ArgInit> args) {
+  Run r;
+  r.module = std::make_unique<ir::Module>(frontend::compile(src, "t"));
+  r.prof = profiler::profile(*r.module, "kernel", args);
+  r.suggestions = analysis::suggest_openmp(*r.module, r.prof);
+  return r;
+}
+
+TEST(Suggest, ReductionClauseNamesTheAccumulator) {
+  const auto r = run(R"(
+const int N = 32;
+float kernel(float[] a) {
+  float total = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    total = total + a[i];
+  }
+  return total;
+}
+)",
+                     {profiler::ArgInit::of_array(32, 1)});
+  ASSERT_EQ(r.suggestions.size(), 1u);
+  EXPECT_EQ(r.suggestions[0].kind, analysis::ParKind::Reduction);
+  EXPECT_NE(r.suggestions[0].pragma.find("reduction(+:total)"),
+            std::string::npos)
+      << r.suggestions[0].pragma;
+}
+
+TEST(Suggest, MinMaxClausesAndPrivateScalars) {
+  const auto r = run(R"(
+const int N = 32;
+float kernel(float[] a, float[] b) {
+  float best = -100000.0;
+  float tmp = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    tmp = a[i] * 2.0;
+    b[i] = tmp;
+    best = fmax(best, tmp);
+  }
+  return best;
+}
+)",
+                     {profiler::ArgInit::of_array(32, 1),
+                      profiler::ArgInit::of_array(32, 2)});
+  ASSERT_EQ(r.suggestions.size(), 1u);
+  const std::string& pragma = r.suggestions[0].pragma;
+  EXPECT_NE(pragma.find("reduction(max:best)"), std::string::npos) << pragma;
+  EXPECT_NE(pragma.find("private(tmp)"), std::string::npos) << pragma;
+}
+
+TEST(Suggest, SequentialLoopsGetExplanationsNotPragmas) {
+  const auto r = run(R"(
+const int N = 32;
+void kernel(float[] a) {
+  for (int i = 1; i < N; i += 1) {
+    a[i] = a[i - 1] + 1.0;
+  }
+}
+)",
+                     {profiler::ArgInit::of_array(32, 1)});
+  ASSERT_EQ(r.suggestions.size(), 1u);
+  EXPECT_EQ(r.suggestions[0].kind, analysis::ParKind::Sequential);
+  EXPECT_TRUE(r.suggestions[0].pragma.empty());
+  EXPECT_FALSE(r.suggestions[0].explanation.empty());
+  EXPECT_EQ(r.suggestions[0].rank, 0.0);
+}
+
+TEST(Suggest, RankingPutsHotParallelLoopsFirst) {
+  const auto r = run(R"(
+const int N = 64;
+const int M = 4;
+float kernel(float[] a, float[] b) {
+  // cold parallel loop (M iterations)
+  for (int i = 0; i < M; i += 1) {
+    b[i] = a[i];
+  }
+  // hot parallel loop (N iterations, more work per iteration)
+  for (int i = 0; i < N; i += 1) {
+    b[i] = sqrt(fabs(a[i])) * 2.0 + a[i] * 0.5;
+  }
+  return b[0];
+}
+)",
+                     {profiler::ArgInit::of_array(64, 1),
+                      profiler::ArgInit::of_array(64, 2)});
+  ASSERT_EQ(r.suggestions.size(), 2u);
+  EXPECT_GT(r.suggestions[0].coverage, r.suggestions[1].coverage);
+  EXPECT_EQ(r.suggestions[0].start_line, 10);  // the hot loop leads
+  // to_string renders the pragma and the coverage annotation.
+  const std::string text = analysis::to_string(r.suggestions[0]);
+  EXPECT_NE(text.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(text.find("coverage"), std::string::npos);
+}
+
+TEST(Suggest, ArrayReductionNamesTheParameter) {
+  const auto r = run(R"(
+const int N = 32;
+void kernel(int[] idx, float[] hist) {
+  for (int i = 0; i < N; i += 1) {
+    hist[idx[i]] += 1.0;
+  }
+}
+)",
+                     {profiler::ArgInit::of_array(32, 1),
+                      profiler::ArgInit::of_array(32, 2)});
+  ASSERT_EQ(r.suggestions.size(), 1u);
+  EXPECT_NE(r.suggestions[0].pragma.find("reduction(+:hist)"),
+            std::string::npos)
+      << r.suggestions[0].pragma;
+}
+
+}  // namespace

@@ -1,0 +1,373 @@
+// IR transformation passes: semantic preservation (interpreter-checked),
+// fold/DCE/strength-reduction effectiveness, arena compaction integrity.
+#include <gtest/gtest.h>
+
+#include "frontend/lower.hpp"
+#include "profiler/profile.hpp"
+#include "transform/passes.hpp"
+
+namespace {
+
+using namespace mvgnn;
+using profiler::ArgInit;
+
+constexpr const char* kProgram = R"(
+const int N = 16;
+float kernel(float[] a, float[] b) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    float unused = a[i] * 3.0 + 2.0 * 4.0;
+    s = s + a[i] * 1 + b[i] * 2 + 0;
+  }
+  for (int i = 1; i < N; i += 1) {
+    b[i] = b[i - 1] * 0.5 + (float) (6 / 2);
+  }
+  return s + b[N - 1];
+}
+)";
+
+double run(const ir::Module& m) {
+  profiler::NullObserver obs;
+  std::vector<ArgInit> args = {ArgInit::of_array(16, 1),
+                               ArgInit::of_array(16, 2)};
+  return profiler::run(m, "kernel", args, obs).return_value.f;
+}
+
+TEST(Transform, EveryPipelinePreservesSemantics) {
+  const double reference = run(frontend::compile(kProgram, "ref"));
+  for (const auto& pipeline : transform::variant_pipelines()) {
+    ir::Module m = frontend::compile(kProgram, pipeline.name);
+    transform::run_pipeline(m, pipeline);
+    EXPECT_NO_THROW(ir::verify(m)) << pipeline.name;
+    EXPECT_DOUBLE_EQ(run(m), reference) << pipeline.name;
+  }
+}
+
+TEST(Transform, ConstantFoldEliminatesLiteralArithmetic) {
+  ir::Module m = frontend::compile("int kernel() { return (2 + 3) * 4; }", "t");
+  ir::Function& fn = *m.find("kernel");
+  EXPECT_GT(transform::constant_fold(fn), 0u);
+  // After fold + DCE the function is essentially `ret 20`.
+  transform::dead_code_elim(fn);
+  ir::verify(fn);
+  std::size_t arith = 0;
+  for (const auto& bb : fn.blocks) {
+    for (const auto id : bb.instrs) {
+      const auto op = fn.instr(id).op;
+      if (op == ir::Opcode::Add || op == ir::Opcode::Mul) ++arith;
+    }
+  }
+  EXPECT_EQ(arith, 0u);
+  profiler::NullObserver obs;
+  EXPECT_EQ(profiler::run(m, "kernel", {}, obs).return_value.i, 20);
+}
+
+TEST(Transform, DceRemovesUnusedComputation) {
+  ir::Module m = frontend::compile(R"(
+int kernel(int x) {
+  int unused = x * 17 + 4;
+  int dead = unused - 2;
+  return x + 1;
+}
+)",
+                                   "t");
+  ir::Function& fn = *m.find("kernel");
+  const std::size_t before = [&] {
+    std::size_t n = 0;
+    for (const auto& bb : fn.blocks) n += bb.instrs.size();
+    return n;
+  }();
+  EXPECT_GT(transform::dead_code_elim(fn), 0u);
+  const std::size_t after = [&] {
+    std::size_t n = 0;
+    for (const auto& bb : fn.blocks) n += bb.instrs.size();
+    return n;
+  }();
+  EXPECT_LT(after, before);
+  ir::verify(fn);
+  profiler::NullObserver obs;
+  std::vector<ArgInit> args = {ArgInit::of_int(5)};
+  EXPECT_EQ(profiler::run(m, "kernel", args, obs).return_value.i, 6);
+}
+
+TEST(Transform, DceKeepsStoresAndCalls) {
+  ir::Module m = frontend::compile(R"(
+void helper(float[] a) { a[0] = 9.0; }
+float kernel(float[] a) {
+  helper(a);
+  a[1] = 2.0;
+  return a[0] + a[1];
+}
+)",
+                                   "t");
+  transform::dead_code_elim(*m.find("kernel"));
+  ir::verify(m);
+  profiler::NullObserver obs;
+  std::vector<ArgInit> args = {ArgInit::of_array(4)};
+  EXPECT_DOUBLE_EQ(profiler::run(m, "kernel", args, obs).return_value.f, 11.0);
+}
+
+TEST(Transform, StrengthReductionRewritesDoubling) {
+  ir::Module m = frontend::compile("int kernel(int x) { return x * 2; }", "t");
+  ir::Function& fn = *m.find("kernel");
+  EXPECT_GT(transform::strength_reduce(fn), 0u);
+  bool saw_mul = false;
+  for (const auto& in : fn.instrs) {
+    if (in.op == ir::Opcode::Mul) saw_mul = true;
+  }
+  EXPECT_FALSE(saw_mul);
+  profiler::NullObserver obs;
+  std::vector<ArgInit> args = {ArgInit::of_int(21)};
+  EXPECT_EQ(profiler::run(m, "kernel", args, obs).return_value.i, 42);
+}
+
+TEST(Transform, CompactionKeepsLoopMetadataValid) {
+  ir::Module m = frontend::compile(R"(
+const int N = 8;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    float dead = a[i] * 99.0;
+    s = s + a[i];
+  }
+  return s;
+}
+)",
+                                   "t");
+  ir::Function& fn = *m.find("kernel");
+  transform::constant_fold(fn);
+  transform::dead_code_elim(fn);
+  ir::verify(fn);
+  ASSERT_EQ(fn.loops.size(), 1u);
+  // The induction slot must still point at an Alloca after renumbering.
+  EXPECT_EQ(fn.instr(fn.loops[0].induction_slot).op, ir::Opcode::Alloca);
+  profiler::NullObserver obs;
+  std::vector<ArgInit> args = {ArgInit::of_array(8, 3)};
+  EXPECT_GT(profiler::run(m, "kernel", args, obs).return_value.f, 0.0);
+}
+
+TEST(Transform, VariantsChangeTheInstructionMix) {
+  // The whole point of the six pipelines: same semantics, different token
+  // streams for the dataset.
+  ir::Module base = frontend::compile(kProgram, "t0");
+  ir::Module opt = frontend::compile(kProgram, "t1");
+  transform::run_pipeline(opt, transform::variant_pipelines().back());
+  EXPECT_LT(opt.find("kernel")->num_instrs(),
+            base.find("kernel")->num_instrs());
+}
+
+}  // namespace
+
+namespace inline_unroll_tests {
+
+using namespace mvgnn;
+using profiler::ArgInit;
+
+TEST(Inline, LeafCallsDisappearAndSemanticsHold) {
+  const char* src = R"(
+const int N = 12;
+float helper(float x, float y) {
+  float t = x * 2.0;
+  return t + y;
+}
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + helper(a[i], 1.5);
+  }
+  return s;
+}
+)";
+  const std::vector<ArgInit> args = {ArgInit::of_array(12, 3)};
+  profiler::NullObserver obs;
+  ir::Module base = frontend::compile(src, "base");
+  const double reference =
+      profiler::run(base, "kernel", args, obs).return_value.f;
+
+  ir::Module m = frontend::compile(src, "inl");
+  EXPECT_EQ(transform::inline_functions(m), 1u);
+  ir::verify(m);
+  // No user calls remain in kernel.
+  for (const auto& bb : m.find("kernel")->blocks) {
+    for (const auto id : bb.instrs) {
+      const auto& in = m.find("kernel")->instr(id);
+      EXPECT_FALSE(in.op == ir::Opcode::Call && in.callee == "helper");
+    }
+  }
+  EXPECT_DOUBLE_EQ(profiler::run(m, "kernel", args, obs).return_value.f,
+                   reference);
+  // The inlined body's instructions belong to the surrounding loop, so the
+  // dependence analysis now sees them directly.
+  const auto prof = profiler::profile(m, "kernel", args);
+  EXPECT_EQ(prof.loops.size(), 1u);
+}
+
+TEST(Inline, BranchyCalleesAndVoidCallees) {
+  const char* src = R"(
+void mark(float[] out, float v) {
+  if (v > 1.0) {
+    out[0] = v;
+  } else {
+    out[1] = v;
+  }
+}
+float clampit(float x) {
+  if (x > 0.5) {
+    return 0.5;
+  }
+  return x;
+}
+float kernel(float[] out) {
+  mark(out, 2.5);
+  mark(out, 0.5);
+  return clampit(0.7) + clampit(0.2) + out[0] + out[1];
+}
+)";
+  const std::vector<ArgInit> args = {ArgInit::of_array(4)};
+  profiler::NullObserver obs;
+  ir::Module base = frontend::compile(src, "base");
+  const double reference =
+      profiler::run(base, "kernel", args, obs).return_value.f;
+  ir::Module m = frontend::compile(src, "inl");
+  EXPECT_EQ(transform::inline_functions(m), 4u);
+  ir::verify(m);
+  EXPECT_DOUBLE_EQ(profiler::run(m, "kernel", args, obs).return_value.f,
+                   reference);
+}
+
+TEST(Inline, RecursiveAndLoopyCalleesAreLeftAlone) {
+  const char* src = R"(
+int fib(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+float sum3(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < 3; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+float kernel(float[] a) {
+  return (float) fib(8) + sum3(a);
+}
+)";
+  ir::Module m = frontend::compile(src, "t");
+  EXPECT_EQ(transform::inline_functions(m), 0u);
+}
+
+TEST(Unroll, TinyConstantLoopsBecomeStraightLine) {
+  const char* src = R"(
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < 4; i += 1) {
+    s = s + a[i] * 2.0;
+  }
+  return s;
+}
+)";
+  const std::vector<ArgInit> args = {ArgInit::of_array(4, 9)};
+  profiler::NullObserver obs;
+  ir::Module base = frontend::compile(src, "base");
+  const double reference =
+      profiler::run(base, "kernel", args, obs).return_value.f;
+
+  ir::Module m = frontend::compile(src, "unr");
+  ir::Function& fn = *m.find("kernel");
+  EXPECT_EQ(transform::unroll_loops(fn, 4), 1u);
+  EXPECT_TRUE(fn.loops.empty());
+  // No loop markers survive.
+  for (const auto& in : fn.instrs) {
+    EXPECT_NE(in.op, ir::Opcode::LoopEnter);
+    EXPECT_NE(in.op, ir::Opcode::LoopHead);
+    EXPECT_NE(in.op, ir::Opcode::LoopExit);
+  }
+  EXPECT_DOUBLE_EQ(profiler::run(m, "kernel", args, obs).return_value.f,
+                   reference);
+}
+
+TEST(Unroll, OnlyInnermostTinyLoopsAreTouched) {
+  const char* src = R"(
+const int N = 16;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    for (int j = 0; j < 3; j += 1) {
+      s = s + a[i] * (float) j;
+    }
+  }
+  return s;
+}
+)";
+  const std::vector<ArgInit> args = {ArgInit::of_array(16, 2)};
+  profiler::NullObserver obs;
+  ir::Module base = frontend::compile(src, "base");
+  const double reference =
+      profiler::run(base, "kernel", args, obs).return_value.f;
+
+  ir::Module m = frontend::compile(src, "unr");
+  ir::Function& fn = *m.find("kernel");
+  EXPECT_EQ(transform::unroll_loops(fn, 4), 1u);
+  ASSERT_EQ(fn.loops.size(), 1u);  // the outer loop survives, renumbered
+  EXPECT_EQ(fn.loops[0].id, 0u);
+  EXPECT_TRUE(fn.loops[0].is_for);
+  EXPECT_DOUBLE_EQ(profiler::run(m, "kernel", args, obs).return_value.f,
+                   reference);
+  // The unrolled instructions are attributed to the surviving outer loop.
+  const auto prof = profiler::profile(m, "kernel", args);
+  EXPECT_EQ(prof.loops.size(), 1u);
+  EXPECT_EQ(prof.loops[0].features.exec_times, 16u);
+}
+
+TEST(Unroll, LoopsWithBranchesOrBigTripsAreSkipped) {
+  const char* src = R"(
+const int N = 64;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + a[i];
+  }
+  for (int i = 0; i < 4; i += 1) {
+    if (a[i] > 1.0) {
+      s = s + 1.0;
+    }
+  }
+  return s;
+}
+)";
+  ir::Module m = frontend::compile(src, "t");
+  // Big trip count and a branchy body: neither qualifies.
+  EXPECT_EQ(transform::unroll_loops(*m.find("kernel"), 4), 0u);
+}
+
+TEST(InlineUnroll, FullPipelinePreservesKernelSemantics) {
+  const char* src = R"(
+const int N = 16;
+float weight(float x) {
+  return x * 0.25 + 0.5;
+}
+float kernel(float[] a, float[] b) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    for (int j = 0; j < 2; j += 1) {
+      s = s + weight(a[i]) * b[i];
+    }
+  }
+  return s;
+}
+)";
+  const std::vector<ArgInit> args = {ArgInit::of_array(16, 1),
+                                     ArgInit::of_array(16, 2)};
+  profiler::NullObserver obs;
+  ir::Module base = frontend::compile(src, "base");
+  const double reference =
+      profiler::run(base, "kernel", args, obs).return_value.f;
+  ir::Module m = frontend::compile(src, "opt");
+  transform::run_pipeline(m, transform::variant_pipelines().back());
+  EXPECT_NEAR(profiler::run(m, "kernel", args, obs).return_value.f, reference,
+              1e-9);
+}
+
+}  // namespace inline_unroll_tests

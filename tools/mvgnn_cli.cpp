@@ -1,0 +1,167 @@
+// mvgnn — command-line front door to the whole pipeline.
+//
+//   mvgnn ir <file.minic>         print the lowered IR
+//   mvgnn cus <file.minic>        computational-unit decomposition
+//   mvgnn profile <file.minic>    dependence profile + Table I features
+//   mvgnn peg <file.minic>        program execution graph as Graphviz DOT
+//   mvgnn suggest <file.minic>    ranked OpenMP parallelization suggestions
+//   mvgnn variants <file.minic>   effect of the six IR variant pipelines
+//
+// The entry function must be named `kernel`. Array parameters are filled
+// deterministically (4096 elements); int parameters get 8, floats 1.0.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/suggest.hpp"
+#include "frontend/lower.hpp"
+#include "graph/peg.hpp"
+#include "profiler/profile.hpp"
+#include "transform/passes.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mvgnn <ir|cus|profile|peg|suggest|variants> "
+               "<file.minic>\n");
+  return 2;
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<profiler::ArgInit> synth_args(const ir::Function& kernel) {
+  std::vector<profiler::ArgInit> args;
+  for (const auto& p : kernel.params) {
+    if (ir::is_array(p.type)) {
+      args.push_back(profiler::ArgInit::of_array(4096, args.size() + 1));
+    } else if (p.type == ir::TypeKind::Int) {
+      args.push_back(profiler::ArgInit::of_int(8));
+    } else {
+      args.push_back(profiler::ArgInit::of_float(1.0));
+    }
+  }
+  return args;
+}
+
+const ir::Function& kernel_of(const ir::Module& m) {
+  const ir::Function* fn = m.find("kernel");
+  if (!fn) throw std::runtime_error("no `kernel` function in the input");
+  return *fn;
+}
+
+int cmd_ir(const ir::Module& m) {
+  std::fputs(ir::to_string(m).c_str(), stdout);
+  return 0;
+}
+
+int cmd_cus(const ir::Module& m) {
+  for (const auto& fn : m.functions) {
+    const auto cus = profiler::build_cus(*fn);
+    std::printf("@%s: %zu computational units\n", fn->name.c_str(),
+                cus.size());
+    for (const auto& cu : cus) {
+      std::printf("  CU%u  lines %d..%d  (%zu instructions)\n", cu.id,
+                  cu.start_line, cu.end_line, cu.instrs.size());
+    }
+  }
+  return 0;
+}
+
+int cmd_profile(const ir::Module& m) {
+  const auto args = synth_args(kernel_of(m));
+  const auto prof = profiler::profile(m, "kernel", args);
+  std::printf("dynamic instructions : %llu\n",
+              static_cast<unsigned long long>(prof.run.steps));
+  std::printf("dependence edges     : %zu\n", prof.dep.edges.size());
+  std::printf("computational units  : %zu\n", prof.cus.size());
+  std::printf("for-loops            : %zu\n\n", prof.loops.size());
+  std::printf("%6s %8s %10s %6s %6s %9s %9s %9s\n", "line", "N_Inst", "exec",
+              "CFL", "ESP", "in_dep", "internal", "out_dep");
+  for (const auto& loop : prof.loops) {
+    const auto& f = loop.features;
+    std::printf("%6d %8llu %10llu %6.0f %6.2f %9llu %9llu %9llu\n",
+                loop.fn->loops[loop.loop].start_line,
+                static_cast<unsigned long long>(f.n_inst),
+                static_cast<unsigned long long>(f.exec_times), f.cfl, f.esp,
+                static_cast<unsigned long long>(f.incoming_dep),
+                static_cast<unsigned long long>(f.internal_dep),
+                static_cast<unsigned long long>(f.outgoing_dep));
+  }
+  // Dependence edge summary by kind.
+  std::size_t raw = 0, war = 0, waw = 0, carried = 0;
+  for (const auto& e : prof.dep.edges) {
+    raw += e.type == profiler::DepType::RAW;
+    war += e.type == profiler::DepType::WAR;
+    waw += e.type == profiler::DepType::WAW;
+    carried += e.loop_carried();
+  }
+  std::printf("\nedges: %zu RAW, %zu WAR, %zu WAW (%zu loop-carried)\n", raw,
+              war, waw, carried);
+  return 0;
+}
+
+int cmd_peg(const ir::Module& m) {
+  const auto args = synth_args(kernel_of(m));
+  const auto prof = profiler::profile(m, "kernel", args);
+  const auto peg = graph::build_peg(m, prof);
+  std::fputs(graph::to_dot(peg, m.name).c_str(), stdout);
+  return 0;
+}
+
+int cmd_suggest(const ir::Module& m) {
+  const auto args = synth_args(kernel_of(m));
+  const auto prof = profiler::profile(m, "kernel", args);
+  for (const auto& s : analysis::suggest_openmp(m, prof)) {
+    std::printf("%s\n", analysis::to_string(s).c_str());
+  }
+  return 0;
+}
+
+int cmd_variants(const std::string& source) {
+  std::printf("%-18s %10s %8s %8s\n", "pipeline", "instrs", "blocks",
+              "loops");
+  for (const auto& pipeline : transform::variant_pipelines()) {
+    ir::Module m = frontend::compile(source, pipeline.name);
+    transform::run_pipeline(m, pipeline);
+    std::size_t instrs = 0, blocks = 0, loops = 0;
+    for (const auto& fn : m.functions) {
+      for (const auto& bb : fn->blocks) instrs += bb.instrs.size();
+      blocks += fn->blocks.size();
+      loops += fn->loops.size();
+    }
+    std::printf("%-18s %10zu %8zu %8zu\n", pipeline.name.c_str(), instrs,
+                blocks, loops);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  try {
+    const std::string source = read_file(argv[2]);
+    if (std::strcmp(argv[1], "variants") == 0) return cmd_variants(source);
+    const ir::Module m = frontend::compile(source, argv[2]);
+    if (std::strcmp(argv[1], "ir") == 0) return cmd_ir(m);
+    if (std::strcmp(argv[1], "cus") == 0) return cmd_cus(m);
+    if (std::strcmp(argv[1], "profile") == 0) return cmd_profile(m);
+    if (std::strcmp(argv[1], "peg") == 0) return cmd_peg(m);
+    if (std::strcmp(argv[1], "suggest") == 0) return cmd_suggest(m);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mvgnn: %s\n", e.what());
+    return 1;
+  }
+}
