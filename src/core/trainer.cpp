@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/optim.hpp"
 
 namespace mvgnn::core {
@@ -11,6 +13,32 @@ namespace mvgnn::core {
 using ag::Tensor;
 
 namespace {
+
+struct TrainerMetrics {
+  obs::Counter& epochs =
+      obs::Registry::global().counter("trainer.epochs_total");
+  obs::Counter& samples =
+      obs::Registry::global().counter("trainer.samples_total");
+  obs::Gauge& loss = obs::Registry::global().gauge("trainer.epoch_loss");
+  obs::Gauge& train_acc =
+      obs::Registry::global().gauge("trainer.epoch_train_acc");
+  obs::Gauge& test_acc =
+      obs::Registry::global().gauge("trainer.epoch_test_acc");
+
+  static TrainerMetrics& get() {
+    static TrainerMetrics m;
+    return m;
+  }
+};
+
+/// Matches the historical `std::printf` epoch line byte for byte, so
+/// fig7_training (and anything else scraping the curve) keeps parsing.
+void log_epoch(std::size_t epoch, const EpochStat& st) {
+  obs::log_info("", {{"epoch", obs::logfmt("%3zu", epoch)},
+                     {"loss", obs::logfmt("%.4f", st.loss)},
+                     {"train_acc", obs::logfmt("%.4f", st.train_acc)},
+                     {"test_acc", obs::logfmt("%.4f", st.test_acc)}});
+}
 
 int argmax_row(const Tensor& logits) {
   int best = 0;
@@ -90,7 +118,19 @@ SampleInput build_input(const data::GraphSample& s,
 }
 
 const SampleInput& Featurizer::get(std::size_t i) const {
-  if (cache_[i]) return *cache_[i];
+  struct CacheMetrics {
+    obs::Counter& hits =
+        obs::Registry::global().counter("trainer.featurizer_cache_hits_total");
+    obs::Counter& misses = obs::Registry::global().counter(
+        "trainer.featurizer_cache_misses_total");
+  };
+  static CacheMetrics metrics;
+  if (cache_[i]) {
+    metrics.hits.add(1);
+    return *cache_[i];
+  }
+  metrics.misses.add(1);
+  OBS_SPAN("trainer.featurize_sample");
   cache_[i] = std::make_unique<SampleInput>(
       build_input(ds_->samples[i], *ds_, norm_, mode_ == LabelMode::Pattern,
                   zero_dynamic_, typed_edges_));
@@ -131,7 +171,9 @@ std::vector<EpochStat> MvGnnTrainer::fit(
 
   std::vector<std::size_t> order = train_idx;
   std::vector<EpochStat> curve;
+  OBS_SPAN("trainer.fit");
   for (std::size_t epoch = 0; epoch < tc_.epochs; ++epoch) {
+    OBS_SPAN("trainer.epoch");
     // Step schedule: drop the rate at 60% and 85% of the budget so late
     // epochs settle instead of oscillating.
     float lr = tc_.lr;
@@ -179,10 +221,13 @@ std::vector<EpochStat> MvGnnTrainer::fit(
     st.train_acc =
         static_cast<double>(correct) / std::max<std::size_t>(1, order.size());
     st.test_acc = test_idx.empty() ? 0.0 : accuracy(test_idx);
-    if (tc_.verbose) {
-      std::printf("epoch %3zu  loss %.4f  train_acc %.4f  test_acc %.4f\n",
-                  epoch, st.loss, st.train_acc, st.test_acc);
-    }
+    TrainerMetrics& metrics = TrainerMetrics::get();
+    metrics.epochs.add(1);
+    metrics.samples.add(order.size());
+    metrics.loss.set(st.loss);
+    metrics.train_acc.set(st.train_acc);
+    metrics.test_acc.set(st.test_acc);
+    if (tc_.verbose) log_epoch(epoch, st);
     curve.push_back(st);
   }
   return curve;

@@ -2,7 +2,20 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mvgnn::graph {
+
+namespace {
+
+obs::Counter& walks_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("anon_walk.walks_total");
+  return c;
+}
+
+}  // namespace
 
 std::uint32_t AwVocab::id_of(const AnonWalk& walk, bool grow) {
   const auto it = ids_.find(walk);
@@ -56,6 +69,7 @@ std::vector<float> node_aw_distribution(const WalkGraph& g, std::uint32_t start,
     }
     ids.push_back(vocab.id_of(anonymize(walk), grow));
   }
+  walks_counter().add(params.gamma);
   std::vector<float> dist(vocab.size(), 0.0f);
   const float inv = 1.0f / static_cast<float>(params.gamma);
   for (const std::uint32_t id : ids) dist[id] += inv;
@@ -65,6 +79,7 @@ std::vector<float> node_aw_distribution(const WalkGraph& g, std::uint32_t start,
 std::vector<float> graph_aw_distribution(const WalkGraph& g,
                                          const AwParams& params, AwVocab& vocab,
                                          bool grow, par::Rng& rng) {
+  OBS_SPAN("anon_walk.graph_dist");
   // Two passes for the same sizing reason as above.
   std::vector<std::vector<float>> per_node;
   per_node.reserve(g.num_nodes());

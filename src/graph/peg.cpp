@@ -6,6 +6,9 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mvgnn::graph {
 
 namespace {
@@ -27,6 +30,7 @@ struct LoopKeyHash {
 }  // namespace
 
 Peg build_peg(const ir::Module& m, const profiler::ProfileResult& profile) {
+  OBS_SPAN("peg.build");
   Peg peg;
   peg.cus = profile.cus;
 
@@ -136,6 +140,16 @@ Peg build_peg(const ir::Module& m, const profiler::ProfileResult& profile) {
     e.count = count;
     peg.edges.push_back(e);
   }
+
+  struct PegMetrics {
+    obs::Counter& builds = obs::Registry::global().counter("peg.builds_total");
+    obs::Counter& nodes = obs::Registry::global().counter("peg.nodes_total");
+    obs::Counter& edges = obs::Registry::global().counter("peg.edges_total");
+  };
+  static PegMetrics metrics;
+  metrics.builds.add(1);
+  metrics.nodes.add(peg.nodes.size());
+  metrics.edges.add(peg.edges.size());
   return peg;
 }
 

@@ -1,0 +1,130 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Design notes:
+//  * The hot path (Counter::add, Gauge::set, Histogram::observe) is
+//    lock-free: plain relaxed atomics, no allocation, no registry lookup.
+//    Call sites fetch the instrument once (typically into a function-local
+//    static reference) and hammer it afterwards.
+//  * Registration is mutex-protected and allocation-heavy by design — it
+//    happens once per series. Instruments are heap-allocated and never
+//    removed, so references handed out stay valid for the registry's
+//    lifetime.
+//  * `Registry::global()` is a leaked process-wide singleton (safe to touch
+//    from worker-thread teardown paths); independent `Registry` instances
+//    can be constructed for tests.
+//  * Snapshots export every registered series as text (`name value` lines)
+//    or JSON; histograms export their bucket counts, total count and sum.
+//
+// Naming convention (see docs/observability.md): lower-case dot-separated
+// `<subsystem>.<series>` with `_total` suffix for monotonic counters and a
+// unit suffix (`_us`, `_bytes`) for histograms/gauges with dimension.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvgnn::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bucket edges in
+/// ascending order; one implicit overflow bucket catches everything above
+/// the last edge. Bucket layout is frozen at construction so `observe` is a
+/// branch-light binary search plus one relaxed increment.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  /// Estimated p-quantile (p in [0,1]) by linear interpolation inside the
+  /// containing bucket. Overflow-bucket hits clamp to the last edge.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// 1-2-5 series from `lo` up to at least `hi` — the usual latency ladder.
+  static std::vector<double> exponential_bounds(double lo, double hi);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> instrument map. Lookups by name are mutex-protected; returned
+/// references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram and ignore `bounds`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Number of registered series across all three kinds.
+  [[nodiscard]] std::size_t size() const;
+
+  /// `name value` lines, histograms as `name{le=...}` rows, sorted by name.
+  [[nodiscard]] std::string to_text() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Process-wide registry used by all built-in instrumentation. Never
+  /// destroyed, so late worker threads can safely bump counters at exit.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mvgnn::obs

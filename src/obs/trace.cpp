@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mvgnn::obs {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Minimal escaping; span names are identifiers but don't trust them.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    switch (*s) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(*s) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", *s);
+          out += buf;
+        } else {
+          out += *s;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::ThreadBuf& TraceRecorder::thread_buf() {
+  // One buffer per (thread, recorder). The shared_ptr keeps the buffer
+  // alive past recorder export even if the thread exits first, and the
+  // recorder keeps it alive past thread exit for the final export.
+  thread_local std::shared_ptr<ThreadBuf> tl;
+  thread_local TraceRecorder* tl_owner = nullptr;
+  if (!tl || tl_owner != this) {
+    auto buf = std::make_shared<ThreadBuf>();
+    std::lock_guard lock(mu_);
+    buf->tid = static_cast<std::uint32_t>(bufs_.size());
+    bufs_.push_back(buf);
+    tl = std::move(buf);
+    tl_owner = this;
+  }
+  return *tl;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard buf_lock(buf->mu);
+    buf->events.clear();
+    buf->open.clear();
+  }
+}
+
+std::vector<SpanEvent> TraceRecorder::events() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard lock(mu_);
+    bufs = bufs_;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& buf : bufs) {
+    std::lock_guard buf_lock(buf->mu);
+    for (const SpanEvent& e : buf->events) {
+      if (e.end_ns != 0) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const auto evs = events();
+  std::string out;
+  out.reserve(128 + evs.size() * 96);
+  out += "{\"traceEvents\": [\n";
+  char buf[256];
+  bool first = true;
+  for (const SpanEvent& e : evs) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\": \"";
+    append_escaped(out, e.name);
+    std::snprintf(buf, sizeof buf,
+                  "\", \"cat\": \"mvgnn\", \"ph\": \"X\", \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                  "\"args\": {\"parent\": %d, \"depth\": %d}}",
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.end_ns - e.start_ns) / 1000.0, e.tid,
+                  e.parent, e.depth);
+    out += buf;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_chrome_json();
+  return static_cast<bool>(os);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* r = new TraceRecorder();  // leaked: see header
+  return *r;
+}
+
+void ScopedSpan::begin(TraceRecorder& r, const char* name) {
+  TraceRecorder::ThreadBuf& buf = r.thread_buf();
+  std::lock_guard lock(buf.mu);
+  SpanEvent e;
+  e.name = name;
+  e.start_ns = now_ns();
+  e.tid = buf.tid;
+  e.parent = buf.open.empty() ? -1 : buf.open.back();
+  e.depth = static_cast<std::int32_t>(buf.open.size());
+  index_ = static_cast<std::int32_t>(buf.events.size());
+  buf.events.push_back(e);
+  buf.open.push_back(index_);
+  buf_ = &buf;
+}
+
+void ScopedSpan::end() {
+  std::lock_guard lock(buf_->mu);
+  // The event can be gone if clear() raced with an open span; drop it.
+  if (static_cast<std::size_t>(index_) < buf_->events.size()) {
+    buf_->events[static_cast<std::size_t>(index_)].end_ns = now_ns();
+  }
+  if (!buf_->open.empty() && buf_->open.back() == index_) {
+    buf_->open.pop_back();
+  }
+}
+
+}  // namespace mvgnn::obs

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mvgnn::par {
@@ -22,6 +23,9 @@ void parallel_for_blocked(std::size_t first, std::size_t last, Body&& body,
                           ThreadPool& pool = ThreadPool::global(),
                           std::size_t grain = 1024) {
   if (last <= first) return;
+  // The span covers fan-out + wait; on the serial fallback it is the whole
+  // body, which keeps single-worker traces honest about where time went.
+  OBS_SPAN("thread_pool.parallel_for");
   const std::size_t n = last - first;
   if (n <= grain || pool.size() <= 1) {
     body(first, last);

@@ -1,9 +1,48 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mvgnn::par {
+
+namespace {
+
+/// Shared across all pools (tests construct private ones): the series
+/// describe process-wide scheduling behaviour, not one pool instance.
+struct PoolMetrics {
+  obs::Counter& submitted =
+      obs::Registry::global().counter("thread_pool.tasks_submitted_total");
+  obs::Counter& executed =
+      obs::Registry::global().counter("thread_pool.tasks_executed_total");
+  obs::Counter& failed =
+      obs::Registry::global().counter("thread_pool.task_failures_total");
+  obs::Gauge& queue_depth =
+      obs::Registry::global().gauge("thread_pool.queue_depth");
+  obs::Histogram& latency_us = obs::Registry::global().histogram(
+      "thread_pool.task_latency_us",
+      obs::Histogram::exponential_bounds(1.0, 1e6));
+
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+/// Per-worker executed-task counters, capped so a pathological pool size
+/// cannot flood the registry with series.
+obs::Counter& worker_counter(std::size_t worker) {
+  constexpr std::size_t kMaxTracked = 64;
+  return obs::Registry::global().counter(
+      "thread_pool.worker." + std::to_string(std::min(worker, kMaxTracked)) +
+      ".tasks_total");
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -11,7 +50,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,11 +66,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& m = PoolMetrics::get();
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{next_task_++, std::move(task)});
     ++in_flight_;
+    m.queue_depth.set(static_cast<double>(queue_.size()));
   }
+  m.submitted.add(1);
   cv_task_.notify_one();
 }
 
@@ -40,7 +82,10 @@ void ThreadPool::wait() {
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
+    const std::uint64_t task = first_error_task_;
     lock.unlock();
+    obs::log_error("thread_pool rethrowing first captured task failure",
+                   {{"task_index", std::to_string(task)}});
     std::rethrow_exception(err);
   }
 }
@@ -50,9 +95,11 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
+  PoolMetrics& m = PoolMetrics::get();
+  obs::Counter& my_tasks = worker_counter(worker);
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -62,13 +109,37 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      m.queue_depth.set(static_cast<double>(queue_.size()));
     }
+    const auto t0 = std::chrono::steady_clock::now();
     try {
-      task();
+      OBS_SPAN("thread_pool.task");
+      task.fn();
     } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      std::string what = "unknown exception";
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
+      m.failed.add(1);
+      obs::log_error("thread_pool task failed",
+                     {{"task_index", std::to_string(task.index)},
+                      {"worker", std::to_string(worker)},
+                      {"what", what}});
       std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_) {
+        first_error_ = err;
+        first_error_task_ = task.index;
+      }
     }
+    const auto t1 = std::chrono::steady_clock::now();
+    m.latency_us.observe(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    m.executed.add(1);
+    my_tasks.add(1);
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -51,15 +52,22 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  struct Task {
+    std::uint64_t index = 0;  // submission sequence number (pool-local)
+    std::function<void()> fn;
+  };
+
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;   // signalled when work arrives / stopping
   std::condition_variable cv_done_;   // signalled when a task retires
   std::size_t in_flight_ = 0;         // queued + running tasks
+  std::uint64_t next_task_ = 0;       // submission counter for diagnostics
   std::exception_ptr first_error_;
+  std::uint64_t first_error_task_ = 0;
   bool stop_ = false;
 };
 

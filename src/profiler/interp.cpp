@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "frontend/sema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mvgnn::profiler {
 
@@ -38,6 +40,7 @@ class Interp {
 
   RunResult run_entry(const std::string& entry,
                       std::span<const ArgInit> inits) {
+    OBS_SPAN("interp.run");
     const Function* fn = m_.find(entry);
     if (!fn) throw InterpError("entry function '" + entry + "' not found");
     if (inits.size() != fn->params.size()) {
@@ -51,6 +54,18 @@ class Interp {
     RunResult res;
     res.return_value = call(*fn, std::move(args));
     res.steps = steps_;
+    // Interpreted instructions are counted locally (`steps_`, which the
+    // step-budget check needs anyway) and flushed once per run so the
+    // dispatch loop never touches a shared atomic.
+    struct InterpMetrics {
+      obs::Counter& runs =
+          obs::Registry::global().counter("interp.runs_total");
+      obs::Counter& instrs =
+          obs::Registry::global().counter("interp.instructions_total");
+    };
+    static InterpMetrics metrics;
+    metrics.runs.add(1);
+    metrics.instrs.add(steps_);
     return res;
   }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "profiler/dep_recorder.hpp"
 
 namespace mvgnn::profiler {
@@ -9,25 +11,45 @@ namespace mvgnn::profiler {
 ProfileResult profile(const ir::Module& m, const std::string& entry,
                       std::span<const ArgInit> args,
                       const InterpOptions& opts) {
+  OBS_SPAN("profiler.profile");
   ProfileResult res;
   ObjectTable objects;
   DepRecorder recorder(objects);
-  res.run = run(m, entry, args, recorder, objects, opts);
-  res.dep = recorder.finalize();
-  res.dep.objects = std::move(objects);
+  {
+    OBS_SPAN("profiler.record_deps");
+    res.run = run(m, entry, args, recorder, objects, opts);
+    res.dep = recorder.finalize();
+    res.dep.objects = std::move(objects);
+  }
 
-  for (const auto& fn : m.functions) {
-    auto cus = build_cus(*fn);
-    res.cus.insert(res.cus.end(), cus.begin(), cus.end());
-    for (const ir::LoopInfo& l : fn->loops) {
-      if (!l.is_for) continue;
-      LoopSample s;
-      s.fn = fn.get();
-      s.loop = l.id;
-      s.features = compute_loop_features(*fn, l.id, res.dep);
-      res.loops.push_back(std::move(s));
+  {
+    OBS_SPAN("profiler.loop_features");
+    for (const auto& fn : m.functions) {
+      auto cus = build_cus(*fn);
+      res.cus.insert(res.cus.end(), cus.begin(), cus.end());
+      for (const ir::LoopInfo& l : fn->loops) {
+        if (!l.is_for) continue;
+        LoopSample s;
+        s.fn = fn.get();
+        s.loop = l.id;
+        s.features = compute_loop_features(*fn, l.id, res.dep);
+        res.loops.push_back(std::move(s));
+      }
     }
   }
+
+  struct ProfileMetrics {
+    obs::Counter& profiles =
+        obs::Registry::global().counter("profiler.profiles_total");
+    obs::Counter& dep_edges =
+        obs::Registry::global().counter("profiler.dep_edges_total");
+    obs::Counter& loops =
+        obs::Registry::global().counter("profiler.loops_profiled_total");
+  };
+  static ProfileMetrics metrics;
+  metrics.profiles.add(1);
+  metrics.dep_edges.add(res.dep.edges.size());
+  metrics.loops.add(res.loops.size());
   return res;
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace mvgnn::tensor {
@@ -26,10 +28,27 @@ void gemm_nn_block(const float* a, const float* b, float* c, std::size_t r0,
   }
 }
 
+struct GemmMetrics {
+  obs::Counter& calls = obs::Registry::global().counter("gemm.calls_total");
+  obs::Counter& flops = obs::Registry::global().counter("gemm.flops_total");
+  obs::Counter& parallel_calls =
+      obs::Registry::global().counter("gemm.parallel_calls_total");
+
+  static GemmMetrics& get() {
+    static GemmMetrics m;
+    return m;
+  }
+};
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n, bool ta, bool tb, bool accumulate) {
+  OBS_SPAN("gemm");
+  GemmMetrics& metrics = GemmMetrics::get();
+  metrics.calls.add(1);
+  metrics.flops.add(static_cast<std::uint64_t>(2) * m * k * n);
+
   // Normalize to the NN case by materializing transposed inputs; the
   // matrices in this project are small enough (<= a few thousand rows) that
   // an explicit transpose is cheaper than strided inner loops.
@@ -55,9 +74,11 @@ void gemm(const float* a, const float* b, float* c, std::size_t m,
     gemm_nn_block(a, b, c, 0, m, k, n);
     return;
   }
+  metrics.parallel_calls.add(1);
   par::parallel_for_blocked(
       0, m,
       [&](std::size_t r0, std::size_t r1) {
+        OBS_SPAN("gemm.panel");
         gemm_nn_block(a, b, c, r0, r1, k, n);
       },
       par::ThreadPool::global(), /*grain=*/std::max<std::size_t>(1, (1u << 16) / std::max<std::size_t>(1, k * n)));

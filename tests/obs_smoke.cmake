@@ -1,0 +1,36 @@
+# Observability smoke: run the CLI with --metrics-out/--trace-out and check
+# both files land non-empty. Driven by ctest (see tests/CMakeLists.txt):
+#   cmake -DCLI=... -DPROGRAM=... -DOUT_DIR=... -P obs_smoke.cmake
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(METRICS ${OUT_DIR}/metrics.json)
+set(TRACE ${OUT_DIR}/trace.json)
+file(REMOVE ${METRICS} ${TRACE})
+
+execute_process(
+  COMMAND ${CLI} --quiet --metrics-out ${METRICS} --trace-out ${TRACE}
+          profile ${PROGRAM}
+  RESULT_VARIABLE rv
+  OUTPUT_QUIET)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "mvgnn_cli exited with ${rv}")
+endif()
+
+foreach(out ${METRICS} ${TRACE})
+  if(NOT EXISTS ${out})
+    message(FATAL_ERROR "expected output ${out} was not produced")
+  endif()
+  file(SIZE ${out} sz)
+  if(sz EQUAL 0)
+    message(FATAL_ERROR "expected output ${out} is empty")
+  endif()
+endforeach()
+
+# Cheap sanity on content: the snapshot names series, the trace names spans.
+file(READ ${METRICS} metrics_text)
+if(NOT metrics_text MATCHES "interp.instructions_total")
+  message(FATAL_ERROR "metrics snapshot is missing expected series")
+endif()
+file(READ ${TRACE} trace_text)
+if(NOT trace_text MATCHES "traceEvents")
+  message(FATAL_ERROR "trace output is not a Chrome trace_event document")
+endif()

@@ -1,0 +1,406 @@
+// Observability layer: metrics registry, scoped-span tracing, structured
+// logging, and the thread pool's use of all three.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace mvgnn;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON well-formedness checker (no values retained). Enough to
+// prove the exported documents parse; structural asserts go through the
+// recorder/registry APIs directly.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+      } else if (s_[pos_] == '"') {
+        ++pos_;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      digits |= std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0;
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return peek(c); }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterConcurrentIncrementsFromThreadPool) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.concurrent_total");
+  par::ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 1000;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&c] {
+      for (int i = 0; i < kPerTask; ++i) c.add(1);
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kTasks) * kPerTask);
+}
+
+TEST(ObsMetrics, RegistryInstancesAreIndependent) {
+  obs::Registry a, b;
+  a.counter("x").add(3);
+  EXPECT_EQ(a.counter("x").value(), 3u);
+  EXPECT_EQ(b.counter("x").value(), 0u);
+  // Same name, same instrument within one registry.
+  a.counter("x").add(1);
+  EXPECT_EQ(a.counter("x").value(), 4u);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ObsMetrics, GaugeLastWriteWins) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("test.gauge");
+  g.set(2.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  // Upper edges are inclusive; above the last edge goes to overflow.
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(2.0);
+  h.observe(3.0);
+  h.observe(7.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // <= 1
+  EXPECT_EQ(counts[1], 2u);  // (1, 2]
+  EXPECT_EQ(counts[2], 1u);  // (2, 5]
+  EXPECT_EQ(counts[3], 1u);  // > 5
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 7.0);
+}
+
+TEST(ObsMetrics, HistogramPercentiles) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  for (const double v : {0.5, 0.9, 1.5, 1.6, 3.0, 7.0}) h.observe(v);
+  // rank(p50) = 3 of 6 -> second bucket (cum 2 -> 4), midway: 1 + 0.5 = 1.5.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.5);
+  // Everything above the last finite edge clamps to it.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram({1.0}).percentile(0.5), 0.0);  // empty
+}
+
+TEST(ObsMetrics, ExponentialBoundsAre125Ladder) {
+  const auto b = obs::Histogram::exponential_bounds(1.0, 1000.0);
+  const std::vector<double> want = {1,  2,  5,  10,  20,  50,
+                                    100, 200, 500, 1000};
+  EXPECT_EQ(b, want);
+}
+
+TEST(ObsMetrics, ExportsAreWellFormed) {
+  obs::Registry reg;
+  reg.counter("a.count_total").add(2);
+  reg.gauge("b.value").set(0.5);
+  reg.histogram("c.lat_us", {1.0, 10.0}).observe(3.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"a.count_total\": 2"), std::string::npos);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("a.count_total 2"), std::string::npos);
+  EXPECT_NE(text.find("c.lat_us{le=1} 0"), std::string::npos);
+  EXPECT_NE(text.find("c.lat_us{le=10} 1"), std::string::npos);
+  EXPECT_NE(text.find("c.lat_us_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+const obs::SpanEvent* find_span(const std::vector<obs::SpanEvent>& evs,
+                                const char* name) {
+  for (const auto& e : evs) {
+    if (std::string(e.name) == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(ObsTrace, NestedSpanParentLinkage) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  {
+    OBS_SPAN("t.outer");
+    { OBS_SPAN("t.inner_a"); }
+    {
+      OBS_SPAN("t.inner_b");
+      { OBS_SPAN("t.leaf"); }
+    }
+  }
+  { OBS_SPAN("t.root2"); }
+  rec.disable();
+
+  const auto evs = rec.events();
+  const auto* outer = find_span(evs, "t.outer");
+  const auto* inner_a = find_span(evs, "t.inner_a");
+  const auto* inner_b = find_span(evs, "t.inner_b");
+  const auto* leaf = find_span(evs, "t.leaf");
+  const auto* root2 = find_span(evs, "t.root2");
+  ASSERT_TRUE(outer && inner_a && inner_b && leaf && root2);
+
+  EXPECT_EQ(outer->parent, -1);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(root2->parent, -1);
+  // All on one thread; parents are indices in begin order on that thread.
+  EXPECT_EQ(inner_a->depth, 1);
+  EXPECT_EQ(inner_b->depth, 1);
+  EXPECT_EQ(leaf->depth, 2);
+  // Begin order on this thread: outer=0, inner_a=1, inner_b=2, leaf=3.
+  EXPECT_EQ(inner_a->parent, 0);
+  EXPECT_EQ(inner_b->parent, 0);
+  EXPECT_EQ(leaf->parent, 2);
+  // Timestamps nest.
+  EXPECT_GE(leaf->start_ns, inner_b->start_ns);
+  EXPECT_LE(leaf->end_ns, inner_b->end_ns);
+  EXPECT_GE(inner_b->start_ns, outer->start_ns);
+  EXPECT_LE(inner_b->end_ns, outer->end_ns);
+  rec.clear();
+}
+
+TEST(ObsTrace, DisabledRecordsNothing) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.disable();
+  { OBS_SPAN("t.should_not_appear"); }
+  EXPECT_EQ(find_span(rec.events(), "t.should_not_appear"), nullptr);
+}
+
+TEST(ObsTrace, ChromeJsonIsWellFormed) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  {
+    OBS_SPAN("t.json_outer");
+    { OBS_SPAN("t.json \"quoted\\name\""); }  // exporter must escape this
+  }
+  rec.disable();
+  const std::string json = rec.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("t.json_outer"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\\name\\\""), std::string::npos);
+  rec.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(ObsLog, RenderMatchesLegacyPrintfTables) {
+  const std::string line = obs::Logger::render(
+      obs::LogLevel::Info, "",
+      {{"epoch", obs::logfmt("%3zu", static_cast<std::size_t>(0))},
+       {"loss", obs::logfmt("%.4f", 1.0986)},
+       {"train_acc", obs::logfmt("%.4f", 0.3333)},
+       {"test_acc", obs::logfmt("%.4f", 0.3333)}});
+  EXPECT_EQ(line, "epoch   0  loss 1.0986  train_acc 0.3333  test_acc 0.3333");
+  EXPECT_EQ(obs::Logger::render(obs::LogLevel::Warn, "careful", {}),
+            "[warn] careful");
+}
+
+TEST(ObsLog, LevelFilteringAndSink) {
+  obs::Logger log;
+  std::vector<std::pair<obs::LogLevel, std::string>> captured;
+  log.set_sink([&](obs::LogLevel lv, const std::string& line) {
+    captured.emplace_back(lv, line);
+  });
+  log.set_level(obs::LogLevel::Warn);
+  log.log(obs::LogLevel::Info, "dropped");
+  log.log(obs::LogLevel::Error, "kept", {{"code", "7"}});
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].second, "[error] kept  code 7");
+  EXPECT_FALSE(log.enabled(obs::LogLevel::Debug));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::Error));
+}
+
+TEST(ObsLog, ParseLevel) {
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::Warn);
+  EXPECT_EQ(obs::parse_log_level("ERROR"), obs::LogLevel::Error);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::Off);
+  EXPECT_EQ(obs::parse_log_level(nullptr), obs::LogLevel::Info);
+  EXPECT_EQ(obs::parse_log_level("junk", obs::LogLevel::Debug),
+            obs::LogLevel::Debug);
+}
+
+TEST(ObsLog, AsyncWriterDeliversEverythingInOrder) {
+  obs::Logger log;
+  std::mutex mu;
+  std::vector<std::string> captured;
+  log.set_sink([&](obs::LogLevel, const std::string& line) {
+    std::lock_guard lock(mu);
+    captured.push_back(line);
+  });
+  log.set_async(true);
+  constexpr int kLines = 200;
+  for (int i = 0; i < kLines; ++i) {
+    log.log(obs::LogLevel::Info, "line " + std::to_string(i));
+  }
+  log.flush();
+  log.set_async(false);
+  ASSERT_EQ(captured.size(), static_cast<std::size_t>(kLines));
+  for (int i = 0; i < kLines; ++i) {
+    EXPECT_EQ(captured[static_cast<std::size_t>(i)],
+              "line " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool integration: failures carry task context through the logger.
+// ---------------------------------------------------------------------------
+
+TEST(ObsThreadPool, TaskFailureLogsIndexAndRethrows) {
+  std::mutex mu;
+  std::vector<std::string> captured;
+  obs::Logger::global().set_sink(
+      [&](obs::LogLevel lv, const std::string& line) {
+        if (lv == obs::LogLevel::Error) {
+          std::lock_guard lock(mu);
+          captured.push_back(line);
+        }
+      });
+
+  par::ThreadPool pool(2);
+  pool.submit([] {});  // task 0 is fine
+  pool.submit([] { throw std::runtime_error("boom"); });  // task 1 fails
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+
+  obs::Logger::global().set_sink(nullptr);  // restore default before asserting
+  std::lock_guard lock(mu);
+  bool found = false;
+  for (const std::string& line : captured) {
+    if (line.find("task failed") != std::string::npos &&
+        line.find("task_index 1") != std::string::npos &&
+        line.find("what boom") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "captured " << captured.size() << " error lines";
+}
+
+TEST(ObsThreadPool, TaskMetricsAdvance) {
+  auto& reg = obs::Registry::global();
+  const std::uint64_t before =
+      reg.counter("thread_pool.tasks_executed_total").value();
+  par::ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  pool.wait();
+  EXPECT_GE(reg.counter("thread_pool.tasks_executed_total").value(),
+            before + 8);
+  EXPECT_GE(reg.histogram("thread_pool.task_latency_us", {}).count(), 8u);
+}
+
+}  // namespace

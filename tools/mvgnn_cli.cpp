@@ -6,6 +6,14 @@
 //   mvgnn peg <file.minic>        program execution graph as Graphviz DOT
 //   mvgnn suggest <file.minic>    ranked OpenMP parallelization suggestions
 //   mvgnn variants <file.minic>   effect of the six IR variant pipelines
+//   mvgnn train <file.minic>      train a small MV-GNN, classify the loops
+//
+// Observability flags (accepted anywhere on the command line):
+//   --metrics-out <path>   write a JSON metrics snapshot on exit
+//   --trace-out <path>     record spans; write Chrome trace_event JSON on
+//                          exit (open in chrome://tracing or Perfetto)
+//   --quiet                raise the log level to warn (MVGNN_LOG_LEVEL
+//                          overrides the default level too)
 //
 // The entry function must be named `kernel`. Array parameters are filled
 // deterministically (4096 elements); int parameters get 8, floats 1.0.
@@ -14,10 +22,17 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/suggest.hpp"
+#include "core/trainer.hpp"
+#include "data/corpus.hpp"
+#include "data/dataset.hpp"
 #include "frontend/lower.hpp"
 #include "graph/peg.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "profiler/profile.hpp"
 #include "transform/passes.hpp"
 
@@ -26,15 +41,38 @@ namespace {
 using namespace mvgnn;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: mvgnn <ir|cus|profile|peg|suggest|variants> "
-               "<file.minic>\n");
+  std::fprintf(
+      stderr,
+      "usage: mvgnn [flags] <command> <file.minic>\n"
+      "\n"
+      "commands:\n"
+      "  ir        print the lowered IR\n"
+      "  cus       computational-unit decomposition\n"
+      "  profile   dependence profile + Table I loop features\n"
+      "  peg       program execution graph as Graphviz DOT\n"
+      "  suggest   ranked OpenMP parallelization suggestions\n"
+      "  variants  effect of the six IR variant pipelines\n"
+      "  train     train a small MV-GNN on a generated corpus, then\n"
+      "            classify the input program's loops\n"
+      "\n"
+      "flags:\n"
+      "  --metrics-out <path>  write a JSON metrics snapshot on exit\n"
+      "  --trace-out <path>    record spans and write Chrome trace_event\n"
+      "                        JSON on exit (chrome://tracing / Perfetto)\n"
+      "  --quiet, -q           only warnings and errors on the log\n"
+      "                        (MVGNN_LOG_LEVEL sets the default level)\n"
+      "  --help, -h            this message\n"
+      "\n"
+      "train options:\n"
+      "  --corpus <n>          generated-corpus size in loops (default 90)\n"
+      "  --epochs <n>          training epochs (default 4)\n"
+      "  --seed <n>            training seed (default 1)\n");
   return 2;
 }
 
-std::string read_file(const char* path) {
+std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  if (!in) throw std::runtime_error("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
@@ -146,22 +184,155 @@ int cmd_variants(const std::string& source) {
   return 0;
 }
 
+struct TrainOptions {
+  int corpus_loops = 90;
+  std::size_t epochs = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Scaled-down end-to-end flow (the classify_loops example at demo size):
+/// build a generated corpus, train one MV-GNN on it, and classify every
+/// for-loop of the input program. Exercises every instrumented subsystem —
+/// profiler, PEG/walks, GEMM, thread pool, trainer — so a --trace-out of
+/// this command shows the whole pipeline.
+int cmd_train(const std::string& source, const TrainOptions& topts) {
+  data::DatasetOptions opts;
+  opts.seed = 5;
+
+  obs::log_info("building training corpus",
+                {{"loops", std::to_string(topts.corpus_loops)}});
+  const data::Dataset ds = data::build_dataset(
+      data::build_generated_corpus(topts.corpus_loops, 2024), opts);
+  auto [train_raw, val] = data::split_by_kernel(ds, 0.85, 5);
+  const std::vector<std::size_t> train =
+      data::oversample_balance(ds, train_raw, 5);
+
+  const core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::TrainConfig tc;
+  tc.epochs = topts.epochs;
+  tc.seed = topts.seed;
+  tc.verbose = true;
+  obs::log_info("training MV-GNN",
+                {{"train_samples", std::to_string(train.size())},
+                 {"epochs", std::to_string(tc.epochs)},
+                 {"seed", std::to_string(tc.seed)}});
+  core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
+  trainer.fit(train, val);
+
+  // ---- inference on the user program ------------------------------------
+  data::ProgramSpec user;
+  user.suite = "User";
+  user.app = "user";
+  user.kernel.name = "user_program";
+  user.kernel.source = source;
+  {
+    const ir::Module probe = frontend::compile(source, "probe");
+    user.kernel.args = synth_args(kernel_of(probe));
+  }
+  data::DatasetOptions inference_opts = opts;
+  inference_opts.dep_noise = 0.0;  // the user's own run is not noisy
+  const auto samples = data::featurize_program(user, ds, inference_opts);
+
+  std::printf("\nloop classification for the input program:\n");
+  std::printf("%6s | %-14s | %-11s | %s\n", "line", "MV-GNN", "node/struct",
+              "expert oracle");
+  for (const auto& s : samples) {
+    const auto in = core::build_input(s, ds, norm);
+    const auto p = trainer.predict_input(in);
+    std::printf("%6d | %-14s | %3s / %-3s | %s\n", s.loop_line,
+                p.fused ? "PARALLELIZABLE" : "sequential",
+                p.node_view ? "par" : "seq", p.struct_view ? "par" : "seq",
+                s.label ? "parallelizable" : "sequential");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) return usage();
-  try {
-    const std::string source = read_file(argv[2]);
-    if (std::strcmp(argv[1], "variants") == 0) return cmd_variants(source);
-    const ir::Module m = frontend::compile(source, argv[2]);
-    if (std::strcmp(argv[1], "ir") == 0) return cmd_ir(m);
-    if (std::strcmp(argv[1], "cus") == 0) return cmd_cus(m);
-    if (std::strcmp(argv[1], "profile") == 0) return cmd_profile(m);
-    if (std::strcmp(argv[1], "peg") == 0) return cmd_peg(m);
-    if (std::strcmp(argv[1], "suggest") == 0) return cmd_suggest(m);
-    return usage();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "mvgnn: %s\n", e.what());
-    return 1;
+  std::string metrics_out, trace_out, command, file;
+  TrainOptions topts;
+  bool quiet = false;
+
+  auto flag_value = [&](int& a, const char* flag) -> const char* {
+    if (a + 1 >= argc) {
+      std::fprintf(stderr, "mvgnn: %s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++a];
+  };
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strcmp(arg, "--metrics-out") == 0) {
+      metrics_out = flag_value(a, arg);
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      trace_out = flag_value(a, arg);
+    } else if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--corpus") == 0) {
+      topts.corpus_loops = std::atoi(flag_value(a, arg));
+    } else if (std::strcmp(arg, "--epochs") == 0) {
+      topts.epochs = static_cast<std::size_t>(std::atoi(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      topts.seed = static_cast<std::uint64_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return usage();
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "mvgnn: unknown flag %s\n", arg);
+      return usage();
+    } else if (command.empty()) {
+      command = arg;
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      return usage();
+    }
   }
+  if (command.empty() || file.empty()) return usage();
+
+  if (quiet) obs::Logger::global().set_level(obs::LogLevel::Warn);
+  if (!trace_out.empty()) obs::TraceRecorder::global().enable();
+
+  int rc = 0;
+  try {
+    const std::string source = read_file(file);
+    if (command == "variants") {
+      rc = cmd_variants(source);
+    } else if (command == "train") {
+      rc = cmd_train(source, topts);
+    } else {
+      const ir::Module m = frontend::compile(source, file);
+      if (command == "ir") rc = cmd_ir(m);
+      else if (command == "cus") rc = cmd_cus(m);
+      else if (command == "profile") rc = cmd_profile(m);
+      else if (command == "peg") rc = cmd_peg(m);
+      else if (command == "suggest") rc = cmd_suggest(m);
+      else return usage();
+    }
+  } catch (const std::exception& e) {
+    obs::log_error(std::string("mvgnn: ") + e.what());
+    rc = 1;
+  }
+
+  // Exporters run after the command so the snapshot covers the whole run,
+  // including the failure path.
+  if (!metrics_out.empty()) {
+    if (obs::Registry::global().write_json(metrics_out)) {
+      obs::log_info("wrote metrics snapshot", {{"path", metrics_out}});
+    } else {
+      obs::log_error("cannot write metrics snapshot", {{"path", metrics_out}});
+      rc = rc ? rc : 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    if (obs::TraceRecorder::global().write_chrome_json(trace_out)) {
+      obs::log_info("wrote Chrome trace", {{"path", trace_out}});
+    } else {
+      obs::log_error("cannot write trace", {{"path", trace_out}});
+      rc = rc ? rc : 1;
+    }
+  }
+  obs::Logger::global().flush();
+  return rc;
 }
