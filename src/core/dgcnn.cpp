@@ -7,7 +7,7 @@ namespace mvgnn::core {
 
 using ag::Tensor;
 
-ag::Tensor make_ahat(
+ag::CsrMatrix make_ahat(
     std::uint32_t n,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
   return nn::dgcnn_adjacency(n, edges);
@@ -49,40 +49,83 @@ Dgcnn::Dgcnn(const DgcnnConfig& cfg, par::Rng& rng) : cfg_(cfg) {
   head_ = std::make_unique<nn::Linear>(cfg.dense_hidden, cfg.num_classes, rng);
 }
 
-Dgcnn::Output Dgcnn::forward(const GraphInput& g, bool training,
-                             par::Rng& rng) const {
+Dgcnn::Output Dgcnn::forward(const ag::CsrMatrix& ahat,
+                             const std::vector<ag::CsrMatrix>& rel_ahats,
+                             const ag::Tensor& features,
+                             const std::vector<std::uint32_t>& offsets,
+                             bool training, par::Rng& rng) const {
   // Stacked graph convolutions with tanh; concatenate every layer's output.
-  Tensor x = g.features;
+  // A block-diagonal adjacency keeps messages inside each graph, so the
+  // whole batch shares one spmm per layer.
+  Tensor x = features;
   Tensor z;
   const std::size_t layers = cfg_.relational ? rconvs_.size() : convs_.size();
   for (std::size_t i = 0; i < layers; ++i) {
-    x = cfg_.relational
-            ? ag::tanh_t(rconvs_[i].forward(g.rel_ahats, x))
-            : ag::tanh_t(convs_[i].forward(g.ahat, x));
+    x = cfg_.relational ? ag::tanh_t(rconvs_[i].forward(rel_ahats, x))
+                        : ag::tanh_t(convs_[i].forward(ahat, x));
     z = (i == 0) ? x : ag::concat_cols(z, x);
   }
 
-  Output out_partial;
-  out_partial.nodes = z;
+  Output out;
+  out.nodes = z;
 
-  // SortPooling to a fixed-size [k, concat_dim] representation.
-  Tensor sp = ag::sort_pool(z, cfg_.sort_k);
+  // Per-segment SortPooling to [B*k, concat_dim].
+  const std::size_t b_count = offsets.size() - 1;
+  Tensor sp = ag::sort_pool_segments(z, cfg_.sort_k, offsets);
 
-  // 1-D convolution stage 1: one input channel over the flattened rows,
-  // kernel = stride = concat_dim, i.e. one step per pooled node.
-  Tensor flat = ag::reshape(sp, {1, cfg_.sort_k * concat_dim_});
-  Tensor c1 = ag::relu(ag::conv1d(flat, conv1_w_, conv1_b_, concat_dim_,
-                                  concat_dim_));           // [c1, k]
-  Tensor p1 = ag::maxpool1d(c1, 2);                         // [c1, k/2]
-  Tensor c2 = ag::relu(ag::conv1d(p1, conv2_w_, conv2_b_, cfg_.conv2_kernel,
-                                  1));                      // [c2, L]
-
-  Output out = std::move(out_partial);
-  out.pooled = ag::reshape(c2, {1, rep_dim_});
+  // 1-D convolution stage 1: kernel = stride = concat_dim means every conv
+  // window is exactly one pooled row, so windows never straddle a graph
+  // boundary and the conv is one GEMM over [B*k, concat_dim] (same
+  // summation order as im2col conv1d). Running it with the pooled rows on
+  // the left lets the GEMM kernel short-circuit the all-zero rows that
+  // SortPooling pads in when a graph has fewer than k nodes.
+  Tensor c1 = ag::relu(ag::transpose(ag::add(
+      ag::matmul(sp, ag::transpose(conv1_w_)), conv1_b_)));  // [c1, B*k]
+  Tensor pooled;
+  if (cfg_.sort_k % 2 == 0) {
+    // Even k: the 2-wide max-pool windows line up with graph boundaries, so
+    // pooling runs batched, and the stride-1 second conv is segment-aware —
+    // it only computes the windows that live inside one graph's k/2
+    // columns, never the straddling positions.
+    const std::size_t half = cfg_.sort_k / 2;
+    const std::size_t l = half - cfg_.conv2_kernel + 1;
+    Tensor p1 = ag::maxpool1d(c1, 2);                       // [c1, B*k/2]
+    std::vector<std::uint32_t> starts(b_count);
+    for (std::size_t b = 0; b < b_count; ++b) {
+      starts[b] = static_cast<std::uint32_t>(b * half);
+    }
+    Tensor c2 = ag::relu(ag::conv1d_segments(p1, conv2_w_, conv2_b_,
+                                             cfg_.conv2_kernel, 1, starts,
+                                             half));        // [c2, B*l]
+    std::vector<std::uint32_t> row_starts(b_count);
+    for (std::size_t b = 0; b < b_count; ++b) {
+      row_starts[b] = static_cast<std::uint32_t>(b * l);
+    }
+    pooled = ag::segment_cols_to_rows(c2, row_starts, l);   // [B, rep_dim]
+  } else {
+    // Odd k: pool windows would straddle boundaries, so the tail of the
+    // head runs on each graph's k-column slice.
+    for (std::size_t b = 0; b < b_count; ++b) {
+      Tensor cb = ag::slice_cols(c1, b * cfg_.sort_k, (b + 1) * cfg_.sort_k);
+      Tensor p1 = ag::maxpool1d(cb, 2);                     // [c1, k/2]
+      Tensor c2 = ag::relu(ag::conv1d(p1, conv2_w_, conv2_b_,
+                                      cfg_.conv2_kernel, 1));  // [c2, L]
+      Tensor pb = ag::reshape(c2, {1, rep_dim_});
+      pooled = (b == 0) ? pb : ag::concat_rows(pooled, pb);
+    }
+  }
+  out.pooled = pooled;  // [B, rep_dim]
   Tensor h = ag::relu(dense_->forward(out.pooled));
   h = ag::dropout(h, cfg_.dropout, training, rng);
   out.logits = head_->forward(h);
   return out;
+}
+
+Dgcnn::Output Dgcnn::forward(const GraphInput& g, bool training,
+                             par::Rng& rng) const {
+  return forward(g.ahat, g.rel_ahats, g.features,
+                 {0, static_cast<std::uint32_t>(g.features.rows())}, training,
+                 rng);
 }
 
 std::vector<ag::Tensor> Dgcnn::parameters() const {

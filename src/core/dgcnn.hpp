@@ -30,13 +30,13 @@ struct DgcnnConfig {
   float dropout = 0.1f;
 };
 
-/// One graph as the network consumes it: a normalized adjacency and a node
-/// feature matrix.
+/// One graph as the network consumes it: a normalized CSR adjacency and a
+/// node feature matrix.
 struct GraphInput {
-  ag::Tensor ahat;      // [n, n]
+  ag::CsrMatrix ahat;   // [n, n]
   ag::Tensor features;  // [n, in_dim]
   /// Per-relation adjacencies (relational mode only), size = relations.
-  std::vector<ag::Tensor> rel_ahats;
+  std::vector<ag::CsrMatrix> rel_ahats;
 };
 
 class Dgcnn final : public nn::Module {
@@ -44,13 +44,27 @@ class Dgcnn final : public nn::Module {
   Dgcnn(const DgcnnConfig& cfg, par::Rng& rng);
 
   struct Output {
-    ag::Tensor pooled;  // [1, rep_dim] — input of the FC layer (for MV-GNN)
-    ag::Tensor logits;  // [1, num_classes]
-    ag::Tensor nodes;   // [n, concat_dim] — per-node embeddings before
+    ag::Tensor pooled;  // [B, rep_dim] — input of the FC layer (for MV-GNN)
+    ag::Tensor logits;  // [B, num_classes]
+    ag::Tensor nodes;   // [N, concat_dim] — per-node embeddings before
                         // SortPooling (the GraphSAGE-style unsupervised
                         // objective trains on these)
   };
 
+  /// Batched forward over a block-diagonal graph batch: `ahat` (or
+  /// `rel_ahats` in relational mode) is the block-diagonal [N,N] CSR over
+  /// all B graphs, `features` stacks their node rows, and graph b's nodes
+  /// live in rows [offsets[b], offsets[b+1]). One pass runs the GCN stack
+  /// over all graphs at once; SortPooling and the 1-D conv head pool each
+  /// segment independently, so row b of `pooled`/`logits` is element-wise
+  /// identical to a B=1 forward of graph b alone.
+  [[nodiscard]] Output forward(const ag::CsrMatrix& ahat,
+                               const std::vector<ag::CsrMatrix>& rel_ahats,
+                               const ag::Tensor& features,
+                               const std::vector<std::uint32_t>& offsets,
+                               bool training, par::Rng& rng) const;
+
+  /// Single-graph (B=1) convenience wrapper over the batched forward.
   [[nodiscard]] Output forward(const GraphInput& g, bool training,
                                par::Rng& rng) const;
 
@@ -71,8 +85,8 @@ class Dgcnn final : public nn::Module {
   std::unique_ptr<nn::Linear> head_;
 };
 
-/// Builds the [n,n] row-normalized adjacency for a sample's edge list.
-[[nodiscard]] ag::Tensor make_ahat(
+/// Builds the [n,n] row-normalized CSR adjacency for a sample's edge list.
+[[nodiscard]] ag::CsrMatrix make_ahat(
     std::uint32_t n,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
 

@@ -1,10 +1,64 @@
 #include "core/mvgnn.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mvgnn::core {
 
 using ag::Tensor;
+
+GraphBatch make_graph_batch(const std::vector<const SampleInput*>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("make_graph_batch: empty sample list");
+  }
+  OBS_SPAN("core.batch_assembly");
+  static obs::Counter& batches =
+      obs::Registry::global().counter("core.graph_batches_total");
+  batches.add(1);
+
+  GraphBatch b;
+  b.offsets.reserve(samples.size() + 1);
+  b.offsets.push_back(0);
+  b.labels.reserve(samples.size());
+  std::size_t total = 0;
+  const std::size_t nf_cols = samples.front()->node_feats.cols();
+  const std::size_t aw_cols = samples.front()->aw_dist.cols();
+  const std::size_t relations = samples.front()->rel_ahats.size();
+  for (const SampleInput* s : samples) {
+    total += s->node_feats.rows();
+    b.offsets.push_back(static_cast<std::uint32_t>(total));
+    b.labels.push_back(s->label);
+  }
+  std::vector<float> nf(total * nf_cols);
+  std::vector<float> aw(total * aw_cols);
+  std::vector<const ag::CsrMatrix*> blocks;
+  blocks.reserve(samples.size());
+  std::size_t row = 0;
+  for (const SampleInput* s : samples) {
+    const std::size_t n = s->node_feats.rows();
+    std::copy(s->node_feats.data(), s->node_feats.data() + n * nf_cols,
+              nf.begin() + static_cast<std::ptrdiff_t>(row * nf_cols));
+    std::copy(s->aw_dist.data(), s->aw_dist.data() + n * aw_cols,
+              aw.begin() + static_cast<std::ptrdiff_t>(row * aw_cols));
+    row += n;
+    blocks.push_back(&s->ahat);
+  }
+  b.node_feats = Tensor::from_data({total, nf_cols}, std::move(nf));
+  b.aw_dist = Tensor::from_data({total, aw_cols}, std::move(aw));
+  b.ahat = ag::CsrMatrix::block_diag(blocks);
+  b.rel_ahats.reserve(relations);
+  for (std::size_t r = 0; r < relations; ++r) {
+    std::vector<const ag::CsrMatrix*> rel_blocks;
+    rel_blocks.reserve(samples.size());
+    for (const SampleInput* s : samples) rel_blocks.push_back(&s->rel_ahats[r]);
+    b.rel_ahats.push_back(ag::CsrMatrix::block_diag(rel_blocks));
+  }
+  return b;
+}
 
 MvGnn::MvGnn(MvGnnConfig cfg, par::Rng& rng) : cfg_(std::move(cfg)) {
   cfg_.struct_view.in_dim = cfg_.aw_embed_dim;
@@ -19,22 +73,20 @@ MvGnn::MvGnn(MvGnnConfig cfg, par::Rng& rng) : cfg_(std::move(cfg)) {
       node_view_->rep_dim() + struct_view_->rep_dim(), cfg_.num_classes, rng);
 }
 
-MvGnn::Output MvGnn::forward(const SampleInput& in, bool training,
-                             par::Rng& rng) const {
+MvGnn::Output MvGnn::forward_batch(const GraphBatch& batch, bool training,
+                                   par::Rng& rng) const {
   // Structural-view node features: AW distribution x learned embedding
   // table (the "embedding table lookup" of section III-C).
-  GraphInput gs;
-  gs.ahat = in.ahat;
-  gs.features = ag::matmul(in.aw_dist, aw_embed_);
-  GraphInput gn;
-  gn.ahat = in.ahat;
-  gn.features = in.node_feats;
-  if (cfg_.typed_edges) gn.rel_ahats = in.rel_ahats;
+  const Tensor struct_feats = ag::matmul(batch.aw_dist, aw_embed_);
+  static const std::vector<ag::CsrMatrix> no_rels;
 
-  const Dgcnn::Output on = node_view_->forward(gn, training, rng);
-  const Dgcnn::Output os = struct_view_->forward(gs, training, rng);
+  const Dgcnn::Output on = node_view_->forward(
+      batch.ahat, cfg_.typed_edges ? batch.rel_ahats : no_rels,
+      batch.node_feats, batch.offsets, training, rng);
+  const Dgcnn::Output os = struct_view_->forward(
+      batch.ahat, no_rels, struct_feats, batch.offsets, training, rng);
 
-  // Eq. 5: h = W * tanh(h_n (+) h_s) + b.
+  // Eq. 5: h = W * tanh(h_n (+) h_s) + b, applied row-wise over the batch.
   const Tensor fused = ag::tanh_t(ag::concat_cols(on.pooled, os.pooled));
 
   Output out;
@@ -44,6 +96,18 @@ MvGnn::Output MvGnn::forward(const SampleInput& in, bool training,
   out.node_embed = on.nodes;
   out.struct_embed = os.nodes;
   return out;
+}
+
+MvGnn::Output MvGnn::forward(const SampleInput& in, bool training,
+                             par::Rng& rng) const {
+  GraphBatch b;
+  b.ahat = in.ahat;
+  b.node_feats = in.node_feats;
+  b.aw_dist = in.aw_dist;
+  b.rel_ahats = in.rel_ahats;
+  b.offsets = {0, static_cast<std::uint32_t>(in.node_feats.rows())};
+  b.labels = {in.label};
+  return forward_batch(b, training, rng);
 }
 
 std::vector<ag::Tensor> MvGnn::parameters() const {
@@ -59,7 +123,7 @@ std::vector<ag::Tensor> MvGnn::parameters() const {
 SingleViewGnn::SingleViewGnn(const DgcnnConfig& cfg, par::Rng& rng)
     : view_(std::make_unique<Dgcnn>(cfg, rng)) {}
 
-ag::Tensor SingleViewGnn::forward(const ag::Tensor& ahat,
+ag::Tensor SingleViewGnn::forward(const ag::CsrMatrix& ahat,
                                   const ag::Tensor& feats, bool training,
                                   par::Rng& rng) const {
   return view_->forward({ahat, feats}, training, rng).logits;

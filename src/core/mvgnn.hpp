@@ -28,27 +28,51 @@ struct MvGnnConfig {
 
 /// Model input for one loop sample. `ahat` is shared by both views.
 struct SampleInput {
-  ag::Tensor ahat;        // [n, n]
+  ag::CsrMatrix ahat;     // [n, n]
   ag::Tensor node_feats;  // [n, node_view.in_dim]
   ag::Tensor aw_dist;     // [n, aw_vocab]
   /// Per-relation adjacencies (built only when the featurizer's typed-edge
   /// mode is on).
-  std::vector<ag::Tensor> rel_ahats;
+  std::vector<ag::CsrMatrix> rel_ahats;
   int label = 0;
 };
+
+/// B loop samples fused into one block-diagonal problem: adjacencies are
+/// concatenated block-diagonally, node rows are stacked, and graph b's
+/// nodes occupy rows [offsets[b], offsets[b+1]). One batched forward then
+/// replaces B per-sample forwards — same math, one optimizer step.
+struct GraphBatch {
+  ag::CsrMatrix ahat;       // [N, N] block-diagonal
+  ag::Tensor node_feats;    // [N, node_view.in_dim]
+  ag::Tensor aw_dist;       // [N, aw_vocab]
+  std::vector<ag::CsrMatrix> rel_ahats;  // per relation, block-diagonal
+  std::vector<std::uint32_t> offsets;    // size B+1, offsets[0] == 0
+  std::vector<int> labels;               // size B
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+};
+
+/// Assembles a batch from featurized samples (pointers stay borrowed).
+[[nodiscard]] GraphBatch make_graph_batch(
+    const std::vector<const SampleInput*>& samples);
 
 class MvGnn final : public nn::Module {
  public:
   MvGnn(MvGnnConfig cfg, par::Rng& rng);
 
   struct Output {
-    ag::Tensor logits;         // fused prediction [1, classes]
-    ag::Tensor node_logits;    // node-feature view head
-    ag::Tensor struct_logits;  // structural view head
-    ag::Tensor node_embed;     // node-view per-node embeddings [n, c]
-    ag::Tensor struct_embed;   // structural-view per-node embeddings [n, c]
+    ag::Tensor logits;         // fused prediction [B, classes]
+    ag::Tensor node_logits;    // node-feature view head [B, classes]
+    ag::Tensor struct_logits;  // structural view head [B, classes]
+    ag::Tensor node_embed;     // node-view per-node embeddings [N, c]
+    ag::Tensor struct_embed;   // structural-view per-node embeddings [N, c]
   };
 
+  /// Batched forward over a block-diagonal GraphBatch; row b of every
+  /// logits tensor corresponds to the batch's b-th graph.
+  [[nodiscard]] Output forward_batch(const GraphBatch& batch, bool training,
+                                     par::Rng& rng) const;
+
+  /// Single-sample (B=1) wrapper over the batched path.
   [[nodiscard]] Output forward(const SampleInput& in, bool training,
                                par::Rng& rng) const;
 
@@ -70,7 +94,7 @@ class SingleViewGnn final : public nn::Module {
  public:
   SingleViewGnn(const DgcnnConfig& cfg, par::Rng& rng);
 
-  [[nodiscard]] ag::Tensor forward(const ag::Tensor& ahat,
+  [[nodiscard]] ag::Tensor forward(const ag::CsrMatrix& ahat,
                                    const ag::Tensor& feats, bool training,
                                    par::Rng& rng) const;
   [[nodiscard]] std::vector<ag::Tensor> parameters() const override {

@@ -6,6 +6,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tensor/optim.hpp"
 
 namespace mvgnn::core {
@@ -19,6 +20,8 @@ struct TrainerMetrics {
       obs::Registry::global().counter("trainer.epochs_total");
   obs::Counter& samples =
       obs::Registry::global().counter("trainer.samples_total");
+  obs::Counter& batches =
+      obs::Registry::global().counter("trainer.batches_total");
   obs::Gauge& loss = obs::Registry::global().gauge("trainer.epoch_loss");
   obs::Gauge& train_acc =
       obs::Registry::global().gauge("trainer.epoch_train_acc");
@@ -40,13 +43,19 @@ void log_epoch(std::size_t epoch, const EpochStat& st) {
                      {"test_acc", obs::logfmt("%.4f", st.test_acc)}});
 }
 
-int argmax_row(const Tensor& logits) {
+int argmax_row(const Tensor& logits, std::size_t row = 0) {
   int best = 0;
   for (std::size_t c = 1; c < logits.cols(); ++c) {
-    if (logits.at(0, c) > logits.at(0, best)) best = static_cast<int>(c);
+    if (logits.at(row, c) > logits.at(row, static_cast<std::size_t>(best))) {
+      best = static_cast<int>(c);
+    }
   }
   return best;
 }
+
+/// Batched evaluation block size: big enough to amortize the forward, small
+/// enough that the block-diagonal batch stays cache-resident.
+constexpr std::size_t kEvalBatch = 32;
 
 }  // namespace
 
@@ -137,6 +146,29 @@ const SampleInput& Featurizer::get(std::size_t i) const {
   return *cache_[i];
 }
 
+void Featurizer::prefetch(const std::vector<std::size_t>& indices) const {
+  std::vector<std::size_t> todo;
+  for (const std::size_t i : indices) {
+    if (!cache_[i]) todo.push_back(i);
+  }
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+  if (todo.empty()) return;
+  OBS_SPAN("trainer.featurize_prefetch");
+  // Deduped indices map to distinct cache slots, so workers never write
+  // the same unique_ptr; grain 1 because one sample is already substantial
+  // work (adjacency build + feature copy).
+  par::parallel_for(
+      0, todo.size(),
+      [&](std::size_t t) {
+        const std::size_t i = todo[t];
+        cache_[i] = std::make_unique<SampleInput>(build_input(
+            ds_->samples[i], *ds_, norm_, mode_ == LabelMode::Pattern,
+            zero_dynamic_, typed_edges_));
+      },
+      par::ThreadPool::global(), /*grain=*/1);
+}
+
 MvGnnConfig default_config(const Featurizer& feats) {
   MvGnnConfig cfg;
   cfg.num_classes = feats.num_classes();
@@ -184,37 +216,50 @@ std::vector<EpochStat> MvGnnTrainer::fit(
     double loss_sum = 0.0;
     std::size_t correct = 0;
     const std::size_t batch = std::max<std::size_t>(1, tc_.batch_size);
-    std::size_t in_batch = 0;
-    opt.zero_grad();
-    for (const std::size_t i : order) {
-      const bool use_alt =
-          alt_feats_ && rng_.uniform() < static_cast<double>(alt_prob_);
-      const SampleInput& in = use_alt ? alt_feats_->get(i) : feats_->get(i);
-      const auto out = model_->forward(in, /*training=*/true, rng_);
-      const std::vector<int> label = {in.label};
-      Tensor loss = ag::cross_entropy_logits(out.logits, label);
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(order.size(), start + batch);
+      // Pick the featurizer per sample first (decoupled-inputs mode draws
+      // one coin per sample), then featurize every miss in parallel and
+      // fuse the chunk into one block-diagonal GraphBatch.
+      std::vector<std::size_t> plain, alt;
+      std::vector<bool> use_alt(end - start, false);
+      for (std::size_t j = start; j < end; ++j) {
+        const bool a =
+            alt_feats_ && rng_.uniform() < static_cast<double>(alt_prob_);
+        use_alt[j - start] = a;
+        (a ? alt : plain).push_back(order[j]);
+      }
+      feats_->prefetch(plain);
+      if (alt_feats_) alt_feats_->prefetch(alt);
+      std::vector<const SampleInput*> chunk;
+      chunk.reserve(end - start);
+      for (std::size_t j = start; j < end; ++j) {
+        chunk.push_back(use_alt[j - start] ? &alt_feats_->get(order[j])
+                                           : &feats_->get(order[j]));
+      }
+      const GraphBatch gb = make_graph_batch(chunk);
+      // One batched forward/backward per optimizer step. The cross-entropy
+      // means over the rows actually present, so a trailing partial batch
+      // is averaged over its own size — not the nominal batch size.
+      const auto out = model_->forward_batch(gb, /*training=*/true, rng_);
+      Tensor loss = ag::cross_entropy_logits(out.logits, gb.labels);
       if (tc_.aux_weight > 0.0f) {
         loss = ag::add(
             loss,
             ag::scale(
-                ag::add(ag::cross_entropy_logits(out.node_logits, label),
-                        ag::cross_entropy_logits(out.struct_logits, label)),
+                ag::add(ag::cross_entropy_logits(out.node_logits, gb.labels),
+                        ag::cross_entropy_logits(out.struct_logits,
+                                                 gb.labels)),
                 tc_.aux_weight));
       }
-      // Average over the mini-batch: gradients accumulate between steps.
-      if (batch > 1) loss = ag::scale(loss, 1.0f / static_cast<float>(batch));
-      loss.backward();
-      if (++in_batch == batch) {
-        opt.step();
-        opt.zero_grad();
-        in_batch = 0;
-      }
-      loss_sum += loss.item() * (batch > 1 ? batch : 1);
-      correct += (argmax_row(out.logits) == in.label);
-    }
-    if (in_batch > 0) {
-      opt.step();  // trailing partial batch
       opt.zero_grad();
+      loss.backward();
+      opt.step();
+      TrainerMetrics::get().batches.add(1);
+      loss_sum += loss.item() * static_cast<double>(gb.size());
+      for (std::size_t b = 0; b < gb.size(); ++b) {
+        correct += (argmax_row(out.logits, b) == gb.labels[b]);
+      }
     }
     EpochStat st;
     st.loss = loss_sum / std::max<std::size_t>(1, order.size());
@@ -285,11 +330,18 @@ void MvGnnTrainer::pretrain_unsupervised(const std::vector<std::size_t>& idx,
 double MvGnnTrainer::accuracy_with(const Featurizer& feats,
                                    const std::vector<std::size_t>& idx) const {
   if (idx.empty()) return 0.0;
+  feats.prefetch(idx);
   std::size_t correct = 0;
-  for (const std::size_t i : idx) {
-    const SampleInput& in = feats.get(i);
-    const auto out = model_->forward(in, /*training=*/false, rng_);
-    correct += (argmax_row(out.logits) == in.label);
+  for (std::size_t start = 0; start < idx.size(); start += kEvalBatch) {
+    const std::size_t end = std::min(idx.size(), start + kEvalBatch);
+    std::vector<const SampleInput*> chunk;
+    chunk.reserve(end - start);
+    for (std::size_t j = start; j < end; ++j) chunk.push_back(&feats.get(idx[j]));
+    const GraphBatch gb = make_graph_batch(chunk);
+    const auto out = model_->forward_batch(gb, /*training=*/false, rng_);
+    for (std::size_t b = 0; b < gb.size(); ++b) {
+      correct += (argmax_row(out.logits, b) == gb.labels[b]);
+    }
   }
   return static_cast<double>(correct) / static_cast<double>(idx.size());
 }
@@ -315,12 +367,7 @@ MvGnnTrainer::ViewPrediction MvGnnTrainer::predict(std::size_t i) const {
 }
 
 double MvGnnTrainer::accuracy(const std::vector<std::size_t>& idx) const {
-  if (idx.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (const std::size_t i : idx) {
-    correct += (predict(i).fused == feats_->get(i).label);
-  }
-  return static_cast<double>(correct) / static_cast<double>(idx.size());
+  return accuracy_with(*feats_, idx);
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +400,7 @@ std::vector<EpochStat> StaticGnnTrainer::fit(
     const std::vector<std::size_t>& train_idx,
     const std::vector<std::size_t>& test_idx) {
   std::vector<std::size_t> order = train_idx;
+  feats_->prefetch(order);  // parallel featurization before the epoch loop
   std::vector<EpochStat> curve;
   for (std::size_t epoch = 0; epoch < tc_.epochs; ++epoch) {
     float lr = tc_.lr;

@@ -58,6 +58,11 @@ class Featurizer {
         cache_(ds.samples.size()) {}
 
   [[nodiscard]] const SampleInput& get(std::size_t sample_index) const;
+  /// Featurizes every not-yet-cached index in parallel on the global
+  /// thread pool (distinct cache slots, so workers never collide). The
+  /// trainer calls this per mini-batch so batch assembly finds every
+  /// sample hot.
+  void prefetch(const std::vector<std::size_t>& indices) const;
   [[nodiscard]] std::size_t node_dim() const { return ds_->static_dim + 7; }
   [[nodiscard]] const data::Dataset& dataset() const { return *ds_; }
   [[nodiscard]] const Normalizer& normalizer() const { return norm_; }
@@ -81,8 +86,10 @@ struct TrainConfig {
   float lr = 1e-3f;        // paper: 1e-5 at 200-dim/200-epoch GPU scale
   float aux_weight = 0.3f; // weight of the per-view auxiliary losses
   float weight_decay = 1e-4f;
-  /// Gradient-accumulation mini-batch: the optimizer steps once per
-  /// `batch_size` samples on the averaged gradient (1 = pure SGD-style).
+  /// Mini-batch size: each optimizer step runs ONE batched
+  /// forward/backward over a block-diagonal GraphBatch of up to this many
+  /// samples (the trailing batch may be smaller; its loss is averaged over
+  /// the samples actually present). 1 = pure SGD-style.
   std::size_t batch_size = 1;
   std::uint64_t seed = 1;
   bool verbose = false;

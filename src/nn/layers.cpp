@@ -1,5 +1,6 @@
 #include "nn/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mvgnn::nn {
@@ -8,6 +9,28 @@ namespace {
 
 float glorot_scale(std::size_t in, std::size_t out) {
   return std::sqrt(2.0f / static_cast<float>(in + out));
+}
+
+/// Dedups `entries`, then row-normalizes (each kept entry of row i gets
+/// value 1/deg(i)) and compresses into CSR.
+ag::CsrMatrix normalized_csr(
+    std::size_t n,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries) {
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const auto& [s, d] : entries) ++deg[s];
+  std::vector<std::uint32_t> r, c;
+  std::vector<float> v;
+  r.reserve(entries.size());
+  c.reserve(entries.size());
+  v.reserve(entries.size());
+  for (const auto& [s, d] : entries) {
+    r.push_back(s);
+    c.push_back(d);
+    v.push_back(1.0f / static_cast<float>(deg[s]));
+  }
+  return ag::CsrMatrix::from_coo(n, n, r, c, v);
 }
 
 }  // namespace
@@ -59,11 +82,12 @@ RgcnConv::RgcnConv(std::size_t in, std::size_t out, std::size_t relations,
   }
 }
 
-ag::Tensor RgcnConv::forward(const std::vector<ag::Tensor>& ahats,
+ag::Tensor RgcnConv::forward(const std::vector<ag::CsrMatrix>& ahats,
                              const ag::Tensor& x) const {
   ag::Tensor z = ag::matmul(x, w_self_);
   for (std::size_t r = 0; r < w_rel_.size(); ++r) {
-    z = ag::add(z, ag::matmul(ahats[r], ag::matmul(x, w_rel_[r])));
+    if (ahats[r].nnz() == 0) continue;  // relation absent from this graph
+    z = ag::add(z, ag::spmm(ahats[r], ag::matmul(x, w_rel_[r])));
   }
   return z;
 }
@@ -74,43 +98,31 @@ std::vector<ag::Tensor> RgcnConv::parameters() const {
   return ps;
 }
 
-ag::Tensor relation_adjacency(
+ag::CsrMatrix relation_adjacency(
     std::size_t n,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
     const std::vector<std::uint8_t>& kinds, std::uint8_t relation) {
-  std::vector<float> a(n * n, 0.0f);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
   for (std::size_t e = 0; e < edges.size(); ++e) {
     if (kinds[e] != relation) continue;
     const auto [s, d] = edges[e];
-    a[s * n + d] = 1.0f;
-    a[d * n + s] = 1.0f;
+    entries.emplace_back(s, d);
+    entries.emplace_back(d, s);
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    float deg = 0.0f;
-    for (std::size_t j = 0; j < n; ++j) deg += a[i * n + j];
-    if (deg == 0.0f) continue;
-    const float inv = 1.0f / deg;
-    for (std::size_t j = 0; j < n; ++j) a[i * n + j] *= inv;
-  }
-  return ag::Tensor::from_data({n, n}, std::move(a));
+  return normalized_csr(n, std::move(entries));
 }
 
-ag::Tensor dgcnn_adjacency(
+ag::CsrMatrix dgcnn_adjacency(
     std::size_t n,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
-  std::vector<float> a(n * n, 0.0f);
-  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0f;  // self loops
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  entries.reserve(n + 2 * edges.size());
+  for (std::uint32_t i = 0; i < n; ++i) entries.emplace_back(i, i);
   for (const auto& [s, d] : edges) {
-    a[s * n + d] = 1.0f;
-    a[d * n + s] = 1.0f;
+    entries.emplace_back(s, d);
+    entries.emplace_back(d, s);
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    float deg = 0.0f;
-    for (std::size_t j = 0; j < n; ++j) deg += a[i * n + j];
-    const float inv = 1.0f / deg;  // >= 1 thanks to the self loop
-    for (std::size_t j = 0; j < n; ++j) a[i * n + j] *= inv;
-  }
-  return ag::Tensor::from_data({n, n}, std::move(a));
+  return normalized_csr(n, std::move(entries));
 }
 
 }  // namespace mvgnn::nn

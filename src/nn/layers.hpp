@@ -29,15 +29,17 @@ class Linear final : public Module {
 };
 
 /// Graph convolution in DGCNN form: Z = act(D^-1 (A+I) X W); the normalized
-/// adjacency is precomputed per graph (see dgcnn_adjacency) and passed in.
+/// adjacency is precomputed per graph (see dgcnn_adjacency) and passed in
+/// as a constant CSR matrix, so message passing costs O(nnz * d) and a
+/// block-diagonal `ahat` runs a whole graph batch in one call.
 class GcnConv final : public Module {
  public:
   GcnConv(std::size_t in, std::size_t out, par::Rng& rng);
 
-  /// `ahat` is [n,n], `x` is [n,in]; returns [n,out] pre-activation.
-  [[nodiscard]] ag::Tensor forward(const ag::Tensor& ahat,
+  /// `ahat` is [n,n] CSR, `x` is [n,in]; returns [n,out] pre-activation.
+  [[nodiscard]] ag::Tensor forward(const ag::CsrMatrix& ahat,
                                    const ag::Tensor& x) const {
-    return ag::matmul(ahat, ag::matmul(x, w_));
+    return ag::spmm(ahat, ag::matmul(x, w_));
   }
   [[nodiscard]] std::vector<ag::Tensor> parameters() const override {
     return {w_};
@@ -75,8 +77,9 @@ class RgcnConv final : public Module {
   RgcnConv(std::size_t in, std::size_t out, std::size_t relations,
            par::Rng& rng);
 
-  /// `ahats.size()` must equal `relations`; each is [n,n]; `x` is [n,in].
-  [[nodiscard]] ag::Tensor forward(const std::vector<ag::Tensor>& ahats,
+  /// `ahats.size()` must equal `relations`; each is [n,n] CSR; `x` is
+  /// [n,in].
+  [[nodiscard]] ag::Tensor forward(const std::vector<ag::CsrMatrix>& ahats,
                                    const ag::Tensor& x) const;
   [[nodiscard]] std::vector<ag::Tensor> parameters() const override;
   [[nodiscard]] std::size_t out_dim() const { return w_self_.cols(); }
@@ -88,15 +91,16 @@ class RgcnConv final : public Module {
 };
 
 /// Row-normalized adjacency with self-loops, D^-1 (A+I), as a constant
-/// tensor. `edges` are directed (src, dst) pairs; the graph is symmetrized
-/// first because GCN message passing in the paper's models is undirected.
-[[nodiscard]] ag::Tensor dgcnn_adjacency(
+/// CSR matrix. `edges` are directed (src, dst) pairs; the graph is
+/// symmetrized first because GCN message passing in the paper's models is
+/// undirected.
+[[nodiscard]] ag::CsrMatrix dgcnn_adjacency(
     std::size_t n, const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
 
 /// Row-normalized adjacency of ONE edge relation, no self-loops (the R-GCN
 /// self-transform plays that role). Rows without edges of this relation
 /// stay zero. `kinds[i]` tags `edges[i]`.
-[[nodiscard]] ag::Tensor relation_adjacency(
+[[nodiscard]] ag::CsrMatrix relation_adjacency(
     std::size_t n,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
     const std::vector<std::uint8_t>& kinds, std::uint8_t relation);

@@ -1,9 +1,14 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tensor/gemm.hpp"
 
 namespace mvgnn::ag {
@@ -71,6 +76,68 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+namespace {
+
+/// out[r, :] (+)= sum over row r's entries of v * x[col, :]. Parallel over
+/// rows: each output row is written by exactly one worker, so no
+/// synchronization is needed. The grain adapts to the row width so tiny
+/// feature dims still form blocks worth shipping to the pool.
+void spmm_kernel(const CsrMatrix& a, const float* x, float* out,
+                 std::size_t cols) {
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vs = a.values();
+  const std::size_t grain =
+      std::max<std::size_t>(16, 4096 / std::max<std::size_t>(1, cols));
+  par::parallel_for_blocked(
+      0, a.rows(),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          float* o = out + r * cols;
+          for (std::uint32_t e = rp[r]; e < rp[r + 1]; ++e) {
+            const float v = vs[e];
+            const float* row = x + static_cast<std::size_t>(ci[e]) * cols;
+            for (std::size_t j = 0; j < cols; ++j) o[j] += v * row[j];
+          }
+        }
+      },
+      par::ThreadPool::global(), grain);
+}
+
+struct SpmmMetrics {
+  obs::Counter& calls = obs::Registry::global().counter("tensor.spmm_total");
+  obs::Counter& flops =
+      obs::Registry::global().counter("tensor.spmm_flops_total");
+
+  static SpmmMetrics& get() {
+    static SpmmMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+Tensor spmm(const CsrMatrix& a, const Tensor& x) {
+  if (!a.defined() || a.cols() != x.rows()) {
+    throw TensorError("spmm: incompatible shapes [" + std::to_string(a.rows()) +
+                      "," + std::to_string(a.cols()) + "] and " +
+                      x.shape().str());
+  }
+  OBS_SPAN("tensor.spmm");
+  const std::size_t m = a.rows(), n = x.cols();
+  SpmmMetrics& metrics = SpmmMetrics::get();
+  metrics.calls.add(1);
+  metrics.flops.add(2 * a.nnz() * n);  // forward; backward costs the same
+  Tensor out = make_op({m, n}, {x}, [a, n](Node& self) {
+    if (Node* ix = grad_target(self, 0)) {
+      SpmmMetrics::get().flops.add(2 * a.nnz() * n);
+      spmm_kernel(a.transposed(), self.grad.data(), ix->grad.data(), n);
+    }
+  });
+  spmm_kernel(a, x.data(), out.data(), n);
+  return out;
+}
+
 Tensor transpose(const Tensor& a) {
   const std::size_t r = a.rows(), c = a.cols();
   Tensor out = make_op({c, r}, {a}, [r, c](Node& self) {
@@ -103,14 +170,25 @@ Tensor add(const Tensor& a, const Tensor& b) {
     }
     if (Node* ib = grad_target(self, 1)) {
       if (bias) {
-        for (std::size_t i = 0; i < n; ++i) ib->grad[i % c] += self.grad[i];
+        for (std::size_t r0 = 0; r0 < n; r0 += c) {
+          const float* g = self.grad.data() + r0;
+          for (std::size_t j = 0; j < c; ++j) ib->grad[j] += g[j];
+        }
       } else {
         for (std::size_t i = 0; i < n; ++i) ib->grad[i] += self.grad[i];
       }
     }
   });
-  for (std::size_t i = 0; i < n; ++i) {
-    out.data()[i] = a.data()[i] + (bias ? b.data()[i % c] : b.data()[i]);
+  if (bias) {
+    for (std::size_t r0 = 0; r0 < n; r0 += c) {
+      float* o = out.data() + r0;
+      const float* av = a.data() + r0;
+      for (std::size_t j = 0; j < c; ++j) o[j] = av[j] + b.data()[j];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.data()[i] = a.data()[i] + b.data()[i];
+    }
   }
   return out;
 }
@@ -183,9 +261,47 @@ Tensor relu(const Tensor& a) {
       [](float y, float) { return y > 0.0f ? 1.0f : 0.0f; });
 }
 
+namespace {
+
+/// Branchless float tanh via a range-reduced exp2 polynomial:
+/// tanh(x) = (e^{2x}-1)/(e^{2x}+1). Max abs error vs std::tanh is ~1e-7,
+/// well inside float round-off for downstream math, and unlike libm tanhf
+/// it auto-vectorizes, which matters for the GCN stack where tanh over the
+/// node-feature blocks otherwise dominates the forward pass.
+inline float fast_tanh(float x) {
+  // |2x| > 17.0 => tanh(x) == +/-1 to float precision.
+  float u = 2.0f * x;
+  u = std::min(17.0f, std::max(-17.0f, u));
+  // e^u = 2^n * e^r with n = round(u/ln2), r in [-ln2/2, ln2/2]. Round via
+  // the add-magic-number trick so the whole body stays branchless.
+  const float kLog2e = 1.44269504088896341f;
+  const float kLn2Hi = 0.693359375f;
+  const float kLn2Lo = -2.12194440e-4f;
+  const float kRound = 12582912.0f;  // 1.5 * 2^23
+  const float shifted = u * kLog2e + kRound;
+  const std::int32_t n =
+      std::bit_cast<std::int32_t>(shifted) - std::bit_cast<std::int32_t>(kRound);
+  const float nf = shifted - kRound;
+  const float r = (u - nf * kLn2Hi) - nf * kLn2Lo;
+  // Degree-5 minimax polynomial for e^r on the reduced range.
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * r * r + r + 1.0f;
+  // Scale by 2^n through the exponent bits (n is in [-25, 25] here, so the
+  // biased exponent never over/underflows).
+  const float t = p * std::bit_cast<float>((n + 127) << 23);
+  return (t - 1.0f) / (t + 1.0f);
+}
+
+}  // namespace
+
 Tensor tanh_t(const Tensor& a) {
   return unary_ew(
-      a, [](float x) { return std::tanh(x); },
+      a, [](float x) { return fast_tanh(x); },
       [](float y, float) { return 1.0f - y * y; });
 }
 
@@ -483,81 +599,209 @@ Tensor cross_entropy_logits(const Tensor& logits,
 // DGCNN-specific
 // ---------------------------------------------------------------------------
 
-Tensor sort_pool(const Tensor& a, std::size_t k) {
-  const std::size_t r = a.rows(), c = a.cols();
-  // Stable order: by last channel descending, ties by original index.
-  std::vector<std::uint32_t> order(r);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t x, std::uint32_t y) {
-                     return a.at(x, c - 1) > a.at(y, c - 1);
-                   });
-  const std::size_t keep = std::min(k, r);
-  auto sel = std::make_shared<std::vector<std::uint32_t>>(order.begin(),
-                                                          order.begin() + keep);
-  Tensor out = make_op({k, c}, {a}, [c, sel](Node& self) {
+namespace {
+
+constexpr std::uint32_t kPadRow = 0xFFFFFFFFu;
+
+}  // namespace
+
+Tensor sort_pool_segments(const Tensor& a, std::size_t k,
+                          const std::vector<std::uint32_t>& offsets) {
+  const std::size_t c = a.cols();
+  if (offsets.size() < 2 || offsets.front() != 0 ||
+      offsets.back() != a.rows()) {
+    throw TensorError("sort_pool_segments: bad offsets for " +
+                      a.shape().str());
+  }
+  const std::size_t b_count = offsets.size() - 1;
+  // Per output row: the selected source row, or kPadRow for zero padding.
+  auto sel = std::make_shared<std::vector<std::uint32_t>>(b_count * k, kPadRow);
+  std::vector<std::uint32_t> order;
+  for (std::size_t b = 0; b < b_count; ++b) {
+    const std::uint32_t lo = offsets[b], hi = offsets[b + 1];
+    if (hi < lo) throw TensorError("sort_pool_segments: offsets decrease");
+    order.resize(hi - lo);
+    std::iota(order.begin(), order.end(), lo);
+    // Stable order: by last channel descending, ties by original index.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                       return a.at(x, c - 1) > a.at(y, c - 1);
+                     });
+    const std::size_t keep = std::min<std::size_t>(k, order.size());
+    std::copy(order.begin(), order.begin() + keep, sel->begin() + b * k);
+  }
+  Tensor out = make_op({b_count * k, c}, {a}, [c, sel](Node& self) {
     if (Node* in = grad_target(self, 0)) {
       for (std::size_t i = 0; i < sel->size(); ++i) {
+        if ((*sel)[i] == kPadRow) continue;
         for (std::size_t j = 0; j < c; ++j) {
           in->grad[(*sel)[i] * c + j] += self.grad[i * c + j];
         }
       }
     }
   });
-  for (std::size_t i = 0; i < keep; ++i) {
+  for (std::size_t i = 0; i < sel->size(); ++i) {
+    if ((*sel)[i] == kPadRow) continue;  // padding rows stay zero
     std::copy(a.data() + (*sel)[i] * c, a.data() + ((*sel)[i] + 1) * c,
               out.data() + i * c);
   }
-  return out;  // rows [keep, k) stay zero (padding)
+  return out;
 }
 
-Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor& b,
-              std::size_t ksize, std::size_t stride) {
+Tensor sort_pool(const Tensor& a, std::size_t k) {
+  return sort_pool_segments(a, k,
+                            {0, static_cast<std::uint32_t>(a.rows())});
+}
+
+Tensor segment_cols_to_rows(const Tensor& x,
+                            const std::vector<std::uint32_t>& starts,
+                            std::size_t width) {
+  const std::size_t ch = x.rows(), len = x.cols();
+  for (const std::uint32_t s : starts) {
+    if (s + width > len) {
+      throw TensorError("segment_cols_to_rows: segment exceeds " +
+                        x.shape().str());
+    }
+  }
+  const std::size_t b_count = starts.size();
+  auto st = std::make_shared<std::vector<std::uint32_t>>(starts);
+  Tensor out = make_op({b_count, ch * width}, {x},
+                       [ch, len, width, st](Node& self) {
+                         if (Node* in = grad_target(self, 0)) {
+                           for (std::size_t b = 0; b < st->size(); ++b) {
+                             const float* g =
+                                 self.grad.data() + b * ch * width;
+                             for (std::size_t c = 0; c < ch; ++c) {
+                               float* row = in->grad.data() + c * len +
+                                            (*st)[b];
+                               for (std::size_t j = 0; j < width; ++j) {
+                                 row[j] += g[c * width + j];
+                               }
+                             }
+                           }
+                         }
+                       });
+  for (std::size_t b = 0; b < b_count; ++b) {
+    float* o = out.data() + b * ch * width;
+    for (std::size_t c = 0; c < ch; ++c) {
+      const float* row = x.data() + c * len + starts[b];
+      std::copy(row, row + width, o + c * width);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// im2col for segmented 1-D conv, transposed layout: for segment s and its
+/// window t, colT[(ci*ksize+u), s*lseg+t] = x[ci, starts[s] + t*stride + u].
+/// With starts={0} and one full-width segment this is the classic im2col,
+/// so the conv is one GEMM W[out_ch,K] * colT[K,lout].
+void conv1d_im2col(const float* xv, float* col_t, std::size_t in_ch,
+                   std::size_t len, std::size_t ksize, std::size_t stride,
+                   const std::vector<std::uint32_t>& starts,
+                   std::size_t lseg) {
+  const std::size_t lout = starts.size() * lseg;
+  for (std::size_t ci = 0; ci < in_ch; ++ci) {
+    for (std::size_t u = 0; u < ksize; ++u) {
+      float* dst = col_t + (ci * ksize + u) * lout;
+      for (std::size_t s = 0; s < starts.size(); ++s) {
+        const float* src = xv + ci * len + starts[s] + u;
+        for (std::size_t t = 0; t < lseg; ++t) {
+          dst[s * lseg + t] = src[t * stride];
+        }
+      }
+    }
+  }
+}
+
+Tensor conv1d_impl(const Tensor& x, const Tensor& w, const Tensor& b,
+                   std::size_t ksize, std::size_t stride,
+                   std::vector<std::uint32_t> starts, std::size_t seg_width) {
   const std::size_t in_ch = x.rows(), len = x.cols();
   const std::size_t out_ch = w.rows();
   if (w.cols() != in_ch * ksize) shape_fail("conv1d", x, w);
   if (b.numel() != out_ch) shape_fail("conv1d(bias)", w, b);
-  if (len < ksize) throw TensorError("conv1d: input shorter than kernel");
+  if (seg_width < ksize) throw TensorError("conv1d: input shorter than kernel");
   if (stride == 0) throw TensorError("conv1d: zero stride");
-  const std::size_t lout = (len - ksize) / stride + 1;
+  for (const std::uint32_t s : starts) {
+    if (s + seg_width > len) {
+      throw TensorError("conv1d: segment past the end of " + x.shape().str());
+    }
+  }
+  const std::size_t lseg = (seg_width - ksize) / stride + 1;
+  const std::size_t lout = starts.size() * lseg;
+  const std::size_t kdim = in_ch * ksize;
 
   Tensor out = make_op(
       {out_ch, lout}, {x, w, b},
-      [in_ch, len, out_ch, ksize, stride, lout](Node& self) {
+      [in_ch, len, out_ch, ksize, stride, lseg, lout, kdim,
+       starts](Node& self) {
         const float* xv = self.inputs[0]->value.data();
         const float* wv = self.inputs[1]->value.data();
+        const float* g = self.grad.data();
         Node* ix = grad_target(self, 0);
         Node* iw = grad_target(self, 1);
         Node* ib = grad_target(self, 2);
-        for (std::size_t o = 0; o < out_ch; ++o) {
-          for (std::size_t t = 0; t < lout; ++t) {
-            const float g = self.grad[o * lout + t];
-            if (g == 0.0f) continue;
-            if (ib) ib->grad[o] += g;
-            for (std::size_t ci = 0; ci < in_ch; ++ci) {
-              for (std::size_t u = 0; u < ksize; ++u) {
-                const std::size_t xi = ci * len + t * stride + u;
-                const std::size_t wi = o * in_ch * ksize + ci * ksize + u;
-                if (ix) ix->grad[xi] += g * wv[wi];
-                if (iw) iw->grad[wi] += g * xv[xi];
+        if (ib) {
+          for (std::size_t o = 0; o < out_ch; ++o) {
+            float acc = 0.0f;
+            for (std::size_t t = 0; t < lout; ++t) acc += g[o * lout + t];
+            ib->grad[o] += acc;
+          }
+        }
+        if (iw) {
+          // dW[out_ch,K] = g[out_ch,lout] * colT^T; colT is rebuilt from the
+          // saved input — cheaper than keeping it alive across the graph.
+          std::vector<float> col_t(kdim * lout);
+          conv1d_im2col(xv, col_t.data(), in_ch, len, ksize, stride, starts,
+                        lseg);
+          tensor::gemm(g, col_t.data(), iw->grad.data(), out_ch, lout, kdim,
+                       false, true, true);
+        }
+        if (ix) {
+          // dcolT[K,lout] = W^T * g, then col2im scatter-adds overlapping
+          // windows back into dx.
+          std::vector<float> dcol(kdim * lout);
+          tensor::gemm(wv, g, dcol.data(), kdim, out_ch, lout, true, false);
+          for (std::size_t ci = 0; ci < in_ch; ++ci) {
+            for (std::size_t u = 0; u < ksize; ++u) {
+              const float* src = dcol.data() + (ci * ksize + u) * lout;
+              for (std::size_t s = 0; s < starts.size(); ++s) {
+                float* dst = ix->grad.data() + ci * len + starts[s] + u;
+                for (std::size_t t = 0; t < lseg; ++t) {
+                  dst[t * stride] += src[s * lseg + t];
+                }
               }
             }
           }
         }
       });
+  std::vector<float> col_t(kdim * lout);
+  conv1d_im2col(x.data(), col_t.data(), in_ch, len, ksize, stride, starts,
+                lseg);
+  tensor::gemm(w.data(), col_t.data(), out.data(), out_ch, kdim, lout);
   for (std::size_t o = 0; o < out_ch; ++o) {
-    for (std::size_t t = 0; t < lout; ++t) {
-      float acc = b.data()[o];
-      for (std::size_t ci = 0; ci < in_ch; ++ci) {
-        for (std::size_t u = 0; u < ksize; ++u) {
-          acc += x.at(ci, t * stride + u) *
-                 w.data()[o * in_ch * ksize + ci * ksize + u];
-        }
-      }
-      out.data()[o * lout + t] = acc;
-    }
+    float* row = out.data() + o * lout;
+    const float bias = b.data()[o];
+    for (std::size_t t = 0; t < lout; ++t) row[t] += bias;
   }
   return out;
+}
+
+}  // namespace
+
+Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor& b,
+              std::size_t ksize, std::size_t stride) {
+  return conv1d_impl(x, w, b, ksize, stride, {0}, x.cols());
+}
+
+Tensor conv1d_segments(const Tensor& x, const Tensor& w, const Tensor& b,
+                       std::size_t ksize, std::size_t stride,
+                       const std::vector<std::uint32_t>& starts,
+                       std::size_t seg_width) {
+  if (starts.empty()) throw TensorError("conv1d_segments: no segments");
+  return conv1d_impl(x, w, b, ksize, stride, starts, seg_width);
 }
 
 Tensor maxpool1d(const Tensor& x, std::size_t window) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/sparse.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mvgnn::ag {
@@ -17,6 +18,10 @@ namespace mvgnn::ag {
 /// C[m,n] = A[m,k] * B[k,n] (parallel GEMM underneath).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 [[nodiscard]] Tensor transpose(const Tensor& a);
+/// Sparse-dense product Y[m,n] = A[m,k] * X[k,n] with a parallel-for-over-
+/// rows kernel. A is a constant (adjacencies carry no gradient); the
+/// backward pass computes dX = A^T dY over A's cached transpose.
+[[nodiscard]] Tensor spmm(const CsrMatrix& a, const Tensor& x);
 
 // ---- elementwise ------------------------------------------------------
 [[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);  // same shape or b=[1,n] row bias
@@ -61,10 +66,40 @@ namespace mvgnn::ag {
 /// descending and keeps the first k (zero-padding when n < k). Gradients
 /// route back to the selected rows.
 [[nodiscard]] Tensor sort_pool(const Tensor& a, std::size_t k);
+/// Segment-aware SortPooling for block-diagonal graph batches: rows of
+/// segment b live in [offsets[b], offsets[b+1]) and are pooled
+/// independently; the output stacks the B per-graph [k, c] blocks into
+/// [B*k, c]. `offsets` must start at 0, end at a.rows(), and be
+/// non-decreasing. sort_pool(a, k) == sort_pool_segments(a, k, {0, n}).
+[[nodiscard]] Tensor sort_pool_segments(
+    const Tensor& a, std::size_t k,
+    const std::vector<std::uint32_t>& offsets);
+/// Flattens per-segment column blocks into rows: for each start s_b, the
+/// block x[:, s_b : s_b+width] of x[C, L] becomes row b of the [B, C*width]
+/// output (row-major over channels then columns — the same layout
+/// reshape(x_b, {1, C*width}) would give for a single segment). Columns
+/// outside every block receive zero gradient, which lets a batched stride-1
+/// conv over concatenated segments simply discard the outputs that straddle
+/// segment boundaries.
+[[nodiscard]] Tensor segment_cols_to_rows(
+    const Tensor& x, const std::vector<std::uint32_t>& starts,
+    std::size_t width);
 /// 1-D convolution: x[in_ch, L], w[out_ch, in_ch*ksize], b[out_ch]
 /// -> y[out_ch, (L-ksize)/stride + 1].
 [[nodiscard]] Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor& b,
                             std::size_t ksize, std::size_t stride);
+/// Segment-aware conv1d for block-diagonal batches: segment s covers
+/// columns [starts[s], starts[s]+seg_width) of x and is convolved
+/// independently, so no window straddles a segment boundary and nothing is
+/// computed for the straddling positions a plain conv1d over the
+/// concatenation would produce. Output is [out_ch, S*lseg] with
+/// lseg = (seg_width-ksize)/stride + 1; segment s's windows land in columns
+/// [s*lseg, (s+1)*lseg). conv1d(x,...) == conv1d_segments(x,..., {0}, L).
+[[nodiscard]] Tensor conv1d_segments(const Tensor& x, const Tensor& w,
+                                     const Tensor& b, std::size_t ksize,
+                                     std::size_t stride,
+                                     const std::vector<std::uint32_t>& starts,
+                                     std::size_t seg_width);
 /// Max-pooling along length: x[c, L] -> [c, L/window] (floor).
 [[nodiscard]] Tensor maxpool1d(const Tensor& x, std::size_t window);
 

@@ -1,0 +1,134 @@
+#include "tensor/sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mvgnn::ag {
+
+CsrMatrix CsrMatrix::from_coo(std::size_t rows, std::size_t cols,
+                              const std::vector<std::uint32_t>& r,
+                              const std::vector<std::uint32_t>& c,
+                              const std::vector<float>& v) {
+  if (r.size() != c.size() || r.size() != v.size()) {
+    throw TensorError("CsrMatrix::from_coo: triplet arrays differ in length");
+  }
+  auto rep = std::make_shared<Rep>();
+  rep->rows = rows;
+  rep->cols = cols;
+  std::vector<std::size_t> order(r.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return r[x] != r[y] ? r[x] < r[y] : c[x] < c[y];
+  });
+  rep->row_ptr.assign(rows + 1, 0);
+  rep->col_idx.reserve(r.size());
+  rep->vals.reserve(r.size());
+  std::uint32_t last_row = 0, last_col = 0;
+  for (const std::size_t e : order) {
+    if (r[e] >= rows || c[e] >= cols) {
+      throw TensorError("CsrMatrix::from_coo: index out of range");
+    }
+    if (!rep->vals.empty() && r[e] == last_row && c[e] == last_col) {
+      rep->vals.back() += v[e];  // duplicate (row, col): sum
+      continue;
+    }
+    rep->col_idx.push_back(c[e]);
+    rep->vals.push_back(v[e]);
+    ++rep->row_ptr[r[e] + 1];
+    last_row = r[e];
+    last_col = c[e];
+  }
+  for (std::size_t i = 0; i < rows; ++i) rep->row_ptr[i + 1] += rep->row_ptr[i];
+  return CsrMatrix(std::move(rep));
+}
+
+CsrMatrix CsrMatrix::from_dense(const Tensor& dense, float eps) {
+  auto rep = std::make_shared<Rep>();
+  rep->rows = dense.rows();
+  rep->cols = dense.cols();
+  rep->row_ptr.assign(rep->rows + 1, 0);
+  const float* x = dense.data();
+  for (std::size_t i = 0; i < rep->rows; ++i) {
+    for (std::size_t j = 0; j < rep->cols; ++j) {
+      const float v = x[i * rep->cols + j];
+      if (v > eps || v < -eps || (eps == 0.0f && v != 0.0f)) {
+        rep->col_idx.push_back(static_cast<std::uint32_t>(j));
+        rep->vals.push_back(v);
+      }
+    }
+    rep->row_ptr[i + 1] = static_cast<std::uint32_t>(rep->col_idx.size());
+  }
+  return CsrMatrix(std::move(rep));
+}
+
+CsrMatrix CsrMatrix::block_diag(const std::vector<const CsrMatrix*>& blocks) {
+  auto rep = std::make_shared<Rep>();
+  std::size_t nnz = 0;
+  for (const CsrMatrix* b : blocks) {
+    if (!b || !b->defined()) {
+      throw TensorError("CsrMatrix::block_diag: undefined block");
+    }
+    rep->rows += b->rows();
+    rep->cols += b->cols();
+    nnz += b->nnz();
+  }
+  rep->row_ptr.reserve(rep->rows + 1);
+  rep->col_idx.reserve(nnz);
+  rep->vals.reserve(nnz);
+  rep->row_ptr.assign(1, 0);
+  std::uint32_t col_base = 0;
+  for (const CsrMatrix* b : blocks) {
+    const auto& rp = b->row_ptr();
+    const auto& ci = b->col_idx();
+    const auto& vs = b->values();
+    for (std::size_t i = 0; i < b->rows(); ++i) {
+      for (std::uint32_t e = rp[i]; e < rp[i + 1]; ++e) {
+        rep->col_idx.push_back(col_base + ci[e]);
+        rep->vals.push_back(vs[e]);
+      }
+      rep->row_ptr.push_back(static_cast<std::uint32_t>(rep->col_idx.size()));
+    }
+    col_base += static_cast<std::uint32_t>(b->cols());
+  }
+  return CsrMatrix(std::move(rep));
+}
+
+Tensor CsrMatrix::to_dense() const {
+  if (!rep_) throw TensorError("CsrMatrix::to_dense on undefined matrix");
+  std::vector<float> out(rep_->rows * rep_->cols, 0.0f);
+  for (std::size_t i = 0; i < rep_->rows; ++i) {
+    for (std::uint32_t e = rep_->row_ptr[i]; e < rep_->row_ptr[i + 1]; ++e) {
+      out[i * rep_->cols + rep_->col_idx[e]] += rep_->vals[e];
+    }
+  }
+  return Tensor::from_data({rep_->rows, rep_->cols}, std::move(out));
+}
+
+std::shared_ptr<CsrMatrix::Rep> CsrMatrix::transpose_rep(const Rep& a) {
+  auto t = std::make_shared<Rep>();
+  t->rows = a.cols;
+  t->cols = a.rows;
+  t->row_ptr.assign(t->rows + 1, 0);
+  t->col_idx.resize(a.col_idx.size());
+  t->vals.resize(a.vals.size());
+  // Counting sort by destination row (= source column).
+  for (const std::uint32_t c : a.col_idx) ++t->row_ptr[c + 1];
+  for (std::size_t i = 0; i < t->rows; ++i) t->row_ptr[i + 1] += t->row_ptr[i];
+  std::vector<std::uint32_t> cursor(t->row_ptr.begin(), t->row_ptr.end() - 1);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::uint32_t e = a.row_ptr[i]; e < a.row_ptr[i + 1]; ++e) {
+      const std::uint32_t slot = cursor[a.col_idx[e]]++;
+      t->col_idx[slot] = static_cast<std::uint32_t>(i);
+      t->vals[slot] = a.vals[e];
+    }
+  }
+  return t;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  if (!rep_) throw TensorError("CsrMatrix::transposed on undefined matrix");
+  std::call_once(rep_->t_once, [this] { rep_->t = transpose_rep(*rep_); });
+  return CsrMatrix(rep_->t);
+}
+
+}  // namespace mvgnn::ag

@@ -1,0 +1,78 @@
+// Compressed-sparse-row float32 matrix.
+//
+// A CsrMatrix is a cheap shared handle to immutable CSR storage (row
+// pointers / column indices / values). The model stack uses it for graph
+// adjacencies: per-loop sub-PEGs are tiny and sparse, so message passing
+// through ag::spmm costs O(nnz * cols) instead of the O(rows^2 * cols) a
+// dense adjacency matmul pays, and block-diagonal concatenation batches
+// many graphs into one multiply without materializing the (mostly zero)
+// off-diagonal blocks. The transpose needed by spmm's backward pass is
+// built once per matrix on first use and cached behind the handle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvgnn::ag {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from coordinate triplets. Duplicate (row, col) entries are
+  /// summed; entries are stored in (row, ascending col) order.
+  static CsrMatrix from_coo(std::size_t rows, std::size_t cols,
+                            const std::vector<std::uint32_t>& r,
+                            const std::vector<std::uint32_t>& c,
+                            const std::vector<float>& v);
+
+  /// Compresses a dense row-major tensor, keeping entries with |x| > eps.
+  static CsrMatrix from_dense(const Tensor& dense, float eps = 0.0f);
+
+  /// Block-diagonal concatenation (graph batching): block b occupies rows
+  /// and columns offset by the sum of the preceding blocks' sizes.
+  static CsrMatrix block_diag(const std::vector<const CsrMatrix*>& blocks);
+
+  [[nodiscard]] bool defined() const { return rep_ != nullptr; }
+  [[nodiscard]] std::size_t rows() const { return rep_ ? rep_->rows : 0; }
+  [[nodiscard]] std::size_t cols() const { return rep_ ? rep_->cols : 0; }
+  [[nodiscard]] std::size_t nnz() const {
+    return rep_ ? rep_->col_idx.size() : 0;
+  }
+  /// Size rows()+1; entries of row r live in [row_ptr[r], row_ptr[r+1]).
+  [[nodiscard]] const std::vector<std::uint32_t>& row_ptr() const {
+    return rep_->row_ptr;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_idx() const {
+    return rep_->col_idx;
+  }
+  [[nodiscard]] const std::vector<float>& values() const { return rep_->vals; }
+
+  /// Materializes the dense [rows, cols] tensor (tests, fallbacks).
+  [[nodiscard]] Tensor to_dense() const;
+
+  /// The transposed matrix, built on first call and cached (spmm's backward
+  /// runs dX = A^T dY row-parallel over the transpose). Thread-safe.
+  [[nodiscard]] CsrMatrix transposed() const;
+
+ private:
+  struct Rep {
+    std::size_t rows = 0, cols = 0;
+    std::vector<std::uint32_t> row_ptr{0};
+    std::vector<std::uint32_t> col_idx;
+    std::vector<float> vals;
+    mutable std::once_flag t_once;
+    mutable std::shared_ptr<const Rep> t;  // cached transpose
+  };
+
+  explicit CsrMatrix(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  static std::shared_ptr<Rep> transpose_rep(const Rep& a);
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace mvgnn::ag

@@ -3,6 +3,7 @@
 // the single-view baseline.
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <set>
 
 #include "core/trainer.hpp"
@@ -32,13 +33,121 @@ TEST(Dgcnn, ForwardShapesAndPadding) {
   // Tiny graph (3 nodes, fewer than sort_k): padding must kick in.
   core::GraphInput g;
   g.ahat = nn::dgcnn_adjacency(3, {{0, 1}, {1, 2}});
-  g.ahat.set_requires_grad(false);
   par::Rng data_rng(2);
   g.features = ag::Tensor::randn({3, 8}, data_rng, 1.0f, false);
   const auto out = net.forward(g, /*training=*/false, rng);
   EXPECT_EQ(out.logits.rows(), 1u);
   EXPECT_EQ(out.logits.cols(), 2u);
   EXPECT_EQ(out.pooled.cols(), net.rep_dim());
+}
+
+TEST(Dgcnn, BatchedForwardMatchesPerSampleForwards) {
+  par::Rng rng(7);
+  core::DgcnnConfig cfg;
+  cfg.in_dim = 8;
+  cfg.gcn_channels = {16, 16, 1};
+  cfg.sort_k = 12;
+  cfg.dropout = 0.0f;  // eval-mode comparison; keep the graph deterministic
+  core::Dgcnn net(cfg, rng);
+
+  // Three graphs of different sizes (one smaller than sort_k to exercise
+  // per-segment padding inside the batch).
+  const std::vector<std::uint32_t> sizes = {3, 14, 6};
+  const std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      edge_lists = {{{0, 1}, {1, 2}},
+                    {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 13}, {5, 9}, {7, 8}},
+                    {{0, 5}, {1, 4}, {2, 3}}};
+  std::vector<core::GraphInput> graphs(3);
+  std::vector<const ag::CsrMatrix*> blocks;
+  std::vector<std::uint32_t> offsets = {0};
+  par::Rng data_rng(8);
+  for (std::size_t g = 0; g < 3; ++g) {
+    graphs[g].ahat = nn::dgcnn_adjacency(sizes[g], edge_lists[g]);
+    graphs[g].features =
+        ag::Tensor::randn({sizes[g], 8}, data_rng, 1.0f, false);
+    blocks.push_back(&graphs[g].ahat);
+    offsets.push_back(offsets.back() + sizes[g]);
+  }
+  const auto big = ag::CsrMatrix::block_diag(blocks);
+  ag::Tensor feats = graphs[0].features;
+  feats = ag::concat_rows(feats, graphs[1].features);
+  feats = ag::concat_rows(feats, graphs[2].features);
+
+  const auto batched =
+      net.forward(big, {}, feats, offsets, /*training=*/false, rng);
+  EXPECT_EQ(batched.logits.rows(), 3u);
+  EXPECT_EQ(batched.pooled.rows(), 3u);
+  for (std::size_t g = 0; g < 3; ++g) {
+    const auto single = net.forward(graphs[g], /*training=*/false, rng);
+    for (std::size_t c = 0; c < batched.logits.cols(); ++c) {
+      EXPECT_NEAR(batched.logits.at(g, c), single.logits.at(0, c), 1e-5f)
+          << "graph " << g << " logit " << c;
+    }
+    for (std::size_t c = 0; c < batched.pooled.cols(); ++c) {
+      EXPECT_NEAR(batched.pooled.at(g, c), single.pooled.at(0, c), 1e-5f)
+          << "graph " << g << " pooled " << c;
+    }
+  }
+}
+
+TEST(MvGnn, GraphBatchForwardMatchesPerSample) {
+  const auto& ds = shared_dataset();
+  core::Normalizer norm = core::Normalizer::fit(ds, ds.suite_indices(""));
+  core::Featurizer feats(ds, norm);
+  par::Rng rng(9);
+  core::MvGnnConfig cfg = core::default_config(feats);
+  cfg.node_view.dropout = 0.0f;
+  cfg.struct_view.dropout = 0.0f;
+  core::MvGnn model(cfg, rng);
+  ASSERT_GE(ds.samples.size(), 3u);
+  std::vector<const core::SampleInput*> chunk = {&feats.get(0), &feats.get(1),
+                                                 &feats.get(2)};
+  const core::GraphBatch gb = core::make_graph_batch(chunk);
+  EXPECT_EQ(gb.size(), 3u);
+  EXPECT_EQ(gb.offsets.size(), 4u);
+  const auto batched = model.forward_batch(gb, /*training=*/false, rng);
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto single = model.forward(*chunk[b], /*training=*/false, rng);
+    for (std::size_t c = 0; c < batched.logits.cols(); ++c) {
+      EXPECT_NEAR(batched.logits.at(b, c), single.logits.at(0, c), 1e-5f);
+      EXPECT_NEAR(batched.node_logits.at(b, c), single.node_logits.at(0, c),
+                  1e-5f);
+      EXPECT_NEAR(batched.struct_logits.at(b, c),
+                  single.struct_logits.at(0, c), 1e-5f);
+    }
+  }
+}
+
+TEST(Trainer, EpochLossIdenticalAcrossBatchSizesAtZeroLr) {
+  // With lr = 0 and dropout off, the model never moves, so the epoch loss
+  // must equal the mean per-sample loss regardless of batching — including
+  // a trailing partial batch (10 samples, batch 4 -> trailing 2).
+  const auto& ds = shared_dataset();
+  ASSERT_GE(ds.samples.size(), 10u);
+  std::vector<std::size_t> train(10);
+  std::iota(train.begin(), train.end(), 0);
+  core::Normalizer norm = core::Normalizer::fit(ds, train);
+  core::Featurizer feats(ds, norm);
+  core::MvGnnConfig cfg = core::default_config(feats);
+  cfg.node_view.dropout = 0.0f;
+  cfg.struct_view.dropout = 0.0f;
+  double ref = -1.0;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{5},
+                                  std::size_t{4}}) {
+    core::TrainConfig tc;
+    tc.epochs = 1;
+    tc.lr = 0.0f;
+    tc.weight_decay = 0.0f;
+    tc.batch_size = batch;
+    core::MvGnnTrainer trainer(feats, cfg, tc);
+    const auto curve = trainer.fit(train, {});
+    ASSERT_EQ(curve.size(), 1u);
+    if (ref < 0.0) {
+      ref = curve[0].loss;
+    } else {
+      EXPECT_NEAR(curve[0].loss, ref, 1e-5) << "batch " << batch;
+    }
+  }
 }
 
 TEST(Dgcnn, RejectsInvalidConfigs) {

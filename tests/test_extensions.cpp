@@ -184,8 +184,8 @@ TEST(TypedEdges, RelationAdjacencySeparatesKinds) {
   const std::vector<std::pair<std::uint32_t, std::uint32_t>> edges = {
       {0, 1}, {1, 2}, {0, 2}};
   const std::vector<std::uint8_t> kinds = {0, 1, 1};
-  const auto hier = nn::relation_adjacency(3, edges, kinds, 0);
-  const auto raw = nn::relation_adjacency(3, edges, kinds, 1);
+  const auto hier = nn::relation_adjacency(3, edges, kinds, 0).to_dense();
+  const auto raw = nn::relation_adjacency(3, edges, kinds, 1).to_dense();
   // Hierarchy relation has only the 0-1 edge.
   EXPECT_GT(hier.at(0, 1), 0.0f);
   EXPECT_EQ(hier.at(1, 2), 0.0f);
@@ -207,7 +207,7 @@ TEST(TypedEdges, RgcnConvShapesAndGradients) {
   nn::RgcnConv conv(6, 5, 3, rng);
   EXPECT_EQ(conv.num_relations(), 3u);
   EXPECT_EQ(conv.num_parameters(), (1 + 3) * 6 * 5);
-  std::vector<ag::Tensor> ahats;
+  std::vector<ag::CsrMatrix> ahats;
   for (int r = 0; r < 3; ++r) {
     ahats.push_back(nn::relation_adjacency(
         4, {{0, 1}, {2, 3}}, {static_cast<std::uint8_t>(r), 1}, r));

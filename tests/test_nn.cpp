@@ -27,7 +27,8 @@ TEST(Linear, ShapesAndBias) {
 }
 
 TEST(Adjacency, RowsSumToOneAndSymmetrize) {
-  const auto ahat = nn::dgcnn_adjacency(3, {{0, 1}});
+  const auto csr = nn::dgcnn_adjacency(3, {{0, 1}});
+  const Tensor ahat = csr.to_dense();
   for (std::size_t r = 0; r < 3; ++r) {
     float sum = 0.0f;
     for (std::size_t c = 0; c < 3; ++c) sum += ahat.at(r, c);
@@ -38,6 +39,9 @@ TEST(Adjacency, RowsSumToOneAndSymmetrize) {
   EXPECT_GT(ahat.at(0, 1), 0.0f);
   // Node 2 is isolated: only its self loop.
   EXPECT_FLOAT_EQ(ahat.at(2, 2), 1.0f);
+  // CSR invariants: 3 rows, nnz = 2 self loops + symmetric edge + 1.
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.nnz(), 5u);
 }
 
 TEST(GcnConv, PropagatesNeighbourInformation) {

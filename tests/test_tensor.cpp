@@ -169,6 +169,120 @@ TEST(Autograd, SortPoolGradientsAndPadding) {
   gradcheck({a}, [&] { return ag::sum(ag::sort_pool(a, 8)); });
 }
 
+TEST(Sparse, FromCooSumsDuplicatesAndOrders) {
+  // Entries out of order, one duplicate (1,2) that must sum.
+  const auto m = ag::CsrMatrix::from_coo(3, 4, {1, 0, 1, 2, 1}, {2, 3, 0, 1, 2},
+                                         {1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+  EXPECT_EQ(m.nnz(), 4u);
+  const Tensor d = m.to_dense();
+  EXPECT_FLOAT_EQ(d.at(1, 2), 6.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 3), 2.0f);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(d.at(2, 1), 4.0f);
+  // Round trip through from_dense preserves the matrix.
+  const auto m2 = ag::CsrMatrix::from_dense(d);
+  EXPECT_EQ(m2.nnz(), 4u);
+  const Tensor d2 = m2.to_dense();
+  for (std::size_t i = 0; i < d.numel(); ++i) {
+    EXPECT_FLOAT_EQ(d2.data()[i], d.data()[i]);
+  }
+}
+
+TEST(Sparse, TransposeAndBlockDiag) {
+  const auto m = ag::CsrMatrix::from_coo(2, 3, {0, 1, 1}, {2, 0, 1},
+                                         {1.0f, 2.0f, 3.0f});
+  const Tensor t = m.transposed().to_dense();
+  const Tensor d = m.to_dense();
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(t.at(j, i), d.at(i, j));
+    }
+  }
+  const auto bd = ag::CsrMatrix::block_diag({&m, &m});
+  EXPECT_EQ(bd.rows(), 4u);
+  EXPECT_EQ(bd.cols(), 6u);
+  EXPECT_EQ(bd.nnz(), 6u);
+  const Tensor b = bd.to_dense();
+  EXPECT_FLOAT_EQ(b.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(b.at(2, 5), 1.0f);  // second block shifted by (2, 3)
+  EXPECT_FLOAT_EQ(b.at(3, 3), 2.0f);
+  EXPECT_FLOAT_EQ(b.at(0, 5), 0.0f);  // off-diagonal block stays empty
+}
+
+TEST(Sparse, SpmmMatchesDenseMatmulValuesAndGradients) {
+  // Sparse adjacency vs its dense materialization: forward values and input
+  // gradients must agree to 1e-5 through an identical downstream graph.
+  const auto a = ag::CsrMatrix::from_coo(
+      4, 4, {0, 0, 1, 2, 3, 3}, {1, 3, 2, 0, 1, 2},
+      {0.5f, 0.5f, 1.0f, 1.0f, 0.25f, 0.75f});
+  const Tensor ad = a.to_dense();
+  Tensor xs = make({4, 3}, 40);
+  Tensor xd = make({4, 3}, 40);  // same seed -> same values
+  Tensor ys = ag::sum(ag::tanh_t(ag::spmm(a, xs)));
+  Tensor yd = ag::sum(ag::tanh_t(ag::matmul(ad, xd)));
+  EXPECT_NEAR(ys.item(), yd.item(), 1e-5f);
+  xs.zero_grad();
+  xd.zero_grad();
+  ys.backward();
+  yd.backward();
+  for (std::size_t k = 0; k < xs.numel(); ++k) {
+    EXPECT_NEAR(xs.grad()[k], xd.grad()[k], 1e-5f) << "element " << k;
+  }
+}
+
+TEST(Sparse, SpmmGradcheckAndShapeValidation) {
+  const auto a = ag::CsrMatrix::from_coo(3, 3, {0, 1, 2, 2}, {1, 0, 0, 2},
+                                         {1.0f, 0.5f, 0.25f, 0.75f});
+  Tensor x = make({3, 2}, 41);
+  gradcheck({x}, [&] { return ag::sum(ag::tanh_t(ag::spmm(a, x))); });
+  Tensor bad = make({4, 2}, 42);
+  EXPECT_THROW((void)ag::spmm(a, bad), ag::TensorError);
+}
+
+TEST(Autograd, SortPoolSegmentsPoolsEachGraphIndependently) {
+  // Segments: rows [0,2) and [2,5). Segment-aware pooling must equal the
+  // two per-segment sort_pool results stacked.
+  Tensor a = make({5, 3}, 43);
+  const std::vector<std::uint32_t> offsets = {0, 2, 5};
+  Tensor seg = ag::sort_pool_segments(a, 3, offsets);
+  EXPECT_EQ(seg.rows(), 6u);
+  Tensor top = ag::sort_pool(ag::slice_rows(a, 0, 2), 3);
+  Tensor bot = ag::sort_pool(ag::slice_rows(a, 2, 5), 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(seg.at(r, c), top.at(r, c));
+      EXPECT_FLOAT_EQ(seg.at(3 + r, c), bot.at(r, c));
+    }
+  }
+  gradcheck({a}, [&] { return ag::sum(ag::sort_pool_segments(a, 3, offsets)); });
+  EXPECT_THROW((void)ag::sort_pool_segments(a, 3, {0, 2}), ag::TensorError);
+}
+
+TEST(Autograd, SegmentColsToRowsLayoutAndGradients) {
+  // x[2, 6]; segments of width 2 at columns 0 and 4; column 2-3 is skipped
+  // and must get zero gradient.
+  Tensor x = make({2, 6}, 44);
+  const std::vector<std::uint32_t> starts = {0, 4};
+  Tensor r = ag::segment_cols_to_rows(x, starts, 2);
+  EXPECT_EQ(r.rows(), 2u);
+  EXPECT_EQ(r.cols(), 4u);
+  // Row b flattens channels-major: [x(0,s), x(0,s+1), x(1,s), x(1,s+1)].
+  EXPECT_FLOAT_EQ(r.at(0, 0), x.at(0, 0));
+  EXPECT_FLOAT_EQ(r.at(0, 1), x.at(0, 1));
+  EXPECT_FLOAT_EQ(r.at(0, 2), x.at(1, 0));
+  EXPECT_FLOAT_EQ(r.at(1, 0), x.at(0, 4));
+  EXPECT_FLOAT_EQ(r.at(1, 3), x.at(1, 5));
+  gradcheck({x}, [&] {
+    return ag::sum(ag::tanh_t(ag::segment_cols_to_rows(x, starts, 2)));
+  });
+  x.zero_grad();
+  ag::Tensor s = ag::sum(ag::segment_cols_to_rows(x, starts, 2));
+  s.backward();
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.0f);  // skipped column
+  EXPECT_FLOAT_EQ(x.grad()[3], 0.0f);
+  EXPECT_THROW((void)ag::segment_cols_to_rows(x, {5}, 2), ag::TensorError);
+}
+
 TEST(Autograd, Conv1dGradientsAndShape) {
   Tensor x = make({2, 9}, 19);           // 2 channels, length 9
   Tensor w = make({3, 2 * 3}, 20);       // 3 out-channels, kernel 3
@@ -177,6 +291,35 @@ TEST(Autograd, Conv1dGradientsAndShape) {
   EXPECT_EQ(y.rows(), 3u);
   EXPECT_EQ(y.cols(), 4u);
   gradcheck({x, w, b}, [&] { return ag::sum(ag::conv1d(x, w, b, 3, 2)); });
+}
+
+TEST(Autograd, Conv1dSegmentsMatchesPerSegmentConv) {
+  // Two width-6 segments of a [2, 12] input, kernel 3, stride 1: the
+  // segmented conv must equal running conv1d on each column slice, with no
+  // outputs for windows that would straddle the segment boundary.
+  Tensor x = make({2, 12}, 23);
+  Tensor w = make({3, 2 * 3}, 24);
+  Tensor b = make({1, 3}, 25);
+  const std::vector<std::uint32_t> starts = {0, 6};
+  Tensor seg = ag::conv1d_segments(x, w, b, 3, 1, starts, 6);
+  EXPECT_EQ(seg.rows(), 3u);
+  EXPECT_EQ(seg.cols(), 8u);  // 2 segments * ((6-3)/1+1)
+  Tensor left = ag::conv1d(ag::slice_cols(x, 0, 6), w, b, 3, 1);
+  Tensor right = ag::conv1d(ag::slice_cols(x, 6, 12), w, b, 3, 1);
+  for (std::size_t o = 0; o < 3; ++o) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_FLOAT_EQ(seg.at(o, t), left.at(o, t));
+      EXPECT_FLOAT_EQ(seg.at(o, 4 + t), right.at(o, t));
+    }
+  }
+  gradcheck({x, w, b}, [&] {
+    return ag::sum(ag::conv1d_segments(x, w, b, 3, 1, starts, 6));
+  });
+  // A segment that runs past the end of the input must be rejected.
+  EXPECT_THROW((void)ag::conv1d_segments(x, w, b, 3, 1, {8}, 6),
+               ag::TensorError);
+  EXPECT_THROW((void)ag::conv1d_segments(x, w, b, 3, 1, {}, 6),
+               ag::TensorError);
 }
 
 TEST(Autograd, Maxpool1dGradients) {
