@@ -1,0 +1,71 @@
+// Crash-safe training checkpoints.
+//
+// A checkpoint captures everything fit() needs to continue a run as if it
+// had never stopped: model weights (nn::save_weights order), Adam moment
+// buffers, the completed epoch/step counters, the trainer Rng state and the
+// loss curve so far. The on-disk format is
+//
+//   header:  u32 magic "MVCK", u32 version
+//   payload: u64 epoch, u64 step, string rng_state,
+//            u64 curve count + per-epoch (loss, train_acc, test_acc) f64s,
+//            nn::save_weights bytes, ag::Adam::save_state bytes
+//   footer:  u64 payload byte count, u32 CRC32(payload)
+//
+// Files are written atomically (temp + fsync + rename, io::atomic_write_file)
+// so a crash mid-write never leaves a half-checkpoint under the final name,
+// and every load failure reports the file offset where parsing stopped.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "nn/module.hpp"
+#include "tensor/optim.hpp"
+
+namespace mvgnn::core {
+
+/// Everything in a checkpoint besides the weight/optimizer buffers.
+struct CheckpointMeta {
+  std::uint64_t epoch = 0;       ///< completed epochs (resume starts here)
+  std::uint64_t step = 0;        ///< completed optimizer steps
+  std::string rng_state;         ///< par::Rng::state() at the epoch boundary
+  std::vector<EpochStat> curve;  ///< stats for the completed epochs
+};
+
+/// Serializes a full checkpoint (header + payload + footer) to bytes.
+/// fit() encodes an in-memory snapshot at each epoch start so an interrupt
+/// can persist the last consistent state without re-serializing live
+/// buffers mid-update.
+[[nodiscard]] std::string encode_checkpoint(const CheckpointMeta& meta,
+                                            const nn::Module& model,
+                                            const ag::Adam& opt);
+
+/// Atomically writes pre-encoded checkpoint bytes to `path`. Honors the
+/// "ckpt.write" fault site and counts ckpt.writes_total.
+void write_checkpoint_file(const std::string& path, const std::string& bytes);
+
+/// encode_checkpoint + write_checkpoint_file.
+void save_checkpoint(const std::string& path, const CheckpointMeta& meta,
+                     const nn::Module& model, const ag::Adam& opt);
+
+/// Loads a checkpoint, restoring `model` weights and `opt` state in place,
+/// and returns the meta. Throws std::runtime_error with the failing file
+/// offset on any truncation, cap violation, or checksum mismatch.
+[[nodiscard]] CheckpointMeta load_checkpoint(std::istream& is,
+                                             nn::Module& model, ag::Adam& opt);
+[[nodiscard]] CheckpointMeta load_checkpoint(const std::string& path,
+                                             nn::Module& model, ag::Adam& opt);
+
+/// Canonical file name for the checkpoint taken after `epoch` completed
+/// epochs: `<dir>/ckpt-<epoch>.mvck`.
+[[nodiscard]] std::string checkpoint_path(const std::string& dir,
+                                          std::uint64_t epoch);
+
+/// Path of the highest-epoch `ckpt-*.mvck` in `dir`, or "" when the
+/// directory is missing or holds no checkpoints.
+[[nodiscard]] std::string latest_checkpoint(const std::string& dir);
+
+}  // namespace mvgnn::core

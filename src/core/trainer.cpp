@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.hpp"
+#include "fault/fault.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -203,20 +205,58 @@ std::vector<EpochStat> MvGnnTrainer::fit(
 
   std::vector<std::size_t> order = train_idx;
   std::vector<EpochStat> curve;
+  interrupted_ = false;
+  std::size_t start_epoch = 0;
+  std::uint64_t global_step = 0;
+  if (!tc_.resume_from.empty()) {
+    CheckpointMeta meta = load_checkpoint(tc_.resume_from, *model_, opt);
+    rng_.restore(meta.rng_state);
+    start_epoch = static_cast<std::size_t>(meta.epoch);
+    global_step = meta.step;
+    curve = std::move(meta.curve);
+    obs::log_info("resumed from checkpoint",
+                  {{"path", tc_.resume_from},
+                   {"epoch", std::to_string(start_epoch)},
+                   {"step", std::to_string(global_step)}});
+  }
+  const bool ckpt_on = !tc_.checkpoint_dir.empty();
+  // Encoded at each epoch start: the last consistent state. An interrupt
+  // mid-epoch persists this snapshot, so resume replays the interrupted
+  // epoch from its start and the trajectory stays bit-identical. Only paid
+  // for when an interrupt is actually possible (a stop flag is registered).
+  const bool snapshot_on = ckpt_on && tc_.stop_requested != nullptr;
+  std::string epoch_snapshot;
+  std::uint64_t snapshot_epoch = 0;
+
   OBS_SPAN("trainer.fit");
-  for (std::size_t epoch = 0; epoch < tc_.epochs; ++epoch) {
+  for (std::size_t epoch = start_epoch; epoch < tc_.epochs; ++epoch) {
     OBS_SPAN("trainer.epoch");
+    if (snapshot_on) {
+      epoch_snapshot = encode_checkpoint(
+          {epoch, global_step, rng_.state(), curve}, *model_, opt);
+      snapshot_epoch = epoch;
+    }
     // Step schedule: drop the rate at 60% and 85% of the budget so late
     // epochs settle instead of oscillating.
     float lr = tc_.lr;
     if (epoch >= tc_.epochs * 6 / 10) lr *= 0.3f;
     if (epoch >= tc_.epochs * 85 / 100) lr *= 0.3f;
     opt.set_lr(lr);
+    // History-free shuffle: each epoch permutes the pristine index list, so
+    // the visit order is a function of (train_idx, rng state) alone and a
+    // resumed epoch replays the uninterrupted one exactly.
+    order = train_idx;
     std::shuffle(order.begin(), order.end(), rng_.engine());
     double loss_sum = 0.0;
     std::size_t correct = 0;
     const std::size_t batch = std::max<std::size_t>(1, tc_.batch_size);
     for (std::size_t start = 0; start < order.size(); start += batch) {
+      if (tc_.stop_requested &&
+          tc_.stop_requested->load(std::memory_order_relaxed)) {
+        interrupted_ = true;
+        break;
+      }
+      fault::check("trainer.step");
       const std::size_t end = std::min(order.size(), start + batch);
       // Pick the featurizer per sample first (decoupled-inputs mode draws
       // one coin per sample), then featurize every miss in parallel and
@@ -255,12 +295,14 @@ std::vector<EpochStat> MvGnnTrainer::fit(
       opt.zero_grad();
       loss.backward();
       opt.step();
+      ++global_step;
       TrainerMetrics::get().batches.add(1);
       loss_sum += loss.item() * static_cast<double>(gb.size());
       for (std::size_t b = 0; b < gb.size(); ++b) {
         correct += (argmax_row(out.logits, b) == gb.labels[b]);
       }
     }
+    if (interrupted_) break;
     EpochStat st;
     st.loss = loss_sum / std::max<std::size_t>(1, order.size());
     st.train_acc =
@@ -274,6 +316,20 @@ std::vector<EpochStat> MvGnnTrainer::fit(
     metrics.test_acc.set(st.test_acc);
     if (tc_.verbose) log_epoch(epoch, st);
     curve.push_back(st);
+    if (ckpt_on && tc_.checkpoint_every != 0 &&
+        (epoch + 1) % tc_.checkpoint_every == 0) {
+      save_checkpoint(checkpoint_path(tc_.checkpoint_dir, epoch + 1),
+                      {epoch + 1, global_step, rng_.state(), curve}, *model_,
+                      opt);
+    }
+  }
+  if (interrupted_ && ckpt_on) {
+    // The discarded partial epoch is replayed on resume; the snapshot is
+    // exactly the state its first batch saw.
+    write_checkpoint_file(checkpoint_path(tc_.checkpoint_dir, snapshot_epoch),
+                          epoch_snapshot);
+    obs::log_info("interrupt checkpoint written",
+                  {{"epoch", std::to_string(snapshot_epoch)}});
   }
   return curve;
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 
 #include "core/mvgnn.hpp"
 #include "data/dataset.hpp"
@@ -93,6 +94,22 @@ struct TrainConfig {
   std::size_t batch_size = 1;
   std::uint64_t seed = 1;
   bool verbose = false;
+
+  // ---- fault tolerance (docs/robustness.md) ----
+  /// Directory for `ckpt-<epoch>.mvck` files; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every this many completed epochs (when
+  /// checkpoint_dir is set). 0 = only the final/interrupt checkpoint.
+  std::size_t checkpoint_every = 1;
+  /// Checkpoint file to resume from; fit() restores weights, optimizer,
+  /// Rng and curve, then continues at the recorded epoch. The resumed
+  /// trajectory is bit-identical to the uninterrupted run.
+  std::string resume_from;
+  /// Cooperative interrupt flag (e.g. flipped by a SIGINT handler). Polled
+  /// at batch boundaries; when it goes true, fit() stops, persists the
+  /// epoch-start snapshot as a final checkpoint and returns the curve so
+  /// far with interrupted() == true.
+  const std::atomic<bool>* stop_requested = nullptr;
 };
 
 struct EpochStat {
@@ -150,6 +167,9 @@ class MvGnnTrainer {
   /// data::featurize_program sample) — the deployment path.
   [[nodiscard]] ViewPrediction predict_input(const SampleInput& in) const;
 
+  /// True when the last fit() stopped early via TrainConfig::stop_requested.
+  [[nodiscard]] bool interrupted() const { return interrupted_; }
+
  private:
   const Featurizer* feats_;
   const Featurizer* alt_feats_ = nullptr;
@@ -157,6 +177,7 @@ class MvGnnTrainer {
   TrainConfig tc_;
   std::unique_ptr<MvGnn> model_;
   mutable par::Rng rng_;
+  bool interrupted_ = false;
 };
 
 /// Single-view GNN trainer for the "Static GNN" baseline (inst2vec node

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "analysis/tools.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "frontend/lower.hpp"
 #include "graph/peg.hpp"
@@ -216,9 +219,26 @@ std::vector<std::size_t> Dataset::suite_indices(const std::string& suite) const 
 }
 
 Dataset build_dataset(const std::vector<ProgramSpec>& programs,
-                      const DatasetOptions& opts, std::size_t* skipped) {
+                      const DatasetOptions& opts, std::size_t* skipped,
+                      BuildReport* report) {
   Dataset ds;
-  std::size_t skip_count = 0;
+
+  // Quarantine: a per-sample failure is recorded and skipped, never fatal.
+  // Workers from the parallel compile/profile phase funnel through one
+  // mutex; the hot path never takes it.
+  std::mutex quarantine_mu;
+  BuildReport local_report;
+  auto quarantine = [&](const std::string& kernel, const std::string& variant,
+                        const char* stage, const char* error) {
+    obs::Registry::global().counter("corpus.quarantined_total").add(1);
+    obs::log_warn("quarantined corpus program", {{"kernel", kernel},
+                                                 {"variant", variant},
+                                                 {"stage", stage},
+                                                 {"error", error}});
+    std::lock_guard<std::mutex> lock(quarantine_mu);
+    local_report.quarantined.push_back(
+        QuarantineEntry{kernel, variant, stage, error});
+  };
 
   // ---- Phase 1: compile (with variants) and profile --------------------
   // Every (program, variant) item is independent, so this fans out over the
@@ -229,7 +249,6 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
   const std::size_t n_variants = opts.use_ir_variants ? pipelines.size() : 1;
   const std::size_t n_items = programs.size() * n_variants;
   std::vector<std::unique_ptr<Built>> slots(n_items);
-  std::atomic<std::size_t> skipped_atomic{0};
   par::parallel_for(
       0, n_items,
       [&](std::size_t item) {
@@ -237,24 +256,27 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
         const std::size_t v = item % n_variants;
         auto b = std::make_unique<Built>();
         b->spec = &spec;
+        const char* stage = "compile";
         try {
           b->module = frontend::compile(spec.kernel.source, spec.kernel.name);
           if (opts.use_ir_variants) {
             transform::run_pipeline(b->module, pipelines[v]);
             b->variant = pipelines[v].name;
           }
-          b->prof = profiler::profile(b->module, "kernel", spec.kernel.args);
+          stage = "profile";
+          b->prof = profiler::profile(b->module, "kernel", spec.kernel.args,
+                                      opts.interp);
+          stage = "featurize";
           par::Rng noise_rng(opts.seed ^ (0x0DE9'0A0DULL + item * 0x9E37ULL));
           b->noisy_prof = degrade_profile(b->prof, opts.dep_noise, noise_rng);
           b->peg = graph::build_peg(b->module, b->noisy_prof);
-        } catch (const std::exception&) {
-          ++skipped_atomic;
+        } catch (const std::exception& e) {
+          quarantine(spec.kernel.name, b->variant, stage, e.what());
           return;
         }
         slots[item] = std::move(b);
       },
       par::ThreadPool::global(), /*grain=*/1);
-  skip_count = skipped_atomic.load();
   std::vector<Built> built;
   built.reserve(n_items);
   for (auto& slot : slots) {
@@ -288,10 +310,14 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
   ds.static_dim = opts.inst2vec_dim + kind_dims + 1;
 
   for (const Built& b : built) {
-    BuiltSamples bs = samples_of_built(b, ds, opts, /*grow=*/true, walk_rng);
-    for (std::size_t i = 0; i < bs.samples.size(); ++i) {
-      ds.samples.push_back(std::move(bs.samples[i]));
-      pending_ids.push_back(std::move(bs.aw_ids[i]));
+    try {
+      BuiltSamples bs = samples_of_built(b, ds, opts, /*grow=*/true, walk_rng);
+      for (std::size_t i = 0; i < bs.samples.size(); ++i) {
+        ds.samples.push_back(std::move(bs.samples[i]));
+        pending_ids.push_back(std::move(bs.aw_ids[i]));
+      }
+    } catch (const std::exception& e) {
+      quarantine(b.spec->kernel.name, b.variant, "featurize", e.what());
     }
   }
 
@@ -302,7 +328,8 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
     densify_aw(ds.samples[i], pending_ids[i], ds.aw_vocab);
   }
 
-  if (skipped) *skipped = skip_count;
+  if (skipped) *skipped = local_report.quarantined.size();
+  if (report) *report = std::move(local_report);
   return ds;
 }
 
@@ -312,7 +339,8 @@ std::vector<GraphSample> featurize_program(const ProgramSpec& program,
   Built b;
   b.spec = &program;
   b.module = frontend::compile(program.kernel.source, program.kernel.name);
-  b.prof = profiler::profile(b.module, "kernel", program.kernel.args);
+  b.prof = profiler::profile(b.module, "kernel", program.kernel.args,
+                             opts.interp);
   par::Rng noise_rng(opts.seed ^ 0xF007'0A0DULL);
   b.noisy_prof = degrade_profile(b.prof, opts.dep_noise, noise_rng);
   b.peg = graph::build_peg(b.module, b.noisy_prof);

@@ -72,6 +72,26 @@ struct DatasetOptions {
   /// is what keeps the learned models below 100% on template-recognizable
   /// code.
   double dep_noise = 0.08;
+  /// Profiler resource caps (fuel, memory, call depth) applied to every
+  /// corpus program. A program that exhausts them traps and is quarantined
+  /// instead of hanging or OOMing the whole build.
+  profiler::InterpOptions interp;
+};
+
+/// One corpus program (or program variant) that failed during dataset
+/// construction and was skipped instead of aborting the build.
+struct QuarantineEntry {
+  std::string kernel;   // program name
+  std::string variant;  // IR variant pipeline ("" when variants are off)
+  std::string stage;    // "compile", "profile", or "featurize"
+  std::string error;    // exception message
+};
+
+/// Build outcome detail: which inputs were quarantined and why. The count
+/// is also exported as the `corpus.quarantined_total` metric and each entry
+/// is logged at warn level as it happens.
+struct BuildReport {
+  std::vector<QuarantineEntry> quarantined;
 };
 
 struct Dataset {
@@ -87,12 +107,15 @@ struct Dataset {
       const std::string& suite) const;
 };
 
-/// Builds the dataset from `programs`. Programs whose profiling faults are
-/// skipped (counted in `skipped` when non-null) — with the stock corpus
-/// none should fault.
+/// Builds the dataset from `programs`. A program (or variant) that throws
+/// anywhere along compile -> profile -> featurize is quarantined: skipped,
+/// counted (in `skipped` when non-null and in `corpus.quarantined_total`),
+/// logged, and detailed in `report` when non-null — never fatal to the
+/// build. With the stock corpus none should fault.
 [[nodiscard]] Dataset build_dataset(const std::vector<ProgramSpec>& programs,
                                     const DatasetOptions& opts,
-                                    std::size_t* skipped = nullptr);
+                                    std::size_t* skipped = nullptr,
+                                    BuildReport* report = nullptr);
 
 /// Featurizes one (possibly unseen) program against an existing dataset's
 /// frozen vocabularies and inst2vec table — the inference path: profile the

@@ -6,14 +6,46 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "io/checked_stream.hpp"
+
 namespace mvgnn::data {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4D56'4453;  // "MVDS"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends a (payload bytes, CRC32) footer and is parsed with
+// hard length caps + offset-labeled errors; version 1 files (no footer)
+// are still readable, just without checksum verification.
+constexpr std::uint32_t kVersion = 2;
 
-// ---- primitive writers/readers ------------------------------------------
+// ---- sanity caps ----------------------------------------------------------
+// On-disk lengths are untrusted: a flipped byte in a count field must fail
+// the parse with a clean error, not drive a multi-gigabyte allocation. The
+// caps are ~100x beyond anything the real corpus produces.
+constexpr std::uint64_t kMaxString = 1u << 20;     // 1 MiB per string
+constexpr std::uint64_t kMaxVec = 1u << 24;        // 16M floats per row
+constexpr std::uint64_t kMaxNodes = 1u << 20;      // nodes per sample
+constexpr std::uint64_t kMaxEdges = 1u << 24;      // edges per sample
+constexpr std::uint64_t kMaxSamples = 1u << 24;    // samples per dataset
+constexpr std::uint64_t kMaxVocab = 1u << 24;      // token / walk entries
+constexpr std::uint64_t kMaxWalkLen = 1u << 10;    // steps per anon walk
+constexpr std::uint64_t kMaxTokenSeq = 1u << 24;   // tokens per loop body
+
+// ---- error reporting ------------------------------------------------------
+
+/// Offset of the next unread byte, captured *before* the read that might
+/// fail (a failed stream reports tellg() == -1).
+std::uint64_t offset_of(std::istream& is) {
+  const auto pos = is.tellg();
+  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+}
+
+[[noreturn]] void fail_at(std::uint64_t offset, const std::string& what) {
+  throw std::runtime_error("dataset: " + what + " at offset " +
+                           std::to_string(offset));
+}
+
+// ---- primitive writers/readers --------------------------------------------
 
 void put_u32(std::ostream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -38,44 +70,65 @@ void put_f32_vec(std::ostream& os, const std::vector<float>& v) {
 }
 
 std::uint32_t get_u32(std::istream& is) {
+  const std::uint64_t off = offset_of(is);
   std::uint32_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("dataset stream truncated (u32)");
+  if (!is) fail_at(off, "truncated (u32)");
   return v;
 }
 std::uint64_t get_u64(std::istream& is) {
+  const std::uint64_t off = offset_of(is);
   std::uint64_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("dataset stream truncated (u64)");
+  if (!is) fail_at(off, "truncated (u64)");
   return v;
 }
+/// Length field with an explicit cap, checked before any allocation.
+std::uint64_t get_len(std::istream& is, std::uint64_t cap, const char* what) {
+  const std::uint64_t off = offset_of(is);
+  const std::uint64_t n = get_u64(is);
+  if (n > cap) {
+    fail_at(off, std::string(what) + " length " + std::to_string(n) +
+                     " exceeds cap " + std::to_string(cap));
+  }
+  return n;
+}
 std::int32_t get_i32(std::istream& is) {
+  const std::uint64_t off = offset_of(is);
   std::int32_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("dataset stream truncated (i32)");
+  if (!is) fail_at(off, "truncated (i32)");
   return v;
 }
 double get_f64(std::istream& is) {
+  const std::uint64_t off = offset_of(is);
   double v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("dataset stream truncated (f64)");
+  if (!is) fail_at(off, "truncated (f64)");
   return v;
 }
+std::uint8_t get_u8(std::istream& is) {
+  const std::uint64_t off = offset_of(is);
+  char c = 0;
+  is.read(&c, 1);
+  if (!is) fail_at(off, "truncated (u8)");
+  return static_cast<std::uint8_t>(c);
+}
 std::string get_string(std::istream& is) {
-  const std::uint64_t n = get_u64(is);
-  if (n > (1u << 24)) throw std::runtime_error("dataset string too large");
+  const std::uint64_t n = get_len(is, kMaxString, "string");
+  const std::uint64_t off = offset_of(is);
   std::string s(n, '\0');
   is.read(s.data(), static_cast<std::streamsize>(n));
-  if (!is) throw std::runtime_error("dataset stream truncated (string)");
+  if (!is) fail_at(off, "truncated (string)");
   return s;
 }
 std::vector<float> get_f32_vec(std::istream& is) {
-  const std::uint64_t n = get_u64(is);
-  if (n > (1u << 28)) throw std::runtime_error("dataset vector too large");
+  const std::uint64_t n = get_len(is, kMaxVec, "f32 vector");
+  const std::uint64_t off = offset_of(is);
   std::vector<float> v(n);
   is.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(float)));
-  if (!is) throw std::runtime_error("dataset stream truncated (f32 vec)");
+  if (!is) fail_at(off, "truncated (f32 vec)");
   return v;
 }
 
@@ -112,30 +165,76 @@ void put_sample(std::ostream& os, const GraphSample& s) {
 
 GraphSample get_sample(std::istream& is) {
   GraphSample s;
-  s.n = get_u32(is);
-  const std::uint64_t n_edges = get_u64(is);
+  {
+    const std::uint64_t off = offset_of(is);
+    s.n = get_u32(is);
+    if (s.n > kMaxNodes) {
+      fail_at(off, "node count " + std::to_string(s.n) + " exceeds cap " +
+                       std::to_string(kMaxNodes));
+    }
+  }
+  // Note: no reserve() from on-disk counts anywhere below — vectors grow
+  // only as bytes actually arrive, so a corrupt count field costs a parse
+  // error, not a giant allocation.
+  const std::uint64_t n_edges = get_len(is, kMaxEdges, "edge list");
   for (std::uint64_t e = 0; e < n_edges; ++e) {
+    const std::uint64_t off = offset_of(is);
     const std::uint32_t a = get_u32(is);
     const std::uint32_t b = get_u32(is);
+    if (a >= s.n || b >= s.n) {
+      fail_at(off, "edge endpoint (" + std::to_string(a) + "," +
+                       std::to_string(b) + ") out of range [0," +
+                       std::to_string(s.n) + ")");
+    }
     s.edges.emplace_back(a, b);
-    s.edge_kinds.push_back(static_cast<std::uint8_t>(is.get()));
+    const std::uint8_t kind = get_u8(is);
+    if (kind >= GraphSample::kNumRelations) {
+      fail_at(off, "edge kind " + std::to_string(kind) + " out of range");
+    }
+    s.edge_kinds.push_back(kind);
   }
-  s.node_static.resize(get_u64(is));
+  {
+    const std::uint64_t off = offset_of(is);
+    const std::uint64_t rows = get_len(is, kMaxNodes, "node_static");
+    if (rows != s.n) {
+      fail_at(off, "node_static rows " + std::to_string(rows) +
+                       " != node count " + std::to_string(s.n));
+    }
+  }
+  s.node_static.resize(s.n);
   for (auto& row : s.node_static) row = get_f32_vec(is);
-  s.node_dynamic.resize(get_u64(is));
+  {
+    const std::uint64_t off = offset_of(is);
+    const std::uint64_t rows = get_len(is, kMaxNodes, "node_dynamic");
+    if (rows != s.n) {
+      fail_at(off, "node_dynamic rows " + std::to_string(rows) +
+                       " != node count " + std::to_string(s.n));
+    }
+  }
+  s.node_dynamic.resize(s.n);
   for (auto& row : s.node_dynamic) {
     for (double& x : row) x = get_f64(is);
   }
-  s.aw_dist.resize(get_u64(is));
+  {
+    const std::uint64_t off = offset_of(is);
+    const std::uint64_t rows = get_len(is, kMaxNodes, "aw_dist");
+    if (rows != s.n) {
+      fail_at(off, "aw_dist rows " + std::to_string(rows) +
+                       " != node count " + std::to_string(s.n));
+    }
+  }
+  s.aw_dist.resize(s.n);
   for (auto& row : s.aw_dist) row = get_f32_vec(is);
   for (double& x : s.loop_features) x = get_f64(is);
-  s.token_seq.resize(get_u64(is));
-  for (auto& t : s.token_seq) t = get_u32(is);
+  const std::uint64_t n_tokens = get_len(is, kMaxTokenSeq, "token sequence");
+  for (std::uint64_t t = 0; t < n_tokens; ++t) {
+    s.token_seq.push_back(get_u32(is));
+  }
   s.label = get_i32(is);
   s.pattern_label = get_i32(is);
-  s.tool_autopar = is.get() != 0;
-  s.tool_pluto = is.get() != 0;
-  s.tool_discopop = is.get() != 0;
+  s.tool_autopar = get_u8(is) != 0;
+  s.tool_pluto = get_u8(is) != 0;
+  s.tool_discopop = get_u8(is) != 0;
   s.suite = get_string(is);
   s.app = get_string(is);
   s.kernel = get_string(is);
@@ -144,11 +243,9 @@ GraphSample get_sample(std::istream& is) {
   return s;
 }
 
-}  // namespace
-
-void save_dataset(const Dataset& ds, std::ostream& os) {
-  put_u32(os, kMagic);
-  put_u32(os, kVersion);
+/// The whole dataset body, between the (magic, version) header and the
+/// (bytes, crc) footer. Shared by both versions — v1 simply has no footer.
+void put_payload(std::ostream& os, const Dataset& ds) {
   put_u32(os, ds.static_dim);
   put_u32(os, ds.aw_vocab);
 
@@ -182,7 +279,70 @@ void save_dataset(const Dataset& ds, std::ostream& os) {
   // Samples.
   put_u64(os, ds.samples.size());
   for (const GraphSample& s : ds.samples) put_sample(os, s);
+}
 
+Dataset get_payload(std::istream& is) {
+  Dataset ds;
+  ds.static_dim = get_u32(is);
+  ds.aw_vocab = get_u32(is);
+
+  {
+    const std::uint64_t off = offset_of(is);
+    const std::uint32_t i2v_vocab = get_u32(is);
+    const std::uint32_t i2v_dim = get_u32(is);
+    if (i2v_vocab > kMaxVocab || i2v_dim > kMaxVec) {
+      fail_at(off, "inst2vec table " + std::to_string(i2v_vocab) + "x" +
+                       std::to_string(i2v_dim) + " exceeds cap");
+    }
+    ds.inst2vec = embedding::EmbeddingTable(i2v_vocab, i2v_dim);
+    const std::uint64_t row_off = offset_of(is);
+    for (std::uint32_t v = 0; v < i2v_vocab; ++v) {
+      auto row = ds.inst2vec.row(v);
+      is.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+    }
+    if (!is) fail_at(row_off, "truncated (inst2vec)");
+  }
+
+  std::unordered_map<std::string, std::uint32_t> tokens;
+  const std::uint64_t n_tokens = get_len(is, kMaxVocab, "token vocabulary");
+  for (std::uint64_t i = 0; i < n_tokens; ++i) {
+    std::string token = get_string(is);
+    const std::uint32_t id = get_u32(is);
+    tokens.emplace(std::move(token), id);
+  }
+  ds.token_vocab.restore(std::move(tokens), get_u8(is) != 0);
+
+  std::map<graph::AnonWalk, std::uint32_t> walks;
+  const std::uint64_t n_walks = get_len(is, kMaxVocab, "walk vocabulary");
+  for (std::uint64_t i = 0; i < n_walks; ++i) {
+    graph::AnonWalk walk(get_len(is, kMaxWalkLen, "anonymous walk"));
+    const std::uint64_t off = offset_of(is);
+    is.read(reinterpret_cast<char*>(walk.data()),
+            static_cast<std::streamsize>(walk.size()));
+    if (!is) fail_at(off, "truncated (walk)");
+    const std::uint32_t id = get_u32(is);
+    walks.emplace(std::move(walk), id);
+  }
+  ds.aw_vocab_table.restore(std::move(walks), get_u8(is) != 0);
+
+  const std::uint64_t n_samples = get_len(is, kMaxSamples, "sample list");
+  for (std::uint64_t i = 0; i < n_samples; ++i) {
+    ds.samples.push_back(get_sample(is));
+  }
+  return ds;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& ds, std::ostream& os) {
+  put_u32(os, kMagic);
+  put_u32(os, kVersion);
+  io::Crc32OutStream crc_os(os);
+  put_payload(crc_os, ds);
+  crc_os.flush();
+  put_u64(os, crc_os.bytes());
+  put_u32(os, crc_os.crc());
   if (!os) throw std::runtime_error("dataset write failed");
 }
 
@@ -194,49 +354,31 @@ void save_dataset(const Dataset& ds, const std::string& path) {
 
 Dataset load_dataset(std::istream& is) {
   if (get_u32(is) != kMagic) throw std::runtime_error("not a dataset file");
-  if (get_u32(is) != kVersion) {
-    throw std::runtime_error("dataset version mismatch");
+  const std::uint32_t version = get_u32(is);
+  if (version != 1 && version != kVersion) {
+    throw std::runtime_error("dataset version " + std::to_string(version) +
+                             " unsupported (expected " +
+                             std::to_string(kVersion) + ")");
   }
-  Dataset ds;
-  ds.static_dim = get_u32(is);
-  ds.aw_vocab = get_u32(is);
-
-  const std::uint32_t i2v_vocab = get_u32(is);
-  const std::uint32_t i2v_dim = get_u32(is);
-  ds.inst2vec = embedding::EmbeddingTable(i2v_vocab, i2v_dim);
-  for (std::uint32_t v = 0; v < i2v_vocab; ++v) {
-    auto row = ds.inst2vec.row(v);
-    is.read(reinterpret_cast<char*>(row.data()),
-            static_cast<std::streamsize>(row.size() * sizeof(float)));
+  io::Crc32InStream crc_is(is);
+  Dataset ds = get_payload(crc_is);
+  if (version == kVersion) {
+    // Footer lives on the raw stream, right after the payload the wrapper
+    // consumed byte-for-byte.
+    const std::uint64_t off = offset_of(is);
+    const std::uint64_t want_bytes = get_u64(is);
+    const std::uint32_t want_crc = get_u32(is);
+    if (crc_is.bytes() != want_bytes) {
+      fail_at(off, "payload length mismatch: read " +
+                       std::to_string(crc_is.bytes()) + " bytes, footer says " +
+                       std::to_string(want_bytes));
+    }
+    if (crc_is.crc() != want_crc) {
+      fail_at(off, "checksum mismatch: payload crc32 " +
+                       std::to_string(crc_is.crc()) + ", footer says " +
+                       std::to_string(want_crc));
+    }
   }
-  if (!is) throw std::runtime_error("dataset stream truncated (inst2vec)");
-
-  std::unordered_map<std::string, std::uint32_t> tokens;
-  const std::uint64_t n_tokens = get_u64(is);
-  for (std::uint64_t i = 0; i < n_tokens; ++i) {
-    std::string token = get_string(is);
-    const std::uint32_t id = get_u32(is);
-    tokens.emplace(std::move(token), id);
-  }
-  ds.token_vocab.restore(std::move(tokens), is.get() != 0);
-
-  std::map<graph::AnonWalk, std::uint32_t> walks;
-  const std::uint64_t n_walks = get_u64(is);
-  for (std::uint64_t i = 0; i < n_walks; ++i) {
-    graph::AnonWalk walk(get_u64(is));
-    is.read(reinterpret_cast<char*>(walk.data()),
-            static_cast<std::streamsize>(walk.size()));
-    const std::uint32_t id = get_u32(is);
-    walks.emplace(std::move(walk), id);
-  }
-  ds.aw_vocab_table.restore(std::move(walks), is.get() != 0);
-
-  const std::uint64_t n_samples = get_u64(is);
-  ds.samples.reserve(n_samples);
-  for (std::uint64_t i = 0; i < n_samples; ++i) {
-    ds.samples.push_back(get_sample(is));
-  }
-  if (!is) throw std::runtime_error("dataset stream truncated (samples)");
   return ds;
 }
 

@@ -1,0 +1,117 @@
+#include "fault/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace mvgnn::fault {
+
+namespace {
+
+struct Site {
+  std::uint64_t nth = 0;   // 1-based firing hit; 0 = disarmed
+  std::uint64_t hits = 0;  // hits since last arm
+};
+
+struct State {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+// Leaked singletons so worker threads may probe sites during teardown.
+State& state() {
+  static State* s = new State();
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+
+void refresh_enabled_locked(const State& s) {
+  bool any = false;
+  for (const auto& [name, site] : s.sites) {
+    if (site.nth != 0) any = true;
+  }
+  g_enabled.store(any, std::memory_order_relaxed);
+}
+
+/// Parses MVGNN_FAULT ("site@N,site@N,...") exactly once, before the first
+/// lookup. Malformed entries are ignored — fault injection must never be
+/// the thing that crashes the pipeline.
+void arm_from_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("MVGNN_FAULT");
+    if (!env) return;
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string entry = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t at = entry.find('@');
+      if (at == std::string::npos || at == 0) continue;
+      const char* num = entry.c_str() + at + 1;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(num, &end, 10);
+      if (end == num || n == 0) continue;
+      arm(entry.substr(0, at), n);
+    }
+  });
+}
+
+}  // namespace
+
+void arm(const std::string& site, std::uint64_t nth) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.sites[site] = Site{nth, 0};
+  refresh_enabled_locked(s);
+}
+
+void disarm_all() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.sites.clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool hit(const char* site) {
+  arm_from_env_once();
+  if (!enabled()) return false;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.sites.find(site);
+  if (it == s.sites.end() || it->second.nth == 0) return false;
+  return ++it->second.hits == it->second.nth;
+}
+
+void check(const char* site) {
+  if (hit(site)) {
+    throw InjectedFault(std::string("injected fault at ") + site);
+  }
+}
+
+std::optional<std::uint64_t> armed_nth(const char* site) {
+  arm_from_env_once();
+  if (!enabled()) return std::nullopt;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.sites.find(site);
+  if (it == s.sites.end() || it->second.nth == 0) return std::nullopt;
+  return it->second.nth;
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.sites.find(site);
+  return it == s.sites.end() ? 0 : it->second.hits;
+}
+
+}  // namespace mvgnn::fault

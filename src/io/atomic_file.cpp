@@ -1,0 +1,61 @@
+#include "io/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "fault/fault.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mvgnn::io {
+
+namespace {
+
+/// Flushes OS buffers for `path` to stable storage. Best-effort on
+/// platforms without fsync; the rename below is what guarantees atomicity,
+/// fsync only narrows the window where a power loss drops the content.
+void fsync_path(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) {
+        throw std::runtime_error("cannot open " + tmp + " for writing");
+      }
+      writer(os);
+      os.flush();
+      if (!os) throw std::runtime_error("write failed for " + tmp);
+    }
+    // The injected crash point: content is fully in the temp file but the
+    // rename has not happened — exactly the window a real crash would hit.
+    fault::check("io.write");
+    fsync_path(tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("cannot rename " + tmp + " to " + path);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace mvgnn::io

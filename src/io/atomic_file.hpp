@@ -1,0 +1,26 @@
+// Crash-safe file writes: temp file + fsync + rename.
+//
+// Every durable artifact the pipeline produces (checkpoints, metrics
+// snapshots, traces, saved datasets) goes through atomic_write_file so an
+// interrupted process can never leave a half-written file under the final
+// name: the content lands in `<path>.tmp` first, is flushed and fsync'd,
+// and only then renamed over `path` (rename is atomic on POSIX). On any
+// failure — including an injected one at the "io.write" fault site — the
+// temp file is removed and `path` is untouched.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace mvgnn::io {
+
+/// Writes `path` atomically: `writer` streams the content into a temp file
+/// in the same directory, which is fsync'd and renamed over `path` on
+/// success. Throws std::runtime_error (with the path in the message) on any
+/// I/O failure and fault::InjectedFault at the "io.write" site; in both
+/// cases the temp file is cleaned up and the destination left untouched.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace mvgnn::io

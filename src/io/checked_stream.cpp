@@ -1,0 +1,134 @@
+#include "io/checked_stream.hpp"
+
+#include <array>
+#include <limits>
+
+#include "fault/fault.hpp"
+
+namespace mvgnn::io {
+
+namespace {
+
+/// Reflected CRC32 table for polynomial 0xEDB88320, built once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t n) noexcept {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---- Crc32OutStream -------------------------------------------------------
+
+Crc32OutStream::Crc32OutStream(std::ostream& sink)
+    : std::ostream(nullptr), buf_(sink) {
+  rdbuf(&buf_);
+}
+
+Crc32OutStream::Buf::int_type Crc32OutStream::Buf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+  const char c = traits_type::to_char_type(ch);
+  return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+}
+
+std::streamsize Crc32OutStream::Buf::xsputn(const char* s, std::streamsize n) {
+  sink_->write(s, n);
+  if (!*sink_) return 0;
+  crc_ = crc32_update(crc_, s, static_cast<std::size_t>(n));
+  bytes_ += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+// ---- Crc32InStream --------------------------------------------------------
+
+Crc32InStream::Crc32InStream(std::istream& source)
+    : std::istream(nullptr), buf_(source) {
+  rdbuf(&buf_);
+}
+
+Crc32InStream::Buf::Buf(std::istream& source)
+    : source_(&source),
+      limit_(fault::armed_nth("io.read.truncate")
+                 .value_or(std::numeric_limits<std::uint64_t>::max())) {
+  const auto pos = source.tellg();
+  if (pos >= 0) {
+    start_ = static_cast<std::uint64_t>(pos);
+    offset_ = start_;
+  }
+}
+
+std::streamsize Crc32InStream::Buf::xsgetn(char* s, std::streamsize n) {
+  std::streamsize got = 0;
+  if (has_pending_ && n > 0) {
+    s[got++] = pending_;
+    has_pending_ = false;
+  }
+  if (got < n) {
+    const std::uint64_t consumed = offset_ - start_;
+    const std::uint64_t budget = limit_ > consumed ? limit_ - consumed : 0;
+    const std::streamsize want =
+        static_cast<std::streamsize>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(n - got), budget));
+    if (want > 0) {
+      source_->read(s + got, want);
+      const std::streamsize r = source_->gcount();
+      crc_ = crc32_update(crc_, s + got, static_cast<std::size_t>(r));
+      offset_ += static_cast<std::uint64_t>(r);
+      got += r;
+    }
+  }
+  return got;
+}
+
+Crc32InStream::Buf::int_type Crc32InStream::Buf::uflow() {
+  char c = 0;
+  if (has_pending_) {
+    has_pending_ = false;
+    return traits_type::to_int_type(pending_);
+  }
+  return xsgetn(&c, 1) == 1 ? traits_type::to_int_type(c)
+                            : traits_type::eof();
+}
+
+Crc32InStream::Buf::int_type Crc32InStream::Buf::underflow() {
+  if (!has_pending_) {
+    char c = 0;
+    if (xsgetn(&c, 1) != 1) return traits_type::eof();
+    pending_ = c;
+    has_pending_ = true;
+  }
+  return traits_type::to_int_type(pending_);
+}
+
+Crc32InStream::Buf::pos_type Crc32InStream::Buf::seekoff(
+    off_type off, std::ios_base::seekdir dir, std::ios_base::openmode which) {
+  // Only "where am I" queries are supported: tellg() == consumed offset.
+  if (off == 0 && dir == std::ios_base::cur &&
+      (which & std::ios_base::in) != 0) {
+    const std::uint64_t pos = offset_ - (has_pending_ ? 1 : 0);
+    return pos_type(static_cast<off_type>(pos));
+  }
+  return pos_type(off_type(-1));
+}
+
+}  // namespace mvgnn::io

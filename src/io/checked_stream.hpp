@@ -1,0 +1,95 @@
+// CRC32-checked stream wrappers for durable on-disk formats.
+//
+// The dataset and checkpoint files are "header + self-describing payload +
+// footer(length, crc32)". These wrappers let the writers and readers stream
+// the payload once while the checksum and byte offset accumulate on the
+// side:
+//
+//   * Crc32OutStream wraps a sink std::ostream; everything written through
+//     it is forwarded verbatim while crc()/bytes() accumulate.
+//   * Crc32InStream wraps a source std::istream; tellg() on it reports the
+//     payload offset (so every parse error can say *where* the file went
+//     bad), and the "io.read.truncate" fault site can make it run dry after
+//     N bytes to drive truncation tests.
+//
+// CRC32 is the standard reflected polynomial 0xEDB88320 (zlib-compatible).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+
+namespace mvgnn::io {
+
+/// Incremental CRC32 update over `n` bytes. Seed with 0; feed the previous
+/// return value to continue.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                         std::size_t n) noexcept;
+
+/// One-shot CRC32 of a buffer.
+[[nodiscard]] inline std::uint32_t crc32(const void* data,
+                                         std::size_t n) noexcept {
+  return crc32_update(0, data, n);
+}
+
+/// std::ostream that forwards to `sink` while accumulating CRC32 and byte
+/// count. Not seekable. The sink must outlive the wrapper.
+class Crc32OutStream : public std::ostream {
+ public:
+  explicit Crc32OutStream(std::ostream& sink);
+
+  [[nodiscard]] std::uint32_t crc() const noexcept { return buf_.crc_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return buf_.bytes_; }
+
+ private:
+  struct Buf : std::streambuf {
+    explicit Buf(std::ostream& sink) : sink_(&sink) {}
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+    std::ostream* sink_;
+    std::uint32_t crc_ = 0;
+    std::uint64_t bytes_ = 0;
+  };
+  Buf buf_;
+};
+
+/// std::istream that forwards from `source` while accumulating CRC32 and
+/// the byte offset. The offset starts at the source's current position when
+/// that is known (so tellg() on the wrapper reports *file-absolute* offsets
+/// for error messages); bytes() counts only what was consumed through the
+/// wrapper (what a CRC footer covers). When the "io.read.truncate" fault
+/// site is armed with N, the stream delivers at most N bytes and then
+/// reports EOF — simulating a truncated file without touching the disk.
+class Crc32InStream : public std::istream {
+ public:
+  explicit Crc32InStream(std::istream& source);
+
+  [[nodiscard]] std::uint32_t crc() const noexcept { return buf_.crc_; }
+  /// File-absolute offset of the next unread byte.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return buf_.offset_; }
+  /// Bytes consumed through this wrapper.
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return buf_.offset_ - buf_.start_;
+  }
+
+ private:
+  struct Buf : std::streambuf {
+    explicit Buf(std::istream& source);
+    int_type underflow() override;
+    int_type uflow() override;
+    std::streamsize xsgetn(char* s, std::streamsize n) override;
+    pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                     std::ios_base::openmode which) override;
+    std::istream* source_;
+    std::uint32_t crc_ = 0;
+    std::uint64_t offset_ = 0;
+    std::uint64_t start_ = 0;
+    std::uint64_t limit_;  // truncate-fault consumed-bytes budget
+    char pending_ = 0;     // one-byte buffer for underflow()
+    bool has_pending_ = false;
+  };
+  Buf buf_;
+};
+
+}  // namespace mvgnn::io

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/atomic_file.hpp"
+
 namespace mvgnn::obs {
 
 namespace {
@@ -190,10 +192,14 @@ std::string Registry::to_json() const {
 }
 
 bool Registry::write_json(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  os << to_json();
-  return static_cast<bool>(os);
+  // Atomic (tmp + rename) so a crash mid-export never leaves a torn
+  // snapshot under the final name.
+  try {
+    io::atomic_write_file(path, [this](std::ostream& os) { os << to_json(); });
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 Registry& Registry::global() {

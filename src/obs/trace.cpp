@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/atomic_file.hpp"
+
 namespace mvgnn::obs {
 
 namespace {
@@ -106,10 +108,14 @@ std::string TraceRecorder::to_chrome_json() const {
 }
 
 bool TraceRecorder::write_chrome_json(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  os << to_chrome_json();
-  return static_cast<bool>(os);
+  // Atomic (tmp + rename) so a crash mid-export never leaves a torn trace.
+  try {
+    io::atomic_write_file(path,
+                          [this](std::ostream& os) { os << to_chrome_json(); });
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 TraceRecorder& TraceRecorder::global() {

@@ -8,6 +8,9 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace mvgnn::par {
 
@@ -51,6 +54,23 @@ class Rng {
   bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Full generator state (engine + split base) as text. An Rng restored
+  /// from it continues the exact draw sequence — training checkpoints save
+  /// this so a resumed run replays the uninterrupted one bit for bit.
+  [[nodiscard]] std::string state() const {
+    std::ostringstream os;
+    os << engine_ << ' ' << seed_base_;
+    return os.str();
+  }
+
+  /// Restores a state produced by state(). Throws std::runtime_error on a
+  /// malformed string (the generator is left unspecified then — reseed it).
+  void restore(const std::string& s) {
+    std::istringstream is(s);
+    is >> engine_ >> seed_base_;
+    if (!is) throw std::runtime_error("Rng::restore: malformed state string");
+  }
 
  private:
   static std::uint64_t splitmix64(std::uint64_t x) {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "fault/fault.hpp"
 #include "frontend/sema.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +42,9 @@ class Interp {
   RunResult run_entry(const std::string& entry,
                       std::span<const ArgInit> inits) {
     OBS_SPAN("interp.run");
+    // Fault injection: fold the armed trap step into a plain per-step
+    // compare (no per-instruction lock or map lookup on the hot path).
+    trap_step_ = fault::armed_nth("interp.trap").value_or(0);
     const Function* fn = m_.find(entry);
     if (!fn) throw InterpError("entry function '" + entry + "' not found");
     if (inits.size() != fn->params.size()) {
@@ -113,8 +117,17 @@ class Interp {
   }
 
   void ensure_mem() {
-    if (mem_.size() < objects_.high_water()) {
-      mem_.resize(objects_.high_water());
+    const Addr hw = objects_.high_water();
+    if (hw > opts_.max_mem_cells) {
+      obs::Registry::global()
+          .counter("interp.mem_cap_exceeded_total")
+          .add(1);
+      throw InterpError("memory cap exceeded: " + std::to_string(hw) +
+                        " cells > cap " +
+                        std::to_string(opts_.max_mem_cells));
+    }
+    if (mem_.size() < hw) {
+      mem_.resize(hw);
     }
   }
 
@@ -162,7 +175,14 @@ class Interp {
       const InstrId id = bb->instrs[ip++];
       const Instruction& in = fn.instr(id);
       if (++steps_ > opts_.max_steps) {
-        throw InterpError("step budget exceeded in @" + fn.name);
+        obs::Registry::global().counter("interp.fuel_exhausted_total").add(1);
+        throw InterpError("fuel exhausted: step budget " +
+                          std::to_string(opts_.max_steps) + " exceeded in @" +
+                          fn.name);
+      }
+      if (steps_ == trap_step_) {
+        throw InterpError("injected trap at step " + std::to_string(steps_) +
+                          " in @" + fn.name);
       }
       obs_.on_instr(fn, id);
       RtVal& out = regs[id];
@@ -384,6 +404,7 @@ class Interp {
   InterpOptions opts_;
   std::vector<Cell> mem_;
   std::uint64_t steps_ = 0;
+  std::uint64_t trap_step_ = 0;  // 0 = no injected trap armed
   std::uint32_t depth_ = 0;
 };
 

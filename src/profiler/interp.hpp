@@ -42,8 +42,16 @@ struct ArgInit {
 };
 
 struct InterpOptions {
-  std::uint64_t max_steps = 200'000'000;  // dynamic instruction budget
+  /// Fuel: dynamic instruction budget. A pathological program (infinite
+  /// loop, runaway recursion driver) traps with InterpError instead of
+  /// hanging the profiler. Counted in `interp.fuel_exhausted_total`.
+  std::uint64_t max_steps = 200'000'000;
   std::uint32_t max_call_depth = 4096;
+  /// Memory cap in cells (one cell = one scalar/array element, 16 bytes).
+  /// An OOM-allocator program traps instead of taking the build down with
+  /// it. Default 1<<24 cells = 256 MiB. Counted in
+  /// `interp.mem_cap_exceeded_total`.
+  std::uint64_t max_mem_cells = 1ull << 24;
 };
 
 /// Runtime scalar or array-handle value.

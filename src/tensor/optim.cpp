@@ -1,8 +1,40 @@
 #include "tensor/optim.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
 
 namespace mvgnn::ag {
+
+namespace {
+
+template <typename T>
+void put_raw(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T get_raw(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("Adam::load_state: truncated state");
+  return v;
+}
+
+void put_floats(std::ostream& os, const std::vector<float>& v) {
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void get_floats(std::istream& is, std::vector<float>& v) {
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("Adam::load_state: truncated state");
+}
+
+}  // namespace
 
 void Optimizer::clip_gradients(float max_norm) {
   double sq = 0.0;
@@ -54,6 +86,51 @@ void Adam::step() {
       x[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  put_raw(os, static_cast<std::int64_t>(t_));
+  put_raw(os, static_cast<std::uint64_t>(m_.size()));
+  for (std::size_t k = 0; k < m_.size(); ++k) {
+    put_raw(os, static_cast<std::uint64_t>(m_[k].size()));
+    put_floats(os, m_[k]);
+    put_floats(os, v_[k]);
+  }
+}
+
+void Adam::load_state(std::istream& is) {
+  const auto t = get_raw<std::int64_t>(is);
+  const auto count = get_raw<std::uint64_t>(is);
+  if (count == 0) {
+    // Checkpoint was taken before the first step(); start fresh.
+    t_ = static_cast<long>(t);
+    m_.clear();
+    v_.clear();
+    return;
+  }
+  if (count != params_.size()) {
+    throw std::runtime_error("Adam::load_state: state holds " +
+                             std::to_string(count) + " buffers but " +
+                             std::to_string(params_.size()) +
+                             " params are registered");
+  }
+  std::vector<std::vector<float>> m(count), v(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto n = get_raw<std::uint64_t>(is);
+    if (n != params_[k].numel()) {
+      throw std::runtime_error("Adam::load_state: buffer " +
+                               std::to_string(k) + " has " +
+                               std::to_string(n) + " elements, param has " +
+                               std::to_string(params_[k].numel()));
+    }
+    m[k].resize(static_cast<std::size_t>(n));
+    v[k].resize(static_cast<std::size_t>(n));
+    get_floats(is, m[k]);
+    get_floats(is, v[k]);
+  }
+  t_ = static_cast<long>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 }  // namespace mvgnn::ag

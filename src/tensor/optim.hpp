@@ -2,6 +2,7 @@
 // place between graph constructions.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -57,6 +58,16 @@ class Adam final : public Optimizer {
       : lr_(lr), b1_(beta1), b2_(beta2), eps_(eps), wd_(weight_decay) {}
   void step() override;
   void set_lr(float lr) override { lr_ = lr; }
+
+  /// Serializes the step counter and the first/second-moment buffers so a
+  /// checkpoint can restore the exact update trajectory. Layout: i64 t,
+  /// u64 buffer count, then per buffer u64 numel followed by m and v floats.
+  /// A never-stepped optimizer round-trips as an empty state.
+  void save_state(std::ostream& os) const;
+
+  /// Restores a state written by save_state(). The buffers must match the
+  /// registered parameters; throws std::runtime_error on any mismatch.
+  void load_state(std::istream& is);
 
  private:
   float lr_, b1_, b2_, eps_, wd_;

@@ -17,14 +17,18 @@
 //
 // The entry function must be named `kernel`. Array parameters are filled
 // deterministically (4096 elements); int parameters get 8, floats 1.0.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/suggest.hpp"
+#include "core/checkpoint.hpp"
 #include "core/trainer.hpp"
 #include "data/corpus.hpp"
 #include "data/dataset.hpp"
@@ -66,7 +70,13 @@ int usage() {
       "train options:\n"
       "  --corpus <n>          generated-corpus size in loops (default 90)\n"
       "  --epochs <n>          training epochs (default 4)\n"
-      "  --seed <n>            training seed (default 1)\n");
+      "  --seed <n>            training seed (default 1)\n"
+      "  --checkpoint-dir <d>  write ckpt-<epoch>.mvck files into <d>;\n"
+      "                        SIGINT/SIGTERM also lands a final checkpoint\n"
+      "                        before the process exits nonzero\n"
+      "  --checkpoint-every <n> epochs between checkpoints (default 1)\n"
+      "  --resume              continue from the newest checkpoint in\n"
+      "                        --checkpoint-dir (bit-identical trajectory)\n");
   return 2;
 }
 
@@ -188,7 +198,19 @@ struct TrainOptions {
   int corpus_loops = 90;
   std::size_t epochs = 4;
   std::uint64_t seed = 1;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
 };
+
+/// Flipped by the SIGINT/SIGTERM handler; the trainer polls it at batch
+/// boundaries, lands a final checkpoint, and the process exits 130.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  // Async-signal-safe: only the atomic store.
+  g_stop.store(true, std::memory_order_relaxed);
+}
 
 /// Scaled-down end-to-end flow (the classify_loops example at demo size):
 /// build a generated corpus, train one MV-GNN on it, and classify every
@@ -213,12 +235,32 @@ int cmd_train(const std::string& source, const TrainOptions& topts) {
   tc.epochs = topts.epochs;
   tc.seed = topts.seed;
   tc.verbose = true;
+  if (!topts.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(topts.checkpoint_dir);
+    tc.checkpoint_dir = topts.checkpoint_dir;
+    tc.checkpoint_every = topts.checkpoint_every;
+    tc.stop_requested = &g_stop;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    if (topts.resume) {
+      tc.resume_from = core::latest_checkpoint(topts.checkpoint_dir);
+      if (tc.resume_from.empty()) {
+        obs::log_warn("no checkpoint to resume from; starting fresh",
+                      {{"dir", topts.checkpoint_dir}});
+      }
+    }
+  }
   obs::log_info("training MV-GNN",
                 {{"train_samples", std::to_string(train.size())},
                  {"epochs", std::to_string(tc.epochs)},
                  {"seed", std::to_string(tc.seed)}});
   core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
   trainer.fit(train, val);
+  if (trainer.interrupted()) {
+    obs::log_warn("training interrupted; checkpoint written",
+                  {{"dir", topts.checkpoint_dir}});
+    return 130;
+  }
 
   // ---- inference on the user program ------------------------------------
   data::ProgramSpec user;
@@ -246,6 +288,32 @@ int cmd_train(const std::string& source, const TrainOptions& topts) {
                 s.label ? "parallelizable" : "sequential");
   }
   return 0;
+}
+
+/// Single exit path for every way the process ends (success, failure,
+/// interrupt): flush the metrics snapshot and trace — both exporters go
+/// through io::atomic_write_file, so a crash mid-export never leaves a
+/// torn file — then drain the log. Returns the final exit code.
+int finalize_run(const std::string& metrics_out, const std::string& trace_out,
+                 int rc) {
+  if (!metrics_out.empty()) {
+    if (obs::Registry::global().write_json(metrics_out)) {
+      obs::log_info("wrote metrics snapshot", {{"path", metrics_out}});
+    } else {
+      obs::log_error("cannot write metrics snapshot", {{"path", metrics_out}});
+      rc = rc ? rc : 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    if (obs::TraceRecorder::global().write_chrome_json(trace_out)) {
+      obs::log_info("wrote Chrome trace", {{"path", trace_out}});
+    } else {
+      obs::log_error("cannot write trace", {{"path", trace_out}});
+      rc = rc ? rc : 1;
+    }
+  }
+  obs::Logger::global().flush();
+  return rc;
 }
 
 }  // namespace
@@ -276,6 +344,13 @@ int main(int argc, char** argv) {
       topts.epochs = static_cast<std::size_t>(std::atoi(flag_value(a, arg)));
     } else if (std::strcmp(arg, "--seed") == 0) {
       topts.seed = static_cast<std::uint64_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
+      topts.checkpoint_dir = flag_value(a, arg);
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      topts.checkpoint_every =
+          static_cast<std::size_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      topts.resume = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       return usage();
     } else if (arg[0] == '-') {
@@ -315,24 +390,5 @@ int main(int argc, char** argv) {
     rc = 1;
   }
 
-  // Exporters run after the command so the snapshot covers the whole run,
-  // including the failure path.
-  if (!metrics_out.empty()) {
-    if (obs::Registry::global().write_json(metrics_out)) {
-      obs::log_info("wrote metrics snapshot", {{"path", metrics_out}});
-    } else {
-      obs::log_error("cannot write metrics snapshot", {{"path", metrics_out}});
-      rc = rc ? rc : 1;
-    }
-  }
-  if (!trace_out.empty()) {
-    if (obs::TraceRecorder::global().write_chrome_json(trace_out)) {
-      obs::log_info("wrote Chrome trace", {{"path", trace_out}});
-    } else {
-      obs::log_error("cannot write trace", {{"path", trace_out}});
-      rc = rc ? rc : 1;
-    }
-  }
-  obs::Logger::global().flush();
-  return rc;
+  return finalize_run(metrics_out, trace_out, rc);
 }
