@@ -11,6 +11,7 @@
 #include "io/atomic_file.hpp"
 #include "io/checked_stream.hpp"
 #include "obs/metrics.hpp"
+#include "parallel/rng.hpp"
 
 namespace mvgnn::core {
 
@@ -138,6 +139,12 @@ CheckpointMeta load_checkpoint(std::istream& is, nn::Module& model,
     meta.rng_state.resize(static_cast<std::size_t>(rng_len));
     crc_is.read(meta.rng_state.data(), static_cast<std::streamsize>(rng_len));
     if (!crc_is) fail_at(off, "truncated (rng state)");
+    // Parse-check the field right here: resuming on a garbage generator
+    // state would silently fork the training trajectory, so a state that
+    // Rng::restore cannot accept is corruption, not something to hand to
+    // the trainer.
+    par::Rng probe(0);
+    if (!probe.restore(meta.rng_state)) fail_at(off, "malformed RNG state");
   }
   const std::uint64_t curve_len = get_len(crc_is, kMaxCurve, "curve");
   meta.curve.resize(static_cast<std::size_t>(curve_len));

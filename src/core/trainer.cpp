@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/checkpoint.hpp"
 #include "fault/fault.hpp"
@@ -9,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/task_group.hpp"
 #include "tensor/optim.hpp"
 
 namespace mvgnn::core {
@@ -24,6 +26,8 @@ struct TrainerMetrics {
       obs::Registry::global().counter("trainer.samples_total");
   obs::Counter& batches =
       obs::Registry::global().counter("trainer.batches_total");
+  obs::Counter& shards =
+      obs::Registry::global().counter("trainer.shards_total");
   obs::Gauge& loss = obs::Registry::global().gauge("trainer.epoch_loss");
   obs::Gauge& train_acc =
       obs::Registry::global().gauge("trainer.epoch_train_acc");
@@ -58,6 +62,13 @@ int argmax_row(const Tensor& logits, std::size_t row = 0) {
 /// Batched evaluation block size: big enough to amortize the forward, small
 /// enough that the block-diagonal batch stays cache-resident.
 constexpr std::size_t kEvalBatch = 32;
+
+/// Rows (samples) per data-parallel shard. The shard layout is part of the
+/// numerical recipe — it depends only on the mini-batch, never on the
+/// thread count, which is what makes `--threads N` runs bit-identical for
+/// every N. Changing this constant changes results the same way changing
+/// batch_size does.
+constexpr std::size_t kDpShardRows = 4;
 
 }  // namespace
 
@@ -210,7 +221,12 @@ std::vector<EpochStat> MvGnnTrainer::fit(
   std::uint64_t global_step = 0;
   if (!tc_.resume_from.empty()) {
     CheckpointMeta meta = load_checkpoint(tc_.resume_from, *model_, opt);
-    rng_.restore(meta.rng_state);
+    // load_checkpoint already parse-checked the field; failing here means
+    // the in-memory string was clobbered between load and restore.
+    if (!rng_.restore(meta.rng_state)) {
+      throw std::runtime_error("checkpoint: malformed RNG state in " +
+                               tc_.resume_from);
+    }
     start_epoch = static_cast<std::size_t>(meta.epoch);
     global_step = meta.step;
     curve = std::move(meta.curve);
@@ -277,30 +293,44 @@ std::vector<EpochStat> MvGnnTrainer::fit(
         chunk.push_back(use_alt[j - start] ? &alt_feats_->get(order[j])
                                            : &feats_->get(order[j]));
       }
-      const GraphBatch gb = make_graph_batch(chunk);
-      // One batched forward/backward per optimizer step. The cross-entropy
-      // means over the rows actually present, so a trailing partial batch
-      // is averaged over its own size — not the nominal batch size.
-      const auto out = model_->forward_batch(gb, /*training=*/true, rng_);
-      Tensor loss = ag::cross_entropy_logits(out.logits, gb.labels);
-      if (tc_.aux_weight > 0.0f) {
-        loss = ag::add(
-            loss,
-            ag::scale(
-                ag::add(ag::cross_entropy_logits(out.node_logits, gb.labels),
-                        ag::cross_entropy_logits(out.struct_logits,
-                                                 gb.labels)),
-                tc_.aux_weight));
+      if (tc_.threads == 0) {
+        const GraphBatch gb = make_graph_batch(chunk);
+        // One batched forward/backward per optimizer step. The
+        // cross-entropy means over the rows actually present, so a
+        // trailing partial batch is averaged over its own size — not the
+        // nominal batch size.
+        const auto out = model_->forward_batch(gb, /*training=*/true, rng_);
+        Tensor loss = ag::cross_entropy_logits(out.logits, gb.labels);
+        if (tc_.aux_weight > 0.0f) {
+          loss = ag::add(
+              loss,
+              ag::scale(
+                  ag::add(ag::cross_entropy_logits(out.node_logits, gb.labels),
+                          ag::cross_entropy_logits(out.struct_logits,
+                                                   gb.labels)),
+                  tc_.aux_weight));
+        }
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+        loss_sum += loss.item() * static_cast<double>(gb.size());
+        for (std::size_t b = 0; b < gb.size(); ++b) {
+          correct += (argmax_row(out.logits, b) == gb.labels[b]);
+        }
+      } else {
+        // Deterministic data-parallel step (docs/parallelism.md). One u64
+        // draw seeds every shard's dropout stream: the trainer Rng advances
+        // by exactly one engine call per step no matter how many shards or
+        // threads ran, so checkpoints and thread-count changes cannot fork
+        // the state the next epoch's shuffle sees.
+        const std::uint64_t step_seed = rng_.engine()();
+        const auto [chunk_loss, chunk_correct] =
+            data_parallel_step(chunk, opt, step_seed);
+        loss_sum += chunk_loss;
+        correct += chunk_correct;
       }
-      opt.zero_grad();
-      loss.backward();
-      opt.step();
       ++global_step;
       TrainerMetrics::get().batches.add(1);
-      loss_sum += loss.item() * static_cast<double>(gb.size());
-      for (std::size_t b = 0; b < gb.size(); ++b) {
-        correct += (argmax_row(out.logits, b) == gb.labels[b]);
-      }
     }
     if (interrupted_) break;
     EpochStat st;
@@ -332,6 +362,110 @@ std::vector<EpochStat> MvGnnTrainer::fit(
                   {{"epoch", std::to_string(snapshot_epoch)}});
   }
   return curve;
+}
+
+void MvGnnTrainer::sync_replicas(std::size_t n) {
+  // Worker 0 runs on the master model itself (its weights are trivially in
+  // sync), so only workers 1..width-1 need a copy: `n` is width - 1, and a
+  // width-1 step pays no replica sync at all.
+  while (replicas_.size() < n) {
+    // The init rng is a placeholder: every weight is overwritten by the
+    // master copy below before the replica ever runs a forward pass.
+    par::Rng init_rng(0);
+    replicas_.push_back(std::make_unique<MvGnn>(model_->config(), init_rng));
+  }
+  const std::vector<Tensor> src = model_->parameters();
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<Tensor> dst = replicas_[r]->parameters();
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      std::copy(src[k].data(), src[k].data() + src[k].numel(), dst[k].data());
+    }
+  }
+}
+
+std::pair<double, std::size_t> MvGnnTrainer::data_parallel_step(
+    const std::vector<const SampleInput*>& chunk, ag::Adam& opt,
+    std::uint64_t step_seed) {
+  OBS_SPAN("trainer.dp_step");
+  const std::size_t rows = chunk.size();
+  const std::size_t nshards = (rows + kDpShardRows - 1) / kDpShardRows;
+  // Width is how many shards run concurrently; the shard layout and the
+  // reduction order below never depend on it.
+  const std::size_t width = std::max<std::size_t>(
+      1, std::min({tc_.threads, nshards,
+                   par::ThreadPool::global().size() + 1}));
+  sync_replicas(width - 1);
+
+  std::vector<ag::GradAccumulator> shard_grads;
+  shard_grads.reserve(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    shard_grads.push_back(opt.make_accumulator());
+  }
+  std::vector<double> shard_loss(nshards, 0.0);
+  std::vector<std::size_t> shard_correct(nshards, 0);
+
+  // Worker r owns one model (the master for r == 0, replica r-1 above) and
+  // the shard slice {r, r+width, ...}: shards write disjoint accumulators
+  // and stat slots, no model ever runs two shards at once, and the waiting
+  // thread below may execute any worker task itself (help-while-wait)
+  // without changing a single float.
+  par::TaskGroup group(par::ThreadPool::global());
+  for (std::size_t r = 0; r < width; ++r) {
+    group.run([&, r] {
+      OBS_SPAN("trainer.dp_worker");
+      MvGnn& replica = (r == 0) ? *model_ : *replicas_[r - 1];
+      const std::vector<Tensor> params = replica.parameters();
+      for (std::size_t s = r; s < nshards; s += width) {
+        const std::size_t b0 = s * kDpShardRows;
+        const std::size_t b1 = std::min(rows, b0 + kDpShardRows);
+        const std::vector<const SampleInput*> sub(chunk.begin() + b0,
+                                                  chunk.begin() + b1);
+        const GraphBatch gb = make_graph_batch(sub);
+        // Shard-indexed dropout stream: a function of (step_seed, s) only.
+        par::Rng shard_rng = par::Rng(step_seed).split(s);
+        const auto out = replica.forward_batch(gb, /*training=*/true,
+                                               shard_rng);
+        Tensor loss = ag::cross_entropy_logits(out.logits, gb.labels);
+        if (tc_.aux_weight > 0.0f) {
+          loss = ag::add(
+              loss,
+              ag::scale(ag::add(ag::cross_entropy_logits(out.node_logits,
+                                                         gb.labels),
+                                ag::cross_entropy_logits(out.struct_logits,
+                                                         gb.labels)),
+                        tc_.aux_weight));
+        }
+        for (Tensor p : params) p.zero_grad();
+        loss.backward();
+        // Each shard's loss means over its own rows; weighting by
+        // rows_s / rows makes the fixed-tree sum reproduce the whole-batch
+        // mean gradient.
+        shard_grads[s].accumulate(
+            params, static_cast<float>(b1 - b0) / static_cast<float>(rows));
+        shard_loss[s] = loss.item() * static_cast<double>(gb.size());
+        for (std::size_t b = 0; b < gb.size(); ++b) {
+          shard_correct[s] += (argmax_row(out.logits, b) == gb.labels[b]);
+        }
+      }
+    });
+  }
+  group.wait();
+
+  // Fixed-order tree reduction over shard indices — bit-identical for any
+  // width — then one master update from the merged gradient.
+  ag::tree_merge(shard_grads);
+  opt.zero_grad();
+  opt.load_merged(shard_grads[0]);
+  opt.step();
+  TrainerMetrics::get().shards.add(nshards);
+
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    loss_sum += shard_loss[s];
+    correct += shard_correct[s];
+  }
+  return {loss_sum, correct};
 }
 
 void MvGnnTrainer::pretrain_unsupervised(const std::vector<std::size_t>& idx,

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -78,18 +79,28 @@ double Histogram::percentile(double p) const {
 }
 
 std::vector<double> Histogram::exponential_bounds(double lo, double hi) {
+  // Degenerate inputs are clamped instead of producing an unusable layout:
+  // a non-positive or non-finite `lo` falls back to 1.0, and a `hi` that is
+  // NaN, infinite or below `lo` collapses to `lo` (one finite edge plus the
+  // overflow bucket). The unclamped version returned an empty edge list for
+  // the former — a single catch-all bucket that silently recorded nothing
+  // useful — and looped forever when `hi` was NaN (no value compares >= it).
+  if (!std::isfinite(lo) || lo <= 0.0) lo = 1.0;
+  if (!std::isfinite(hi) || hi < lo) hi = lo;
   std::vector<double> out;
-  if (!(lo > 0.0) || hi < lo) return out;
   double base = 1.0;  // largest power of ten <= lo
   while (base > lo) base /= 10.0;
   while (base * 10.0 <= lo) base *= 10.0;
   static constexpr double kSteps[] = {1.0, 2.0, 5.0};
+  // Unreachable for sanitized inputs (512 edges span more than the double
+  // range), but makes termination a structural property of the loop.
+  constexpr std::size_t kMaxEdges = 512;
   for (;; base *= 10.0) {
     for (const double s : kSteps) {
       const double v = base * s;
       if (v < lo) continue;
       out.push_back(v);
-      if (v >= hi) return out;
+      if (v >= hi || out.size() >= kMaxEdges) return out;
     }
   }
 }

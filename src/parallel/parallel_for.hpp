@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "obs/trace.hpp"
+#include "parallel/task_group.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mvgnn::par {
@@ -33,11 +34,16 @@ void parallel_for_blocked(std::size_t first, std::size_t last, Body&& body,
   }
   const std::size_t max_blocks = pool.size() * 4;
   const std::size_t block = std::max(grain, (n + max_blocks - 1) / max_blocks);
+  // A fresh group per fan-out: the wait below is scoped to exactly these
+  // blocks (not to other callers' tasks on the shared pool), and a nested
+  // parallel_for issued from inside `body` opens its own inner group — the
+  // inner wait helps run its sub-blocks instead of deadlocking the worker.
+  TaskGroup group(pool);
   for (std::size_t b = first; b < last; b += block) {
     const std::size_t e = std::min(last, b + block);
-    pool.submit([&body, b, e] { body(b, e); });
+    group.run([&body, b, e] { body(b, e); });
   }
-  pool.wait();
+  group.wait();
 }
 
 /// Element-wise parallel for: `body(i)` for each i in [first, last).

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <random>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
 namespace mvgnn::par {
@@ -64,12 +63,22 @@ class Rng {
     return os.str();
   }
 
-  /// Restores a state produced by state(). Throws std::runtime_error on a
-  /// malformed string (the generator is left unspecified then — reseed it).
-  void restore(const std::string& s) {
+  /// Restores a state produced by state(). Returns false on a malformed
+  /// string — truncated, non-numeric, or carrying trailing garbage — and
+  /// leaves this generator completely untouched then, so a caller can map
+  /// the failure into its own error domain (checkpoint load reports it as
+  /// corruption with a byte offset) without ending up on garbage state.
+  [[nodiscard]] bool restore(const std::string& s) {
     std::istringstream is(s);
-    is >> engine_ >> seed_base_;
-    if (!is) throw std::runtime_error("Rng::restore: malformed state string");
+    std::mt19937_64 engine;
+    std::uint64_t base = 0;
+    is >> engine >> base;
+    if (!is) return false;
+    is >> std::ws;
+    if (!is.eof()) return false;  // trailing garbage is corruption, not noise
+    engine_ = engine;
+    seed_base_ = base;
+    return true;
   }
 
  private:

@@ -1,0 +1,18 @@
+#include "parallel/task_group.hpp"
+
+#include <utility>
+
+namespace mvgnn::par {
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(&pool), state_(std::make_shared<detail::TaskGroupState>()) {}
+
+TaskGroup::~TaskGroup() { pool_->cancel_group(*state_); }
+
+void TaskGroup::run(std::function<void()> task) {
+  pool_->submit_to(state_, std::move(task));
+}
+
+void TaskGroup::wait() { pool_->wait_group(*state_); }
+
+}  // namespace mvgnn::par

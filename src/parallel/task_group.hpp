@@ -1,0 +1,58 @@
+// Task-group-scoped waiting with help-while-wait (docs/parallelism.md).
+//
+// A TaskGroup is the unit of fan-out/fan-in on a ThreadPool: tasks run()
+// on the group execute on the pool's workers, and wait() blocks the caller
+// until exactly this group's tasks have retired — running queued group
+// tasks on the calling thread instead of sleeping, and rethrowing the
+// first exception the group's tasks produced. Waiting and error delivery
+// are scoped per group, so concurrent callers sharing one pool never stall
+// on each other's work or receive each other's failures, and a pool task
+// can open a nested group without deadlocking the worker it occupies.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mvgnn::par {
+
+/// A caller-owned scope of pool tasks: `run()` fans work out, `wait()`
+/// blocks until exactly this group's tasks are done — helping execute them
+/// instead of sleeping while any are still queued — and rethrows the first
+/// exception one of them threw. Groups are cheap; create one per fan-out
+/// (that is what `parallel_for` does), and nest freely: a pool task may
+/// open its own group and wait on it.
+///
+/// The one illegal shape is waiting on a group from inside one of that
+/// same group's tasks — the task can never retire while it blocks on
+/// itself. Nested fan-out always goes through a fresh inner group.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::global());
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Waits for stragglers. Tasks still queued are discarded, running ones
+  /// are waited out, and a pending error is logged and dropped — call
+  /// `wait()` before destruction to observe failures.
+  ~TaskGroup();
+
+  /// Enqueues a task scoped to this group.
+  void run(std::function<void()> task);
+
+  /// Blocks until every task run() on this group has finished, executing
+  /// queued group tasks on the calling thread while it waits. If any task
+  /// threw, the first captured exception is rethrown (the group is left
+  /// clean and can be reused afterwards).
+  void wait();
+
+  [[nodiscard]] ThreadPool& pool() const noexcept { return *pool_; }
+
+ private:
+  ThreadPool* pool_;
+  std::shared_ptr<detail::TaskGroupState> state_;
+};
+
+}  // namespace mvgnn::par

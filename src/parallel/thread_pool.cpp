@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/task_group.hpp"
 
 namespace mvgnn::par {
 
 namespace {
+
+/// Sentinel worker index for threads that execute tasks while blocked in a
+/// group wait (help-while-wait) rather than from the worker loop.
+constexpr std::size_t kHelper = std::numeric_limits<std::size_t>::max();
 
 /// Shared across all pools (tests construct private ones): the series
 /// describe process-wide scheduling behaviour, not one pool instance.
@@ -21,6 +28,8 @@ struct PoolMetrics {
       obs::Registry::global().counter("thread_pool.tasks_executed_total");
   obs::Counter& failed =
       obs::Registry::global().counter("thread_pool.task_failures_total");
+  obs::Counter& helped =
+      obs::Registry::global().counter("pool.helped_tasks_total");
   obs::Gauge& queue_depth =
       obs::Registry::global().gauge("thread_pool.queue_depth");
   obs::Histogram& latency_us = obs::Registry::global().histogram(
@@ -44,7 +53,8 @@ obs::Counter& worker_counter(std::size_t worker) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : default_group_(std::make_shared<detail::TaskGroupState>()) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -66,27 +76,129 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit_to(default_group_, std::move(task));
+}
+
+void ThreadPool::wait() { wait_group(*default_group_); }
+
+void ThreadPool::submit_to(GroupPtr group, std::function<void()> task) {
   PoolMetrics& m = PoolMetrics::get();
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(Task{next_task_++, std::move(task)});
-    ++in_flight_;
+    ++group->in_flight;
+    queue_.push_back(Task{next_task_++, std::move(task), std::move(group)});
     m.queue_depth.set(static_cast<double>(queue_.size()));
   }
   m.submitted.add(1);
   cv_task_.notify_one();
+  // Waiters help with tasks of their own group; wake them so a nested
+  // submission does not sit in the queue while its owner sleeps.
+  cv_done_.notify_all();
 }
 
-void ThreadPool::wait() {
+bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock,
+                         const detail::TaskGroupState* filter,
+                         std::size_t worker) {
+  PoolMetrics& m = PoolMetrics::get();
+  auto it = queue_.begin();
+  if (filter != nullptr) {
+    while (it != queue_.end() && it->group.get() != filter) ++it;
+  }
+  if (it == queue_.end()) return false;
+  Task task = std::move(*it);
+  queue_.erase(it);
+  m.queue_depth.set(static_cast<double>(queue_.size()));
+  lock.unlock();
+
+  if (worker == kHelper) m.helped.add(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::exception_ptr err;
+  try {
+    OBS_SPAN("thread_pool.task");
+    task.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (err) {
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    m.failed.add(1);
+    obs::log_error("thread_pool task failed",
+                   {{"task_index", std::to_string(task.index)},
+                    {"worker", worker == kHelper ? std::string("helper")
+                                                 : std::to_string(worker)},
+                    {"what", what}});
+  }
+  m.latency_us.observe(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
+  m.executed.add(1);
+  if (worker != kHelper) worker_counter(worker).add(1);
+
+  lock.lock();
+  if (err && !task.group->first_error) {
+    task.group->first_error = err;
+    task.group->first_error_task = task.index;
+  }
+  --task.group->in_flight;
+  cv_done_.notify_all();
+  return true;
+}
+
+void ThreadPool::wait_group(detail::TaskGroupState& g) {
   std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = std::exchange(first_error_, nullptr);
-    const std::uint64_t task = first_error_task_;
+  while (g.in_flight > 0) {
+    // Help first: run queued tasks of this group on the waiting thread.
+    if (run_one(lock, &g, kHelper)) continue;
+    // Nothing of ours queued — the stragglers are running on workers (or
+    // on other helpers). Sleep until the group retires completely or a
+    // nested submission gives us something to help with.
+    cv_done_.wait(lock, [&] {
+      if (g.in_flight == 0) return true;
+      for (const Task& t : queue_) {
+        if (t.group.get() == &g) return true;
+      }
+      return false;
+    });
+  }
+  if (g.first_error) {
+    std::exception_ptr err = std::exchange(g.first_error, nullptr);
+    const std::uint64_t task = g.first_error_task;
     lock.unlock();
     obs::log_error("thread_pool rethrowing first captured task failure",
                    {{"task_index", std::to_string(task)}});
     std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::cancel_group(detail::TaskGroupState& g) noexcept {
+  std::unique_lock lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->group.get() == &g) {
+      it = queue_.erase(it);
+      --g.in_flight;
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped != 0) {
+    PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
+  }
+  cv_done_.wait(lock, [&] { return g.in_flight == 0; });
+  if (g.first_error) {
+    const std::uint64_t task = g.first_error_task;
+    g.first_error = nullptr;
+    lock.unlock();
+    obs::log_warn("task group destroyed with an unobserved failure",
+                  {{"task_index", std::to_string(task)},
+                   {"dropped_tasks", std::to_string(dropped)}});
   }
 }
 
@@ -96,55 +208,14 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
-  PoolMetrics& m = PoolMetrics::get();
-  obs::Counter& my_tasks = worker_counter(worker);
+  std::unique_lock lock(mutex_);
   for (;;) {
-    Task task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        // stop_ is set and no work remains.
-        return;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      m.queue_depth.set(static_cast<double>(queue_.size()));
+    cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // stop_ is set and no work remains.
+      return;
     }
-    const auto t0 = std::chrono::steady_clock::now();
-    try {
-      OBS_SPAN("thread_pool.task");
-      task.fn();
-    } catch (...) {
-      const std::exception_ptr err = std::current_exception();
-      std::string what = "unknown exception";
-      try {
-        std::rethrow_exception(err);
-      } catch (const std::exception& e) {
-        what = e.what();
-      } catch (...) {
-      }
-      m.failed.add(1);
-      obs::log_error("thread_pool task failed",
-                     {{"task_index", std::to_string(task.index)},
-                      {"worker", std::to_string(worker)},
-                      {"what", what}});
-      std::lock_guard lock(mutex_);
-      if (!first_error_) {
-        first_error_ = err;
-        first_error_task_ = task.index;
-      }
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    m.latency_us.observe(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
-    m.executed.add(1);
-    my_tasks.add(1);
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-    }
-    cv_done_.notify_all();
+    run_one(lock, /*filter=*/nullptr, worker);
   }
 }
 

@@ -1,9 +1,19 @@
-// Thread pool used by the tensor GEMM kernels and batched profiling runs.
+// Thread pool used by the tensor GEMM kernels, batched profiling runs and
+// the data-parallel trainer.
 //
 // Design notes (guided by C++ Core Guidelines CP.*):
 //  * All synchronization is owned by the pool; callers never see mutexes.
-//  * Tasks are type-erased `std::function<void()>`; exceptions thrown by a
-//    task are captured and rethrown on `wait()` so failures are not lost.
+//  * Work is scoped through `TaskGroup`: every task belongs to exactly one
+//    group, the group tracks its own in-flight count and captures the first
+//    exception thrown by one of its tasks, and `TaskGroup::wait()` rethrows
+//    that exception to the one caller that owns the group. Two concurrent
+//    callers sharing a pool therefore never stall on each other's work or
+//    receive each other's failures.
+//  * A blocked `wait()` does not sleep while tasks of its own group sit in
+//    the queue: it pops and runs them itself (help-while-wait). That makes
+//    nested fan-out (a pool task that itself runs a `parallel_for`) safe —
+//    the inner wait executes its own sub-tasks instead of deadlocking the
+//    worker it occupies.
 //  * The pool is a process-wide singleton by default (`ThreadPool::global()`)
 //    because oversubscribing CPU threads with nested pools destroys GEMM
 //    throughput, but independent pools can be constructed for tests.
@@ -15,17 +25,31 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace mvgnn::par {
 
+class TaskGroup;
+
+namespace detail {
+
+/// Per-group bookkeeping; all fields are guarded by the owning pool's mutex.
+struct TaskGroupState {
+  std::size_t in_flight = 0;  // queued + running tasks of this group
+  std::exception_ptr first_error;
+  std::uint64_t first_error_task = 0;
+};
+
+}  // namespace detail
+
 /// Fixed-size worker pool with a single shared FIFO queue.
 ///
 /// The queue is deliberately simple: the workloads submitted by this project
-/// are coarse (blocked GEMM panels, whole-program profiling runs), so a
-/// lock-protected deque is never the bottleneck.
+/// are coarse (blocked GEMM panels, whole-program profiling runs, trainer
+/// shards), so a lock-protected deque is never the bottleneck.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers. `num_threads == 0` selects
@@ -38,11 +62,16 @@ class ThreadPool {
   /// Joins all workers. Pending tasks are drained before destruction.
   ~ThreadPool();
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task into the pool's default group. Prefer a `TaskGroup`:
+  /// this legacy entry point shares one error slot and one wait scope among
+  /// every caller that uses it on the same pool.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished. If any task threw, the
-  /// first captured exception is rethrown here (remaining ones are dropped).
+  /// Waits for the pool's default group (the tasks enqueued via `submit`).
+  /// If any of them threw, the first captured exception is rethrown here
+  /// (remaining ones are dropped). Calling this from inside a pool task
+  /// that itself belongs to the default group deadlocks — use `TaskGroup`s
+  /// for nested fan-out.
   void wait();
 
   /// Number of worker threads.
@@ -52,22 +81,38 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  friend class TaskGroup;
+
+  using GroupPtr = std::shared_ptr<detail::TaskGroupState>;
+
   struct Task {
     std::uint64_t index = 0;  // submission sequence number (pool-local)
     std::function<void()> fn;
+    GroupPtr group;
   };
 
   void worker_loop(std::size_t worker);
+  void submit_to(GroupPtr group, std::function<void()> task);
+  /// Blocks until `g.in_flight == 0`, running queued tasks of `g` while
+  /// waiting; rethrows the group's first captured error.
+  void wait_group(detail::TaskGroupState& g);
+  /// Discards queued tasks of `g` and waits for its running ones; any
+  /// captured error is logged and dropped. Used by ~TaskGroup.
+  void cancel_group(detail::TaskGroupState& g) noexcept;
+  /// Pops one task under `lock` — the queue front, or (when `filter` is
+  /// set) the oldest task belonging to `filter` — and executes it with the
+  /// lock released. Returns false when no eligible task was queued.
+  /// `worker` indexes the per-worker counter; pass SIZE_MAX for helpers.
+  bool run_one(std::unique_lock<std::mutex>& lock,
+               const detail::TaskGroupState* filter, std::size_t worker);
 
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;   // signalled when work arrives / stopping
   std::condition_variable cv_done_;   // signalled when a task retires
-  std::size_t in_flight_ = 0;         // queued + running tasks
   std::uint64_t next_task_ = 0;       // submission counter for diagnostics
-  std::exception_ptr first_error_;
-  std::uint64_t first_error_task_ = 0;
+  GroupPtr default_group_;            // scope of the legacy submit()/wait()
   bool stop_ = false;
 };
 

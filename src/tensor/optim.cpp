@@ -1,10 +1,12 @@
 #include "tensor/optim.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace mvgnn::ag {
 
@@ -35,6 +37,68 @@ void get_floats(std::istream& is, std::vector<float>& v) {
 }
 
 }  // namespace
+
+GradAccumulator::GradAccumulator(const std::vector<Tensor>& params) {
+  g_.reserve(params.size());
+  for (const Tensor& p : params) g_.emplace_back(p.numel(), 0.0f);
+}
+
+void GradAccumulator::accumulate(const std::vector<Tensor>& params,
+                                 float scale) {
+  if (g_.size() != params.size()) {
+    throw std::runtime_error("GradAccumulator: " + std::to_string(g_.size()) +
+                             " buffers but " + std::to_string(params.size()) +
+                             " params");
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    const std::vector<float>& grad = params[k].grad();
+    if (grad.size() != g_[k].size()) {
+      throw std::runtime_error("GradAccumulator: buffer " + std::to_string(k) +
+                               " shape mismatch");
+    }
+    float* out = g_[k].data();
+    for (std::size_t i = 0; i < grad.size(); ++i) out[i] += scale * grad[i];
+  }
+}
+
+void GradAccumulator::merge(const GradAccumulator& other) {
+  if (g_.size() != other.g_.size()) {
+    throw std::runtime_error("GradAccumulator::merge: buffer count mismatch");
+  }
+  for (std::size_t k = 0; k < g_.size(); ++k) {
+    if (g_[k].size() != other.g_[k].size()) {
+      throw std::runtime_error("GradAccumulator::merge: buffer " +
+                               std::to_string(k) + " shape mismatch");
+    }
+    float* out = g_[k].data();
+    const float* in = other.g_[k].data();
+    for (std::size_t i = 0; i < g_[k].size(); ++i) out[i] += in[i];
+  }
+}
+
+void GradAccumulator::store_to(const std::vector<Tensor>& params) const {
+  if (g_.size() != params.size()) {
+    throw std::runtime_error("GradAccumulator::store_to: buffer count mismatch");
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    // grad() hands back a const ref to the node's buffer; overwrite in
+    // place, exactly like clip_gradients does.
+    auto& dst = const_cast<std::vector<float>&>(params[k].grad());
+    if (dst.size() != g_[k].size()) {
+      throw std::runtime_error("GradAccumulator::store_to: buffer " +
+                               std::to_string(k) + " shape mismatch");
+    }
+    std::copy(g_[k].begin(), g_[k].end(), dst.begin());
+  }
+}
+
+void tree_merge(std::vector<GradAccumulator>& shards) {
+  for (std::size_t stride = 1; stride < shards.size(); stride *= 2) {
+    for (std::size_t i = 0; i + stride < shards.size(); i += 2 * stride) {
+      shards[i].merge(shards[i + stride]);
+    }
+  }
+}
 
 void Optimizer::clip_gradients(float max_norm) {
   double sq = 0.0;

@@ -9,6 +9,45 @@
 
 namespace mvgnn::ag {
 
+/// Dense per-parameter gradient stash for data-parallel training
+/// (docs/parallelism.md). Each shard of a mini-batch captures its model
+/// replica's gradients into one accumulator; the per-shard accumulators are
+/// then combined with `tree_merge` in a fixed order and loaded back into
+/// the master parameters for one optimizer step. Keeping the buffers
+/// outside the Tensor graph means replicas can run backward concurrently
+/// without ever sharing a gradient buffer.
+class GradAccumulator {
+ public:
+  GradAccumulator() = default;
+  /// Shapes the buffers like `params` (all zeros).
+  explicit GradAccumulator(const std::vector<Tensor>& params);
+
+  /// Adds `scale * params[i].grad()` into buffer i. The shard scale is
+  /// `shard_rows / batch_rows`: each shard's loss means over its own rows,
+  /// so the weighted sum over shards reproduces the whole-batch mean.
+  void accumulate(const std::vector<Tensor>& params, float scale = 1.0f);
+
+  /// Elementwise merge: this += other. The reduction combiner.
+  void merge(const GradAccumulator& other);
+
+  /// Copies the buffers into `params`' gradient storage (overwriting).
+  void store_to(const std::vector<Tensor>& params) const;
+
+  [[nodiscard]] const std::vector<std::vector<float>>& grads() const {
+    return g_;
+  }
+
+ private:
+  std::vector<std::vector<float>> g_;
+};
+
+/// Reduces `shards` pairwise with stride doubling: round k merges
+/// shards[i+2^k] into shards[i]. The pairing is a function of
+/// shards.size() alone — never of how many threads produced them — so the
+/// floats that end up in shards[0] are bit-identical for every thread
+/// count, which is what keeps data-parallel training deterministic.
+void tree_merge(std::vector<GradAccumulator>& shards);
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
@@ -32,6 +71,16 @@ class Optimizer {
   /// (no-op when already below). Call between backward() and step(); keeps
   /// recurrent models (LSTM) from diverging on long sequences.
   void clip_gradients(float max_norm);
+
+  /// Zeroed accumulator shaped like the registered parameters.
+  [[nodiscard]] GradAccumulator make_accumulator() const {
+    return GradAccumulator(params_);
+  }
+
+  /// Loads an externally reduced gradient into the registered parameters'
+  /// gradient buffers; the next step() then applies it as if a single
+  /// backward pass had produced it.
+  void load_merged(const GradAccumulator& g) { g.store_to(params_); }
 
  protected:
   std::vector<Tensor> params_;

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -199,6 +201,32 @@ TEST(ObsMetrics, ExponentialBoundsAre125Ladder) {
   const std::vector<double> want = {1,  2,  5,  10,  20,  50,
                                     100, 200, 500, 1000};
   EXPECT_EQ(b, want);
+}
+
+/// Regression: lo<=0 used to yield an empty edge list (one useless
+/// catch-all bucket) and a NaN/inf `hi` never terminated the ladder loop.
+/// Degenerate inputs must clamp to a usable, finite, sorted layout.
+TEST(ObsMetrics, ExponentialBoundsClampDegenerateInputs) {
+  const auto check = [](const std::vector<double>& b) {
+    ASSERT_FALSE(b.empty());
+    EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+    for (const double v : b) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GT(v, 0.0);
+    }
+  };
+  check(obs::Histogram::exponential_bounds(0.0, 100.0));    // lo == 0
+  check(obs::Histogram::exponential_bounds(-5.0, 100.0));   // lo < 0
+  check(obs::Histogram::exponential_bounds(10.0, 1.0));     // hi < lo
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  check(obs::Histogram::exponential_bounds(1.0, nan));      // must terminate
+  check(obs::Histogram::exponential_bounds(1.0, inf));
+  check(obs::Histogram::exponential_bounds(nan, nan));
+  // The clamped ladders are still usable histogram layouts.
+  obs::Histogram h(obs::Histogram::exponential_bounds(0.0, 0.0));
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 1u);
 }
 
 TEST(ObsMetrics, ExportsAreWellFormed) {

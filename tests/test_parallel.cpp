@@ -1,0 +1,463 @@
+// Parallel-runtime tests: TaskGroup scoping (per-group waits and error
+// delivery, help-while-wait, nested parallel_for), Rng state restore
+// hygiene, the GradAccumulator fixed-tree reduction, and the data-parallel
+// trainer's determinism matrix — identical weights and curves for
+// --threads 1/2/8 plus kill-and-resume under --threads 4.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "data/kernels.hpp"
+#include "fault/fault.hpp"
+#include "nn/module.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/task_group.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/optim.hpp"
+
+namespace {
+
+using namespace mvgnn;
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// TaskGroup semantics
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroup, RunsTasksAndWaitReturnsAfterAll) {
+  par::ThreadPool pool(2);
+  par::TaskGroup group(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    group.run([&done] { done.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 16);
+
+  // The group is reusable after a wait.
+  group.run([&done] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 17);
+}
+
+/// Regression for the pool-global wait/error scoping bug: caller B used to
+/// stall on caller A's tasks and could receive A's exception from the
+/// shared `first_error_` slot. With groups, A's failure is delivered to A
+/// and only A, and B's wait covers B's tasks and only B's.
+TEST(TaskGroup, TwoConcurrentCallersGetTheirOwnErrorsAndWaits) {
+  par::ThreadPool pool(2);
+
+  // Gate A's failing task so it reliably overlaps B's wait.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release_a = false;
+
+  par::TaskGroup a(pool);
+  a.run([&] {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release_a; });
+    throw std::runtime_error("caller A's private failure");
+  });
+
+  par::TaskGroup b(pool);
+  std::atomic<int> b_done{0};
+  for (int i = 0; i < 8; ++i) {
+    b.run([&b_done] { b_done.fetch_add(1); });
+  }
+  // B's wait must complete while A's task is still blocked — and must not
+  // surface A's exception, which has not even been thrown yet.
+  EXPECT_NO_THROW(b.wait());
+  EXPECT_EQ(b_done.load(), 8);
+
+  {
+    std::lock_guard lock(mu);
+    release_a = true;
+  }
+  cv.notify_all();
+  EXPECT_THROW(a.wait(), std::runtime_error);
+  // After the rethrow the group is clean again.
+  a.run([] {});
+  EXPECT_NO_THROW(a.wait());
+}
+
+/// Regression: a pool task running parallel_for on its own pool used to
+/// deadlock — the inner pool-global wait() could never observe quiescence
+/// while the outer task it was called from counted as in-flight. With
+/// per-fan-out groups and help-while-wait the nesting completes.
+TEST(TaskGroup, NestedParallelForCompletes) {
+  par::ThreadPool pool(2);
+  std::atomic<int> cells{0};
+  par::parallel_for(
+      0, 8,
+      [&](std::size_t) {
+        par::parallel_for(
+            0, 8, [&](std::size_t) { cells.fetch_add(1); }, pool,
+            /*grain=*/1);
+      },
+      pool, /*grain=*/1);
+  EXPECT_EQ(cells.load(), 64);
+}
+
+/// On a single-worker pool the worker is occupied by the outer task, so the
+/// inner group's tasks can only ever run on the thread blocked in wait() —
+/// observing completion proves help-while-wait executes queued tasks.
+TEST(TaskGroup, WaiterHelpsWhenAllWorkersAreBusy) {
+  auto& helped = obs::Registry::global().counter("pool.helped_tasks_total");
+  const std::uint64_t before = helped.value();
+  par::ThreadPool pool(1);
+  par::TaskGroup outer(pool);
+  std::atomic<int> inner_done{0};
+  outer.run([&] {
+    par::TaskGroup inner(pool);
+    for (int i = 0; i < 4; ++i) {
+      inner.run([&inner_done] { inner_done.fetch_add(1); });
+    }
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(inner_done.load(), 4);
+  EXPECT_GE(helped.value(), before + 4);
+}
+
+TEST(TaskGroup, NestedTaskFailurePropagatesThroughTheOuterGroup) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW(
+      par::parallel_for(
+          0, 4,
+          [&](std::size_t i) {
+            par::parallel_for(
+                0, 4,
+                [&](std::size_t j) {
+                  if (i == 2 && j == 3) throw std::runtime_error("inner boom");
+                },
+                pool, /*grain=*/1);
+          },
+          pool, /*grain=*/1),
+      std::runtime_error);
+}
+
+TEST(TaskGroup, DestructionDropsQueuedTasksWithoutTerminating) {
+  par::ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  std::atomic<int> first_done{0};
+  std::atomic<int> queued_ran{0};
+  std::thread releaser;
+  {
+    par::TaskGroup group(pool);
+    group.run([&] {
+      std::unique_lock lock(mu);
+      started = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+      first_done.fetch_add(1);
+    });
+    {
+      // The sole worker is provably inside the first task before anything
+      // else is queued: the four tasks below can only ever sit in the queue.
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return started; });
+    }
+    for (int i = 0; i < 4; ++i) {
+      group.run([&queued_ran] { queued_ran.fetch_add(1); });
+    }
+    // Unblock the first task only after ~TaskGroup has begun (it discards
+    // the queued tasks at entry, then waits out the running one). The sleep
+    // only needs to outlast the dtor's queue sweep, not any real work.
+    releaser = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::lock_guard lock(mu);
+      release = true;
+      cv.notify_all();
+    });
+    // No wait(): destruction drops the queued tasks, waits for the running
+    // one, and must not throw or crash.
+  }
+  releaser.join();
+  EXPECT_EQ(first_done.load(), 1);
+  EXPECT_EQ(queued_ran.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Rng restore hygiene
+// ---------------------------------------------------------------------------
+
+TEST(Rng, RestoreRejectsMalformedStatesAndLeavesEngineUntouched) {
+  par::Rng rng(1234);
+  (void)rng.uniform();
+  const std::string good = rng.state();
+
+  par::Rng probe(99);
+  EXPECT_FALSE(probe.restore(""));
+  EXPECT_FALSE(probe.restore("not a state"));
+  EXPECT_FALSE(probe.restore("123"));  // truncated: engine only, no base
+  EXPECT_FALSE(probe.restore(good + " trailing-garbage"));
+
+  // Every failed restore above left `probe` exactly on its original
+  // trajectory: it still produces the same draws as a fresh Rng(99).
+  par::Rng fresh(99);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(probe.uniform_u64(1u << 20), fresh.uniform_u64(1u << 20));
+  }
+
+  EXPECT_TRUE(probe.restore(good));
+  par::Rng cont(1234);
+  (void)cont.uniform();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(probe.uniform_u64(1u << 20), cont.uniform_u64(1u << 20));
+  }
+}
+
+TEST(Checkpoint, LoadRejectsMalformedRngFieldWithOffset) {
+  // Encode a checkpoint whose RNG field is structurally intact (length and
+  // CRC check out) but semantically garbage. The loader must flag it as
+  // corruption at the field's byte offset rather than handing the trainer
+  // an Rng whose engine state is unspecified.
+  par::Rng rng(7);
+  struct TwoTensorModel : nn::Module {
+    std::vector<ag::Tensor> ps;
+    [[nodiscard]] std::vector<ag::Tensor> parameters() const override {
+      return ps;
+    }
+  } model;
+  model.ps = {ag::Tensor::randn({5, 3}, rng), ag::Tensor::randn({3, 2}, rng)};
+  ag::Adam opt(1e-3f);
+  opt.add_params(model.ps);
+
+  core::CheckpointMeta meta;
+  meta.epoch = 1;
+  meta.step = 1;
+  meta.rng_state = "certainly not an engine dump";
+  const std::string bytes = core::encode_checkpoint(meta, model, opt);
+
+  std::istringstream is(bytes);
+  try {
+    (void)core::load_checkpoint(is, model, opt);
+    FAIL() << "malformed RNG state must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::strstr(e.what(), "malformed RNG state"), nullptr)
+        << e.what();
+    EXPECT_NE(std::strstr(e.what(), "offset"), nullptr) << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GradAccumulator / tree_merge
+// ---------------------------------------------------------------------------
+
+/// Writes `v` into the parameter's gradient buffer (the optimizer-side
+/// idiom: grad() exposes the node's storage).
+void set_grad(const ag::Tensor& p, const std::vector<float>& v) {
+  auto& g = const_cast<std::vector<float>&>(p.grad());
+  ASSERT_EQ(g.size(), v.size());
+  g = v;
+}
+
+TEST(GradAccumulator, AccumulateScalesAndMergeAdds) {
+  par::Rng rng(3);
+  std::vector<ag::Tensor> params = {ag::Tensor::randn({2, 2}, rng)};
+  set_grad(params[0], {1.0f, 2.0f, 3.0f, 4.0f});
+
+  ag::GradAccumulator a(params);
+  a.accumulate(params, 0.5f);
+  EXPECT_EQ(a.grads()[0], (std::vector<float>{0.5f, 1.0f, 1.5f, 2.0f}));
+  a.accumulate(params, 0.5f);  // accumulates, not overwrites
+  EXPECT_EQ(a.grads()[0], (std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}));
+
+  ag::GradAccumulator b(params);
+  b.accumulate(params, 1.0f);
+  a.merge(b);
+  EXPECT_EQ(a.grads()[0], (std::vector<float>{2.0f, 4.0f, 6.0f, 8.0f}));
+
+  a.store_to(params);
+  EXPECT_EQ(params[0].grad(), (std::vector<float>{2.0f, 4.0f, 6.0f, 8.0f}));
+}
+
+TEST(GradAccumulator, TreeMergeUsesAFixedPairingOrder) {
+  // Five shards with values chosen so float rounding distinguishes
+  // association orders; the reduction must equal the documented pairing
+  // ((s0+s1)+(s2+s3))+s4 bit for bit.
+  const std::vector<float> vals = {1e8f, 1.0f, -1e8f, 1.5f, 0.25f};
+  par::Rng rng(4);
+  std::vector<ag::Tensor> params = {ag::Tensor::randn({1, 1}, rng)};
+
+  std::vector<ag::GradAccumulator> shards;
+  for (const float v : vals) {
+    set_grad(params[0], {v});
+    ag::GradAccumulator acc(params);
+    acc.accumulate(params, 1.0f);
+    shards.push_back(std::move(acc));
+  }
+  ag::tree_merge(shards);
+
+  const float expected = ((vals[0] + vals[1]) + (vals[2] + vals[3])) + vals[4];
+  EXPECT_EQ(shards[0].grads()[0][0], expected);
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel trainer determinism
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("mvgnn_par_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+struct FaultGuard {
+  ~FaultGuard() { fault::disarm_all(); }
+};
+
+/// Two instances of each generator pattern: ~12 samples, so a train split
+/// of 9 gives every epoch multiple optimizer steps AND every full
+/// mini-batch of 8 several kDpShardRows-sized shards — the partition the
+/// determinism claims below are actually about.
+data::Dataset tiny_dataset(std::uint64_t seed) {
+  par::Rng rng(seed);
+  std::vector<data::ProgramSpec> programs;
+  int i = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto p :
+         {data::Pattern::VecMap, data::Pattern::ReduceSum,
+          data::Pattern::Recurrence, data::Pattern::EarlyExit,
+          data::Pattern::PrivTemp, data::Pattern::StencilCopy}) {
+      data::ProgramSpec ps;
+      ps.suite = "T";
+      ps.app = "t";
+      ps.pattern = p;
+      ps.kernel = data::generate_kernel(p, "dp_k" + std::to_string(i++), rng);
+      programs.push_back(std::move(ps));
+    }
+  }
+  data::DatasetOptions opts;
+  opts.seed = 13;
+  opts.walk.gamma = 8;
+  return data::build_dataset(programs, opts);
+}
+
+struct TrainSetup {
+  data::Dataset ds;
+  core::Normalizer norm;
+  std::unique_ptr<core::Featurizer> feats;
+  std::vector<std::size_t> train, test;
+
+  explicit TrainSetup(std::uint64_t seed) : ds(tiny_dataset(seed)) {
+    for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+      (i % 4 == 3 ? test : train).push_back(i);
+    }
+    norm = core::Normalizer::fit(ds, train);
+    feats = std::make_unique<core::Featurizer>(ds, norm);
+  }
+
+  [[nodiscard]] core::TrainConfig config(std::size_t threads) const {
+    core::TrainConfig tc;
+    tc.epochs = 3;
+    tc.seed = 9;
+    // Big enough relative to kDpShardRows (4) that a mini-batch splits
+    // into several shards — the partition the determinism claim is about.
+    tc.batch_size = 8;
+    tc.threads = threads;
+    return tc;
+  }
+
+  struct Run {
+    std::vector<core::EpochStat> curve;
+    std::string weights;
+  };
+
+  [[nodiscard]] Run run(const core::TrainConfig& tc) const {
+    core::MvGnnTrainer trainer(*feats, core::default_config(*feats), tc);
+    Run r;
+    r.curve = trainer.fit(train, test);
+    std::ostringstream os(std::ios::binary);
+    nn::save_weights(trainer.model(), os);
+    r.weights = std::move(os).str();
+    return r;
+  }
+};
+
+void expect_identical_curves(const std::vector<core::EpochStat>& a,
+                             const std::vector<core::EpochStat>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(core::EpochStat)), 0)
+        << "epoch " << i << ": " << a[i].loss << " vs " << b[i].loss;
+  }
+}
+
+TEST(DataParallel, ThreadCountMatrixIsBitIdentical) {
+  const TrainSetup setup(41);
+  const TrainSetup::Run t1 = setup.run(setup.config(1));
+  const TrainSetup::Run t2 = setup.run(setup.config(2));
+  const TrainSetup::Run t8 = setup.run(setup.config(8));
+
+  ASSERT_EQ(t1.curve.size(), 3u);
+  expect_identical_curves(t1.curve, t2.curve);
+  expect_identical_curves(t1.curve, t8.curve);
+
+  ASSERT_FALSE(t1.weights.empty());
+  EXPECT_EQ(t1.weights, t2.weights) << "threads=2 diverged from threads=1";
+  EXPECT_EQ(t1.weights, t8.weights) << "threads=8 diverged from threads=1";
+}
+
+TEST(DataParallel, TrainingAdvancesTheShardCounter) {
+  auto& shards = obs::Registry::global().counter("trainer.shards_total");
+  const std::uint64_t before = shards.value();
+  const TrainSetup setup(42);
+  (void)setup.run(setup.config(2));
+  EXPECT_GT(shards.value(), before);
+}
+
+TEST(DataParallel, KillAndResumeAtFourThreadsMatchesSingleThreadCurve) {
+  FaultGuard guard;
+  const TrainSetup setup(43);
+  TempDir dir("dp_resume");
+
+  // Reference: the uninterrupted single-thread run.
+  const TrainSetup::Run full = setup.run(setup.config(1));
+
+  // A four-thread run dies mid-epoch-1 (the fault fires before the second
+  // optimizer step of that epoch), leaving the epoch-1 checkpoint.
+  core::TrainConfig crash_tc = setup.config(4);
+  crash_tc.checkpoint_dir = dir.str();
+  const std::size_t steps_per_epoch =
+      (setup.train.size() + crash_tc.batch_size - 1) / crash_tc.batch_size;
+  fault::arm("trainer.step", steps_per_epoch + 2);
+  EXPECT_THROW(setup.run(crash_tc), fault::InjectedFault);
+  fault::disarm_all();
+
+  core::TrainConfig resume_tc = setup.config(4);
+  resume_tc.checkpoint_dir = dir.str();
+  resume_tc.resume_from = core::latest_checkpoint(dir.str());
+  ASSERT_EQ(resume_tc.resume_from, core::checkpoint_path(dir.str(), 1));
+  const TrainSetup::Run tail = setup.run(resume_tc);
+
+  expect_identical_curves(full.curve, tail.curve);
+  EXPECT_EQ(full.weights, tail.weights);
+}
+
+}  // namespace

@@ -121,11 +121,11 @@ TEST(Checkpoint, RngStateRoundTripContinuesTheSequence) {
   (void)a.uniform();
   (void)a.normal();
   par::Rng b(7);
-  b.restore(a.state());
+  ASSERT_TRUE(b.restore(a.state()));
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.uniform_u64(1u << 30), b.uniform_u64(1u << 30));
   }
-  EXPECT_THROW(b.restore("not a state"), std::runtime_error);
+  EXPECT_FALSE(b.restore("not a state"));
 }
 
 TEST(Checkpoint, AdamStateRoundTripsExactly) {

@@ -71,6 +71,9 @@ int usage() {
       "  --corpus <n>          generated-corpus size in loops (default 90)\n"
       "  --epochs <n>          training epochs (default 4)\n"
       "  --seed <n>            training seed (default 1)\n"
+      "  --threads <n>         data-parallel shard workers per mini-batch;\n"
+      "                        weights are bit-identical for every n >= 1\n"
+      "                        (0 = legacy serial path, the default)\n"
       "  --checkpoint-dir <d>  write ckpt-<epoch>.mvck files into <d>;\n"
       "                        SIGINT/SIGTERM also lands a final checkpoint\n"
       "                        before the process exits nonzero\n"
@@ -198,6 +201,7 @@ struct TrainOptions {
   int corpus_loops = 90;
   std::size_t epochs = 4;
   std::uint64_t seed = 1;
+  std::size_t threads = 0;
   std::string checkpoint_dir;
   std::size_t checkpoint_every = 1;
   bool resume = false;
@@ -234,6 +238,7 @@ int cmd_train(const std::string& source, const TrainOptions& topts) {
   core::TrainConfig tc;
   tc.epochs = topts.epochs;
   tc.seed = topts.seed;
+  tc.threads = topts.threads;
   tc.verbose = true;
   if (!topts.checkpoint_dir.empty()) {
     std::filesystem::create_directories(topts.checkpoint_dir);
@@ -253,7 +258,8 @@ int cmd_train(const std::string& source, const TrainOptions& topts) {
   obs::log_info("training MV-GNN",
                 {{"train_samples", std::to_string(train.size())},
                  {"epochs", std::to_string(tc.epochs)},
-                 {"seed", std::to_string(tc.seed)}});
+                 {"seed", std::to_string(tc.seed)},
+                 {"threads", std::to_string(tc.threads)}});
   core::MvGnnTrainer trainer(feats, core::default_config(feats), tc);
   trainer.fit(train, val);
   if (trainer.interrupted()) {
@@ -344,6 +350,8 @@ int main(int argc, char** argv) {
       topts.epochs = static_cast<std::size_t>(std::atoi(flag_value(a, arg)));
     } else if (std::strcmp(arg, "--seed") == 0) {
       topts.seed = static_cast<std::uint64_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      topts.threads = static_cast<std::size_t>(std::atoll(flag_value(a, arg)));
     } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
       topts.checkpoint_dir = flag_value(a, arg);
     } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
