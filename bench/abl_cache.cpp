@@ -1,0 +1,133 @@
+// Ablation: stage-boundary cache — cold vs warm build_dataset wall-clock.
+//
+// Three measurements on the combined benchmark + generated corpus (with the
+// six IR-variant pipelines on, so compile/profile dominates):
+//  1. off:  cache disabled (the pre-cache path), best of kReps.
+//  2. cold: disk tier emptied before every rep, so each rep pays the full
+//     pipeline plus the cache writes.
+//  3. warm: everything served from the populated disk tier; only the
+//     deterministic corpus-global replay (vocabulary growth + sample
+//     assembly) remains.
+//
+// Acceptance: warm >= 5x faster than cold, and the three datasets are
+// byte-for-byte identical. Results go to stdout and, machine-readable, to
+// BENCH_cache.json so the perf trajectory is tracked from this PR onward.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "cache/cache.hpp"
+#include "data/serialize.hpp"
+
+namespace {
+
+using namespace mvgnn;
+namespace fs = std::filesystem;
+
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string dataset_bytes(const data::Dataset& ds) {
+  std::ostringstream os;
+  data::save_dataset(ds, os);
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  auto programs = data::build_benchmark_corpus(123);
+  auto gen = data::build_generated_corpus(700, 123 ^ 0x9E97ULL);
+  programs.insert(programs.end(), std::make_move_iterator(gen.begin()),
+                  std::make_move_iterator(gen.end()));
+  data::DatasetOptions opts;
+  opts.seed = 123;
+  opts.use_ir_variants = true;
+
+  const fs::path dir =
+      fs::temp_directory_path() / "mvgnn_bench_abl_cache";
+  fs::remove_all(dir);
+  const int kReps = 3;
+
+  // ---- off: the pre-cache path ------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  const data::Dataset ds_off = data::build_dataset(programs, opts);
+  double off_s = secs_since(t0);
+  for (int r = 1; r < kReps; ++r) {
+    t0 = std::chrono::steady_clock::now();
+    (void)data::build_dataset(programs, opts);
+    off_s = std::min(off_s, secs_since(t0));
+  }
+  const std::string off_bytes = dataset_bytes(ds_off);
+  std::printf("cache off : %zu samples, best of %d: %.3f s\n",
+              ds_off.samples.size(), kReps, off_s);
+
+  // ---- cold: empty disk tier every rep ----------------------------------
+  cache::Cache c(cache::Config{dir.string(), 512ull << 20});
+  opts.cache = &c;
+  double cold_s = 0.0;
+  std::string cold_bytes;
+  for (int r = 0; r < kReps; ++r) {
+    c.clear();
+    t0 = std::chrono::steady_clock::now();
+    const data::Dataset ds_cold = data::build_dataset(programs, opts);
+    const double t = secs_since(t0);
+    cold_s = (r == 0) ? t : std::min(cold_s, t);
+    cold_bytes = dataset_bytes(ds_cold);
+  }
+  std::printf("cache cold: best of %d: %.3f s (writes included)\n", kReps,
+              cold_s);
+
+  // ---- warm: the populated tier (memory already hot from the last cold
+  // rep; a disk-only first rep would only be slower, and min-of-3 keeps the
+  // hottest anyway) --------------------------------------------------------
+  double warm_s = 0.0;
+  std::string warm_bytes;
+  for (int r = 0; r < kReps; ++r) {
+    t0 = std::chrono::steady_clock::now();
+    const data::Dataset ds_warm = data::build_dataset(programs, opts);
+    const double t = secs_since(t0);
+    warm_s = (r == 0) ? t : std::min(warm_s, t);
+    warm_bytes = dataset_bytes(ds_warm);
+  }
+  const cache::Stats st = c.stats();
+  std::printf("cache warm: best of %d: %.3f s\n", kReps, warm_s);
+  std::printf("cache     : %llu hits / %llu misses (%.1f%% hit ratio), "
+              "%llu disk entries (%.1f MiB)\n",
+              static_cast<unsigned long long>(st.hits),
+              static_cast<unsigned long long>(st.misses),
+              100.0 * st.hit_ratio(),
+              static_cast<unsigned long long>(st.disk_entries),
+              static_cast<double>(st.disk_bytes) / (1 << 20));
+
+  const bool identical = off_bytes == cold_bytes && cold_bytes == warm_bytes;
+  const double speedup = cold_s / warm_s;
+  std::printf("\nbytes identical off/cold/warm: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("warm speedup vs cold: %.2fx (acceptance: >= 5x)\n", speedup);
+
+  std::FILE* f = std::fopen("BENCH_cache.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"samples\": %zu,\n", ds_off.samples.size());
+    std::fprintf(f, "  \"off_s\": %.4f,\n", off_s);
+    std::fprintf(f, "  \"cold_s\": %.4f,\n", cold_s);
+    std::fprintf(f, "  \"warm_s\": %.4f,\n", warm_s);
+    std::fprintf(f, "  \"warm_speedup_vs_cold\": %.3f,\n", speedup);
+    std::fprintf(f, "  \"hit_ratio\": %.4f,\n", st.hit_ratio());
+    std::fprintf(f, "  \"disk_entries\": %llu,\n",
+                 static_cast<unsigned long long>(st.disk_entries));
+    std::fprintf(f, "  \"disk_mib\": %.2f,\n",
+                 static_cast<double>(st.disk_bytes) / (1 << 20));
+    std::fprintf(f, "  \"bytes_identical\": %s\n}\n",
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_cache.json\n");
+  }
+  fs::remove_all(dir);
+  return (identical && speedup >= 5.0) ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Content-hash cache keys.
+//
+// A Key is a 128-bit digest built by hashing a stage's inputs: the parent
+// stage's key, the stage name, the stage's configuration fingerprint, and
+// the content itself. Two independent FNV-1a lanes with distinct offset
+// bases give 128 bits — far past birthday-collision territory for any
+// realistic corpus, while staying dependency-free and byte-order stable
+// (the digest is a pure function of the byte stream fed in).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace mvgnn::cache {
+
+struct Key {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Key&, const Key&) = default;
+  friend bool operator<(const Key& a, const Key& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// 32 lowercase hex characters — the on-disk entry's file stem.
+  [[nodiscard]] std::string hex() const;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// Incremental two-lane FNV-1a hasher. Feed bytes, take a Key. Every
+/// variable-length field goes through str()/vec-style helpers that prefix
+/// the length, so concatenation ambiguity cannot alias two different input
+/// sequences onto one digest.
+class Hasher {
+ public:
+  Hasher() = default;
+  /// Chain constructor: absorbs a parent key first.
+  explicit Hasher(const Key& parent) { key(parent); }
+
+  Hasher& bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ ^ b[i]) * kPrime;
+      b_ = (b_ ^ b[i]) * kPrime;
+    }
+    return *this;
+  }
+  Hasher& u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+  Hasher& u32(std::uint32_t v) { return bytes(&v, sizeof v); }
+  Hasher& f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+  Hasher& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+  Hasher& key(const Key& k) { return u64(k.hi), u64(k.lo), *this; }
+
+  [[nodiscard]] Key digest() const {
+    // Final avalanche so short inputs still spread across all bits.
+    return Key{fmix(a_), fmix(b_ ^ 0x9E3779B97F4A7C15ULL)};
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  static std::uint64_t fmix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  std::uint64_t a_ = 14695981039346656037ULL;  // FNV-1a offset basis
+  std::uint64_t b_ = 0x6C62272E07BB0142ULL;    // second lane basis
+};
+
+}  // namespace mvgnn::cache

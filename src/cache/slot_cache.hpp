@@ -1,0 +1,55 @@
+// Fixed-index-space build-once cache.
+//
+// The trainer's featurizer caches one model input per dataset sample; the
+// index space is dense and known up front, so the right structure is a slot
+// vector, not a hash map: lookups are one pointer load, and parallel
+// prefetch workers fill *distinct* slots without any lock (each slot is
+// written at most once per owner, never concurrently — the caller dedupes
+// indices first). This lives in src/cache so every cache tier in the system
+// reports through the same counter scheme.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mvgnn::cache {
+
+template <typename T>
+class SlotCache {
+ public:
+  /// `hits`/`misses` name the obs counters this cache reports to.
+  SlotCache(std::size_t n, std::string hits, std::string misses)
+      : slots_(n),
+        hits_(&obs::Registry::global().counter(hits)),
+        misses_(&obs::Registry::global().counter(misses)) {}
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] bool filled(std::size_t i) const { return slots_[i] != nullptr; }
+
+  /// The cached value, or nullptr (counts a hit/miss either way).
+  [[nodiscard]] const T* lookup(std::size_t i) const {
+    if (slots_[i]) {
+      hits_->add(1);
+      return slots_[i].get();
+    }
+    misses_->add(1);
+    return nullptr;
+  }
+
+  /// Fills slot `i`. Distinct slots may be stored concurrently; one slot
+  /// must have a single writer (see class comment).
+  const T& store(std::size_t i, std::unique_ptr<T> value) const {
+    slots_[i] = std::move(value);
+    return *slots_[i];
+  }
+
+ private:
+  mutable std::vector<std::unique_ptr<T>> slots_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+};
+
+}  // namespace mvgnn::cache

@@ -140,44 +140,35 @@ SampleInput build_input(const data::GraphSample& s,
 }
 
 const SampleInput& Featurizer::get(std::size_t i) const {
-  struct CacheMetrics {
-    obs::Counter& hits =
-        obs::Registry::global().counter("trainer.featurizer_cache_hits_total");
-    obs::Counter& misses = obs::Registry::global().counter(
-        "trainer.featurizer_cache_misses_total");
-  };
-  static CacheMetrics metrics;
-  if (cache_[i]) {
-    metrics.hits.add(1);
-    return *cache_[i];
-  }
-  metrics.misses.add(1);
+  if (const SampleInput* hit = cache_.lookup(i)) return *hit;
   OBS_SPAN("trainer.featurize_sample");
-  cache_[i] = std::make_unique<SampleInput>(
-      build_input(ds_->samples[i], *ds_, norm_, mode_ == LabelMode::Pattern,
-                  zero_dynamic_, typed_edges_));
-  return *cache_[i];
+  return cache_.store(
+      i, std::make_unique<SampleInput>(
+             build_input(ds_->samples[i], *ds_, norm_,
+                         mode_ == LabelMode::Pattern, zero_dynamic_,
+                         typed_edges_)));
 }
 
 void Featurizer::prefetch(const std::vector<std::size_t>& indices) const {
   std::vector<std::size_t> todo;
   for (const std::size_t i : indices) {
-    if (!cache_[i]) todo.push_back(i);
+    if (!cache_.filled(i)) todo.push_back(i);
   }
   std::sort(todo.begin(), todo.end());
   todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
   if (todo.empty()) return;
   OBS_SPAN("trainer.featurize_prefetch");
   // Deduped indices map to distinct cache slots, so workers never write
-  // the same unique_ptr; grain 1 because one sample is already substantial
-  // work (adjacency build + feature copy).
+  // the same slot; grain 1 because one sample is already substantial work
+  // (adjacency build + feature copy).
   par::parallel_for(
       0, todo.size(),
       [&](std::size_t t) {
         const std::size_t i = todo[t];
-        cache_[i] = std::make_unique<SampleInput>(build_input(
-            ds_->samples[i], *ds_, norm_, mode_ == LabelMode::Pattern,
-            zero_dynamic_, typed_edges_));
+        cache_.store(i, std::make_unique<SampleInput>(build_input(
+                            ds_->samples[i], *ds_, norm_,
+                            mode_ == LabelMode::Pattern, zero_dynamic_,
+                            typed_edges_)));
       },
       par::ThreadPool::global(), /*grain=*/1);
 }

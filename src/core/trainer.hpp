@@ -7,6 +7,7 @@
 #include <atomic>
 #include <utility>
 
+#include "cache/slot_cache.hpp"
 #include "core/mvgnn.hpp"
 #include "data/dataset.hpp"
 #include "tensor/optim.hpp"
@@ -57,7 +58,8 @@ class Featurizer {
         mode_(mode),
         zero_dynamic_(zero_dynamic),
         typed_edges_(typed_edges),
-        cache_(ds.samples.size()) {}
+        cache_(ds.samples.size(), "trainer.featurizer_cache_hits_total",
+               "trainer.featurizer_cache_misses_total") {}
 
   [[nodiscard]] const SampleInput& get(std::size_t sample_index) const;
   /// Featurizes every not-yet-cached index in parallel on the global
@@ -80,7 +82,7 @@ class Featurizer {
   LabelMode mode_ = LabelMode::Binary;
   bool zero_dynamic_ = false;
   bool typed_edges_ = false;
-  mutable std::vector<std::unique_ptr<SampleInput>> cache_;
+  cache::SlotCache<SampleInput> cache_;
 };
 
 struct TrainConfig {

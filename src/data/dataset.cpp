@@ -3,165 +3,88 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <mutex>
 
-#include "analysis/tools.hpp"
+#include "cache/cache.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
-#include "frontend/lower.hpp"
-#include "graph/peg.hpp"
-#include "profiler/profile.hpp"
+#include "pipe/item.hpp"
 #include "transform/passes.hpp"
 
 namespace mvgnn::data {
 
 namespace {
 
-/// One compiled+profiled program variant held during dataset construction.
-struct Built {
-  const ProgramSpec* spec = nullptr;
-  std::string variant;
-  ir::Module module;
-  profiler::ProfileResult prof;        // clean: labels + tool verdicts
-  profiler::ProfileResult noisy_prof;  // degraded: model-visible features
-  graph::Peg peg;                      // built from the degraded profile
-};
-
-/// Simulates input sensitivity: drops aggregated dependence edges with
-/// probability `p`. Loop runtime, CU structure and object tables stay.
-profiler::ProfileResult degrade_profile(const profiler::ProfileResult& prof,
-                                        double p, par::Rng& rng) {
-  profiler::ProfileResult out = prof;
-  if (p <= 0.0) return out;
-  std::erase_if(out.dep.edges, [&](const profiler::DepEdge&) {
-    return rng.uniform() < p;
-  });
-  return out;
-}
-
-/// log1p squashing for count-like dynamic features (exec counts span many
-/// orders of magnitude; GCNs want tame inputs).
-std::array<double, 7> squash(const profiler::LoopFeatures& f) {
-  const auto v = f.as_vector();
-  std::array<double, 7> out{};
-  out[0] = std::log1p(v[0]);  // n_inst
-  out[1] = std::log1p(v[1]);  // exec_times
-  out[2] = std::log1p(v[2]);  // cfl
-  out[3] = v[3];              // esp (already a small ratio)
-  out[4] = std::log1p(v[4]);  // incoming
-  out[5] = std::log1p(v[5]);  // internal
-  out[6] = std::log1p(v[6]);  // outgoing
-  return out;
-}
-
-
 /// Sparse anonymous-walk ids per node of one sample (densified by the
 /// caller once the vocabulary size is final).
 using AwIds = std::vector<std::vector<std::uint32_t>>;
 
-struct BuiltSamples {
+pipe::PipelineConfig pipeline_config(const DatasetOptions& opts) {
+  pipe::PipelineConfig cfg;
+  cfg.walk = opts.walk;
+  cfg.dep_noise = opts.dep_noise;
+  cfg.interp = opts.interp;
+  return cfg;
+}
+
+/// Replayed form of one item's samples: GraphSamples missing only the
+/// densified AW view (sparse ids are kept until the vocabulary freezes).
+struct ReplayedSamples {
   std::vector<GraphSample> samples;
   std::vector<AwIds> aw_ids;  // parallel to samples
 };
 
-/// Shared sample-construction core: one GraphSample per for-loop of `b`,
-/// using (and, when `grow`, extending) the dataset's vocabularies and
-/// inst2vec table. Does NOT densify the AW distributions.
-BuiltSamples samples_of_built(const Built& b, Dataset& ds,
-                              const DatasetOptions& opts, bool grow,
-                              par::Rng& walk_rng) {
-  BuiltSamples out;
+/// Deterministic replay of one item's raw features against the dataset's
+/// vocabularies: resolves token ids, assembles node_static from the trained
+/// inst2vec table, and maps the stored anonymous walks through the AW
+/// vocabulary (growing it when `grow`). `tok_ids` must hold the vocab id of
+/// every ItemFeatures token, in order. This is the single featurization
+/// path for cache-off, cache-cold and cache-warm builds alike — which is
+/// what makes the three bit-identical.
+ReplayedSamples replay_item(const pipe::ItemFeatures& feats,
+                            const std::vector<std::uint32_t>& tok_ids,
+                            Dataset& ds, const DatasetOptions& opts,
+                            bool grow) {
+  ReplayedSamples out;
   const std::uint32_t i2v_dim = ds.inst2vec.dim();
   const std::uint32_t kind_dims = 3;  // CU / Loop / Function one-hot
 
-  // Per-loop dynamic features for every loop in the module (loop nodes of
-  // inner loops need them too). Model-visible features come from the
-  // degraded profile.
-  std::unordered_map<const ir::Function*, std::vector<profiler::LoopFeatures>>
-      loop_feats;
-  for (const auto& fn : b.module.functions) {
-    auto& v = loop_feats[fn.get()];
-    v.reserve(fn->loops.size());
-    for (const ir::LoopInfo& l : fn->loops) {
-      v.push_back(
-          profiler::compute_loop_features(*fn, l.id, b.noisy_prof.dep));
-    }
-  }
-
-  // Token ids per instruction (for node static embeddings).
-  std::unordered_map<const ir::Function*, std::vector<std::uint32_t>> toks;
-  for (const auto& fn : b.module.functions) {
-    auto& t = toks[fn.get()];
-    t.reserve(fn->instrs.size());
-    for (const ir::Instruction& in : fn->instrs) {
-      t.push_back(ds.token_vocab.id_of(embedding::normalize(in), grow));
-    }
-  }
-
-  for (const profiler::LoopSample& ls : b.prof.loops) {
-    const graph::SubPeg sub = graph::extract_sub_peg(b.peg, ls.fn, ls.loop);
+  for (const pipe::RawSample& rs : feats.samples) {
     GraphSample s;
-    s.n = static_cast<std::uint32_t>(sub.num_nodes());
-    for (const graph::PegEdge& e : sub.edges) {
-      s.edges.emplace_back(e.src, e.dst);
-      if (e.kind == graph::EdgeKind::Hierarchy) {
-        s.edge_kinds.push_back(0);
-      } else {
-        switch (e.dep) {
-          case profiler::DepType::RAW: s.edge_kinds.push_back(1); break;
-          case profiler::DepType::WAR: s.edge_kinds.push_back(2); break;
-          case profiler::DepType::WAW: s.edge_kinds.push_back(3); break;
-        }
-      }
-    }
+    s.n = rs.n;
+    s.edges = rs.edges;
+    s.edge_kinds = rs.edge_kinds;
 
     // Node features.
     s.node_static.resize(s.n);
     s.node_dynamic.resize(s.n);
+    std::vector<std::uint32_t> node_tokens;
     for (std::uint32_t k = 0; k < s.n; ++k) {
-      const graph::PegNode& node = b.peg.nodes[sub.nodes[k]];
-      std::vector<std::uint32_t> node_tokens;
-      profiler::LoopFeatures dyn;
-      if (node.kind == graph::NodeKind::CU) {
-        const profiler::CU& cu = b.peg.cus[node.cu];
-        for (const ir::InstrId id : cu.instrs) {
-          node_tokens.push_back(toks[node.fn][id]);
-        }
-        if (node.loop != ir::kNoLoop) {
-          dyn = loop_feats[node.fn][node.loop];
-        }
-        // A CU's own cost signal: mean execution count of its members.
-        std::uint64_t total = 0;
-        for (const ir::InstrId id : cu.instrs) {
-          total += b.prof.dep.exec_count(node.fn, id);
-        }
-        dyn.exec_times = cu.instrs.empty() ? 0 : total / cu.instrs.size();
-      } else if (node.kind == graph::NodeKind::Loop) {
-        for (ir::InstrId id = 0; id < node.fn->instrs.size(); ++id) {
-          if (profiler::instr_in_loop(*node.fn, id, node.loop)) {
-            node_tokens.push_back(toks[node.fn][id]);
-          }
-        }
-        dyn = loop_feats[node.fn][node.loop];
-        if (k == 0) s.token_seq = node_tokens;  // root loop body sequence
+      node_tokens.clear();
+      node_tokens.reserve(rs.node_token_ix[k].size());
+      for (const std::uint32_t ix : rs.node_token_ix[k]) {
+        node_tokens.push_back(tok_ids[ix]);
       }
       std::vector<float> st = ds.inst2vec.mean_of(node_tokens);
       st.resize(ds.static_dim, 0.0f);
-      st[i2v_dim + static_cast<std::uint32_t>(node.kind)] = 1.0f;
+      st[i2v_dim + rs.node_kinds[k]] = 1.0f;
       st[i2v_dim + kind_dims] =
           std::log1p(static_cast<float>(node_tokens.size()));
       s.node_static[k] = std::move(st);
-      s.node_dynamic[k] = squash(dyn);
+      s.node_dynamic[k] = rs.node_dynamic[k];
+    }
+    s.token_seq.reserve(rs.token_seq_ix.size());
+    for (const std::uint32_t ix : rs.token_seq_ix) {
+      s.token_seq.push_back(tok_ids[ix]);
     }
 
-    // Structural view: sample walks, keep sparse ids.
-    graph::WalkGraph wg(s.n);
-    for (const auto& [a, bb] : s.edges) wg.add_edge(a, bb);
+    // Structural view: resolve the stored walks, keep sparse ids.
     AwIds ids_per_node(s.n);
     for (std::uint32_t k = 0; k < s.n; ++k) {
-      const auto dist = graph::node_aw_distribution(
-          wg, k, opts.walk, ds.aw_vocab_table, grow, walk_rng);
+      const auto dist =
+          graph::aw_distribution(rs.node_walks[k], ds.aw_vocab_table, grow);
       std::vector<std::uint32_t> ids;
       for (std::uint32_t id = 0; id < dist.size(); ++id) {
         const auto cnt = static_cast<std::uint32_t>(
@@ -172,24 +95,16 @@ BuiltSamples samples_of_built(const Built& b, Dataset& ds,
     }
     out.aw_ids.push_back(std::move(ids_per_node));
 
-    // Labels, baselines, provenance. Labels and tool verdicts use the
+    // Labels and baselines were computed at the featurize stage from the
     // clean profile; the stored hand-crafted features are the degraded
     // ones (what a real profiling run would have produced).
-    s.loop_features = squash(loop_feats[ls.fn][ls.loop]);
-    s.label =
-        analysis::oracle_classify(*ls.fn, ls.loop, b.prof.dep).parallel ? 1
-                                                                        : 0;
-    s.pattern_label = static_cast<int>(
-        analysis::oracle_pattern(*ls.fn, ls.loop, b.prof.dep));
-    s.tool_autopar = analysis::autopar_classify(*ls.fn, ls.loop).parallel;
-    s.tool_pluto = analysis::pluto_classify(*ls.fn, ls.loop).parallel;
-    s.tool_discopop =
-        analysis::discopop_classify(*ls.fn, ls.loop, b.prof.dep).parallel;
-    s.suite = b.spec->suite;
-    s.app = b.spec->app;
-    s.kernel = b.spec->kernel.name;
-    s.variant = b.variant;
-    s.loop_line = ls.fn->loops[ls.loop].start_line;
+    s.loop_features = rs.loop_features;
+    s.label = rs.label;
+    s.pattern_label = rs.pattern_label;
+    s.tool_autopar = rs.tool_autopar;
+    s.tool_pluto = rs.tool_pluto;
+    s.tool_discopop = rs.tool_discopop;
+    s.loop_line = rs.loop_line;
     out.samples.push_back(std::move(s));
   }
   return out;
@@ -208,6 +123,65 @@ void densify_aw(GraphSample& s, const AwIds& ids, std::uint32_t vocab_size) {
   }
 }
 
+// ---- cached Embed stage --------------------------------------------------
+
+constexpr std::uint32_t kEmbedFormat = 1;
+
+std::string serialize_embedding(const embedding::EmbeddingTable& t) {
+  std::string o;
+  auto put_u32 = [&o](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) o.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put_u32(kEmbedFormat);
+  put_u32(t.vocab_size());
+  put_u32(t.dim());
+  for (std::uint32_t id = 0; id < t.vocab_size(); ++id) {
+    for (const float v : t.row(id)) {
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &v, sizeof bits);
+      put_u32(bits);
+    }
+  }
+  return o;
+}
+
+embedding::EmbeddingTable deserialize_embedding(std::string_view bytes,
+                                                std::uint32_t want_vocab,
+                                                std::uint32_t want_dim) {
+  std::size_t off = 0;
+  auto get_u32 = [&]() -> std::uint32_t {
+    if (bytes.size() - off < 4) {
+      throw std::runtime_error("embedding payload truncated");
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{static_cast<unsigned char>(bytes[off + i])}
+           << (8 * i);
+    }
+    off += 4;
+    return v;
+  };
+  if (get_u32() != kEmbedFormat) {
+    throw std::runtime_error("embedding payload format mismatch");
+  }
+  const std::uint32_t vocab = get_u32();
+  const std::uint32_t dim = get_u32();
+  if (vocab != want_vocab || dim != want_dim) {
+    throw std::runtime_error("embedding payload shape mismatch");
+  }
+  embedding::EmbeddingTable t(vocab, dim);
+  for (std::uint32_t id = 0; id < vocab; ++id) {
+    for (float& v : t.row(id)) {
+      const std::uint32_t bits = get_u32();
+      std::memcpy(&v, &bits, sizeof v);
+    }
+  }
+  if (off != bytes.size()) {
+    throw std::runtime_error("embedding payload trailing bytes");
+  }
+  return t;
+}
+
 }  // namespace
 
 std::vector<std::size_t> Dataset::suite_indices(const std::string& suite) const {
@@ -224,8 +198,8 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
   Dataset ds;
 
   // Quarantine: a per-sample failure is recorded and skipped, never fatal.
-  // Workers from the parallel compile/profile phase funnel through one
-  // mutex; the hot path never takes it.
+  // Workers from the parallel pipeline phase funnel through one mutex; the
+  // hot path never takes it.
   std::mutex quarantine_mu;
   BuildReport local_report;
   auto quarantine = [&](const std::string& kernel, const std::string& variant,
@@ -240,84 +214,138 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
         QuarantineEntry{kernel, variant, stage, error});
   };
 
-  // ---- Phase 1: compile (with variants) and profile --------------------
+  // ---- Phase 1: per-item staged pipeline (Parse..Featurize) ------------
   // Every (program, variant) item is independent, so this fans out over the
   // global thread pool; results are collected in item order and each item
-  // derives its own noise stream from its index, keeping the dataset
-  // bit-identical regardless of scheduling.
+  // derives its own noise and walk streams from its index, keeping the
+  // dataset bit-identical regardless of scheduling — and regardless of
+  // which items came out of the stage cache versus being recomputed.
   const auto& pipelines = transform::variant_pipelines();
   const std::size_t n_variants = opts.use_ir_variants ? pipelines.size() : 1;
   const std::size_t n_items = programs.size() * n_variants;
-  std::vector<std::unique_ptr<Built>> slots(n_items);
+  const pipe::PipelineConfig pcfg = pipeline_config(opts);
+
+  struct ItemResult {
+    const ProgramSpec* spec = nullptr;
+    std::string variant;
+    cache::Key key;  // featurize-stage key, folded into the Embed key
+    pipe::ItemFeatures feats;
+  };
+  std::vector<std::unique_ptr<ItemResult>> slots(n_items);
   par::parallel_for(
       0, n_items,
       [&](std::size_t item) {
         const ProgramSpec& spec = programs[item / n_variants];
         const std::size_t v = item % n_variants;
-        auto b = std::make_unique<Built>();
-        b->spec = &spec;
-        const char* stage = "compile";
+        pipe::ItemSpec is;
+        is.source = spec.kernel.source;
+        is.module_name = spec.kernel.name;
+        is.args = spec.kernel.args;
+        if (opts.use_ir_variants) is.variant = pipelines[v].name;
+        is.noise_seed = opts.seed ^ (0x0DE9'0A0DULL + item * 0x9E37ULL);
+        is.walk_seed = opts.seed ^ (0xA110'C8ULL + item * 0x9E37ULL);
+        auto r = std::make_unique<ItemResult>();
+        r->spec = &spec;
+        r->variant = is.variant;
+        r->key = pipe::stage_keys(is, pcfg).featurize;
         try {
-          b->module = frontend::compile(spec.kernel.source, spec.kernel.name);
-          if (opts.use_ir_variants) {
-            transform::run_pipeline(b->module, pipelines[v]);
-            b->variant = pipelines[v].name;
-          }
-          stage = "profile";
-          b->prof = profiler::profile(b->module, "kernel", spec.kernel.args,
-                                      opts.interp);
-          stage = "featurize";
-          par::Rng noise_rng(opts.seed ^ (0x0DE9'0A0DULL + item * 0x9E37ULL));
-          b->noisy_prof = degrade_profile(b->prof, opts.dep_noise, noise_rng);
-          b->peg = graph::build_peg(b->module, b->noisy_prof);
+          r->feats = pipe::run_item(is, pcfg, opts.cache);
+        } catch (const pipe::StageError& e) {
+          quarantine(spec.kernel.name, is.variant,
+                     pipe::quarantine_stage(e.stage), e.what());
+          return;
         } catch (const std::exception& e) {
-          quarantine(spec.kernel.name, b->variant, stage, e.what());
+          quarantine(spec.kernel.name, is.variant, "featurize", e.what());
           return;
         }
-        slots[item] = std::move(b);
+        slots[item] = std::move(r);
       },
       par::ThreadPool::global(), /*grain=*/1);
-  std::vector<Built> built;
+  std::vector<ItemResult*> built;
   built.reserve(n_items);
-  for (auto& slot : slots) {
-    if (slot) built.push_back(std::move(*slot));
+  for (const auto& slot : slots) {
+    if (slot) built.push_back(slot.get());
   }
-  slots.clear();
 
-  // ---- Phase 2: train the inst2vec embedding over the whole corpus -----
+  // ---- Phase 2: replay vocabulary growth, train/load inst2vec ----------
+  // Token ids are resolved by mapping every item's token strings in item
+  // order — the same growth order the un-staged builder used. The trained
+  // table itself is the Embed stage: cacheable, keyed by every surviving
+  // item's featurize key plus the skip-gram knobs.
+  std::vector<std::vector<std::uint32_t>> tok_ids(built.size());
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
-  for (const Built& b : built) {
-    for (const auto& fn : b.module.functions) {
-      auto p = embedding::context_pairs(*fn, ds.token_vocab, /*grow=*/true);
-      pairs.insert(pairs.end(), p.begin(), p.end());
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    const pipe::ItemFeatures& f = built[i]->feats;
+    auto& ids = tok_ids[i];
+    ids.reserve(f.tokens.size());
+    for (const std::string& t : f.tokens) {
+      ids.push_back(ds.token_vocab.id_of(t, /*grow=*/true));
+    }
+    for (const auto& [a, b] : f.context_pairs) {
+      pairs.emplace_back(ids[a], ids[b]);
     }
   }
   ds.token_vocab.freeze();
   embedding::SkipGramParams sg;
   sg.dim = opts.inst2vec_dim;
   sg.epochs = opts.skipgram_epochs;
-  par::Rng sg_rng(opts.seed ^ 0x5EEDULL);
-  ds.inst2vec = embedding::train_skipgram(ds.token_vocab.size(), pairs, sg,
-                                          sg_rng);
 
-  // ---- Phase 3: one sample per for-loop --------------------------------
+  cache::Hasher embed_hasher;
+  embed_hasher.str("mvgnn.pipe.embed.v1")
+      .u32(kEmbedFormat)
+      .u32(sg.dim)
+      .u32(sg.epochs)
+      .u64(opts.seed)
+      .u64(built.size());
+  for (const ItemResult* b : built) embed_hasher.key(b->key);
+  const cache::Key embed_key = embed_hasher.digest();
+
+  bool have_embedding = false;
+  if (opts.cache) {
+    if (auto blob = opts.cache->get(embed_key)) {
+      try {
+        ds.inst2vec = deserialize_embedding(*blob, ds.token_vocab.size(),
+                                            sg.dim);
+        have_embedding = true;
+      } catch (const std::exception& e) {
+        obs::log_warn("undecodable embed cache entry; retraining",
+                      {{"error", e.what()}});
+      }
+    }
+  }
+  if (!have_embedding) {
+    par::Rng sg_rng(opts.seed ^ 0x5EEDULL);
+    ds.inst2vec =
+        embedding::train_skipgram(ds.token_vocab.size(), pairs, sg, sg_rng);
+    if (opts.cache) {
+      opts.cache->put(embed_key, serialize_embedding(ds.inst2vec));
+    }
+  }
+
+  // ---- Phase 3: one GraphSample per for-loop ---------------------------
   // Anonymous-walk ids are collected sparse first (the vocabulary grows
-  // while sampling); distributions are densified after the freeze.
+  // while resolving); distributions are densified after the freeze.
   std::vector<AwIds> pending_ids;
-  par::Rng walk_rng(opts.seed ^ 0xA110C8ULL);
 
   const std::uint32_t kind_dims = 3;  // CU / Loop / Function one-hot
   ds.static_dim = opts.inst2vec_dim + kind_dims + 1;
 
-  for (const Built& b : built) {
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    const ItemResult* b = built[i];
     try {
-      BuiltSamples bs = samples_of_built(b, ds, opts, /*grow=*/true, walk_rng);
-      for (std::size_t i = 0; i < bs.samples.size(); ++i) {
-        ds.samples.push_back(std::move(bs.samples[i]));
-        pending_ids.push_back(std::move(bs.aw_ids[i]));
+      ReplayedSamples rs =
+          replay_item(b->feats, tok_ids[i], ds, opts, /*grow=*/true);
+      for (std::size_t j = 0; j < rs.samples.size(); ++j) {
+        GraphSample& s = rs.samples[j];
+        s.suite = b->spec->suite;
+        s.app = b->spec->app;
+        s.kernel = b->spec->kernel.name;
+        s.variant = b->variant;
+        ds.samples.push_back(std::move(s));
+        pending_ids.push_back(std::move(rs.aw_ids[j]));
       }
     } catch (const std::exception& e) {
-      quarantine(b.spec->kernel.name, b.variant, "featurize", e.what());
+      quarantine(b->spec->kernel.name, b->variant, "featurize", e.what());
     }
   }
 
@@ -336,25 +364,31 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
 std::vector<GraphSample> featurize_program(const ProgramSpec& program,
                                             const Dataset& reference,
                                             const DatasetOptions& opts) {
-  Built b;
-  b.spec = &program;
-  b.module = frontend::compile(program.kernel.source, program.kernel.name);
-  b.prof = profiler::profile(b.module, "kernel", program.kernel.args,
-                             opts.interp);
-  par::Rng noise_rng(opts.seed ^ 0xF007'0A0DULL);
-  b.noisy_prof = degrade_profile(b.prof, opts.dep_noise, noise_rng);
-  b.peg = graph::build_peg(b.module, b.noisy_prof);
+  pipe::ItemSpec is;
+  is.source = program.kernel.source;
+  is.module_name = program.kernel.name;
+  is.args = program.kernel.args;
+  is.noise_seed = opts.seed ^ 0xF007'0A0DULL;
+  is.walk_seed = opts.seed ^ 0xF00D'C8ULL;
+  const pipe::ItemFeatures feats =
+      pipe::run_item(is, pipeline_config(opts), opts.cache);
 
   // The vocabularies are frozen, so grow=false cannot mutate them; the
-  // const_cast only satisfies the shared helper's signature.
+  // const_cast only satisfies the shared replay helper's signature.
   Dataset& ref = const_cast<Dataset&>(reference);
-  par::Rng walk_rng(opts.seed ^ 0xF00D'C8ULL);
-  BuiltSamples bs =
-      samples_of_built(b, ref, opts, /*grow=*/false, walk_rng);
-  for (std::size_t i = 0; i < bs.samples.size(); ++i) {
-    densify_aw(bs.samples[i], bs.aw_ids[i], reference.aw_vocab);
+  std::vector<std::uint32_t> tok_ids;
+  tok_ids.reserve(feats.tokens.size());
+  for (const std::string& t : feats.tokens) {
+    tok_ids.push_back(ref.token_vocab.id_of(t, /*grow=*/false));
   }
-  return std::move(bs.samples);
+  ReplayedSamples rs = replay_item(feats, tok_ids, ref, opts, /*grow=*/false);
+  for (std::size_t i = 0; i < rs.samples.size(); ++i) {
+    rs.samples[i].suite = program.suite;
+    rs.samples[i].app = program.app;
+    rs.samples[i].kernel = program.kernel.name;
+    densify_aw(rs.samples[i], rs.aw_ids[i], reference.aw_vocab);
+  }
+  return std::move(rs.samples);
 }
 
 std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_by_kernel(

@@ -18,6 +18,10 @@
 #include "embedding/skipgram.hpp"
 #include "graph/anon_walk.hpp"
 
+namespace mvgnn::cache {
+class Cache;
+}
+
 namespace mvgnn::data {
 
 struct GraphSample {
@@ -76,6 +80,11 @@ struct DatasetOptions {
   /// corpus program. A program that exhausts them traps and is quarantined
   /// instead of hanging or OOMing the whole build.
   profiler::InterpOptions interp;
+  /// Stage-boundary cache (docs/pipeline.md). Null = always recompute. The
+  /// dataset is bit-identical with the cache off, cold, or warm: every
+  /// build path flows through the same cached ItemFeatures form and a
+  /// deterministic replay of the corpus-global phases.
+  cache::Cache* cache = nullptr;
 };
 
 /// One corpus program (or program variant) that failed during dataset

@@ -38,22 +38,21 @@ std::uint32_t Vocab::id_of(const std::string& token, bool grow) {
   return id;
 }
 
-std::vector<std::pair<std::uint32_t, std::uint32_t>> context_pairs(
-    const ir::Function& fn, Vocab& vocab, bool grow, std::uint32_t window) {
-  // Token id per instruction (markers/terminators included: control tokens
+TokenizedFunction tokenize_function(const ir::Function& fn,
+                                    std::uint32_t window) {
+  TokenizedFunction out;
+  // Token per instruction (markers/terminators included: control tokens
   // carry signal about branching structure).
-  std::vector<std::uint32_t> tok(fn.instrs.size());
+  out.tokens.reserve(fn.instrs.size());
   for (ir::InstrId id = 0; id < fn.instrs.size(); ++id) {
-    tok[id] = vocab.id_of(normalize(fn.instr(id)), grow);
+    out.tokens.push_back(normalize(fn.instr(id)));
   }
-
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
   // Flow neighbours within each block.
   for (const ir::BasicBlock& bb : fn.blocks) {
     for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
       for (std::size_t d = 1; d <= window && i + d < bb.instrs.size(); ++d) {
-        pairs.emplace_back(tok[bb.instrs[i]], tok[bb.instrs[i + d]]);
-        pairs.emplace_back(tok[bb.instrs[i + d]], tok[bb.instrs[i]]);
+        out.pairs.emplace_back(bb.instrs[i], bb.instrs[i + d]);
+        out.pairs.emplace_back(bb.instrs[i + d], bb.instrs[i]);
       }
     }
   }
@@ -61,11 +60,26 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> context_pairs(
   for (ir::InstrId id = 0; id < fn.instrs.size(); ++id) {
     for (const ir::Value& v : fn.instr(id).operands) {
       if (v.is_reg()) {
-        pairs.emplace_back(tok[v.reg], tok[id]);
-        pairs.emplace_back(tok[id], tok[v.reg]);
+        out.pairs.emplace_back(v.reg, id);
+        out.pairs.emplace_back(id, v.reg);
       }
     }
   }
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> context_pairs(
+    const ir::Function& fn, Vocab& vocab, bool grow, std::uint32_t window) {
+  const TokenizedFunction tf = tokenize_function(fn, window);
+  // Map tokens in instruction order first — this is the vocabulary growth
+  // order the pipeline replay must (and does) reproduce.
+  std::vector<std::uint32_t> tok(tf.tokens.size());
+  for (std::size_t i = 0; i < tf.tokens.size(); ++i) {
+    tok[i] = vocab.id_of(tf.tokens[i], grow);
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(tf.pairs.size());
+  for (const auto& [a, b] : tf.pairs) pairs.emplace_back(tok[a], tok[b]);
   return pairs;
 }
 

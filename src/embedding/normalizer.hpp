@@ -45,9 +45,25 @@ class Vocab {
   bool frozen_ = false;
 };
 
-/// Skip-gram (token, context) pairs of one function: flow neighbours within
-/// `window` in the same basic block plus register def-use neighbours —
-/// inst2vec's "contextual flow graph" adapted to our IR.
+/// Per-instruction normalized tokens of one function plus the skip-gram
+/// context pairs as *indices into that token list*. This is the
+/// vocabulary-free form the staged pipeline (src/pipe) caches: vocabulary
+/// ids are assigned later, at replay, by mapping `tokens` in order —
+/// exactly the growth order context_pairs() uses.
+struct TokenizedFunction {
+  std::vector<std::string> tokens;  // one per instruction, arena order
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;  // token indices
+};
+
+/// Tokenizes `fn`: flow neighbours within `window` in the same basic block
+/// plus register def-use neighbours — inst2vec's "contextual flow graph"
+/// adapted to our IR.
+[[nodiscard]] TokenizedFunction tokenize_function(const ir::Function& fn,
+                                                  std::uint32_t window = 2);
+
+/// Skip-gram (token, context) pairs of one function with ids resolved
+/// against `vocab` (growing it when `grow`). Equivalent to mapping
+/// tokenize_function(fn).tokens in order, then its pairs.
 [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
 context_pairs(const ir::Function& fn, Vocab& vocab, bool grow,
               std::uint32_t window = 2);

@@ -19,6 +19,9 @@
 //   interp.trap       interpreter traps at dynamic instruction N
 //   trainer.step      trainer throws before optimizer step N (kill test)
 //   ckpt.write        checkpoint save fails before writing
+//   cache.write       cache disk-tier write fails (entry stays uncached)
+//   cache.read.corrupt  N-th cache disk read sees a CRC mismatch (the entry
+//                     is evicted and recomputed, never fatal)
 #pragma once
 
 #include <cstdint>

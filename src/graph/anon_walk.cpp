@@ -49,13 +49,10 @@ AnonWalk anonymize(const std::vector<std::uint32_t>& walk) {
   return out;
 }
 
-std::vector<float> node_aw_distribution(const WalkGraph& g, std::uint32_t start,
-                                        const AwParams& params, AwVocab& vocab,
-                                        bool grow, par::Rng& rng) {
-  // First pass: sample the walks and resolve ids (this may grow the vocab,
-  // so the dense vector is sized afterwards).
-  std::vector<std::uint32_t> ids;
-  ids.reserve(params.gamma);
+std::vector<AnonWalk> sample_anon_walks(const WalkGraph& g, std::uint32_t start,
+                                        const AwParams& params, par::Rng& rng) {
+  std::vector<AnonWalk> out;
+  out.reserve(params.gamma);
   std::vector<std::uint32_t> walk;
   for (std::uint32_t w = 0; w < params.gamma; ++w) {
     walk.clear();
@@ -67,13 +64,30 @@ std::vector<float> node_aw_distribution(const WalkGraph& g, std::uint32_t start,
       cur = nb[rng.uniform_u64(nb.size())];
       walk.push_back(cur);
     }
-    ids.push_back(vocab.id_of(anonymize(walk), grow));
+    out.push_back(anonymize(walk));
   }
   walks_counter().add(params.gamma);
+  return out;
+}
+
+std::vector<float> aw_distribution(const std::vector<AnonWalk>& walks,
+                                   AwVocab& vocab, bool grow) {
+  // First pass: resolve ids (this may grow the vocab, so the dense vector
+  // is sized afterwards).
+  std::vector<std::uint32_t> ids;
+  ids.reserve(walks.size());
+  for (const AnonWalk& w : walks) ids.push_back(vocab.id_of(w, grow));
   std::vector<float> dist(vocab.size(), 0.0f);
-  const float inv = 1.0f / static_cast<float>(params.gamma);
+  if (walks.empty()) return dist;
+  const float inv = 1.0f / static_cast<float>(walks.size());
   for (const std::uint32_t id : ids) dist[id] += inv;
   return dist;
+}
+
+std::vector<float> node_aw_distribution(const WalkGraph& g, std::uint32_t start,
+                                        const AwParams& params, AwVocab& vocab,
+                                        bool grow, par::Rng& rng) {
+  return aw_distribution(sample_anon_walks(g, start, params, rng), vocab, grow);
 }
 
 std::vector<float> graph_aw_distribution(const WalkGraph& g,

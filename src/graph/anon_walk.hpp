@@ -81,6 +81,21 @@ struct AwParams {
   std::uint32_t length = 5;  // walk length (number of nodes)
 };
 
+/// Samples gamma walks from `start` and returns them anonymized, in sample
+/// order. This is the vocabulary-free half of node_aw_distribution() — the
+/// staged pipeline (src/pipe) caches these and resolves vocab ids at
+/// replay. Consumes exactly the same RNG draws as node_aw_distribution().
+[[nodiscard]] std::vector<AnonWalk> sample_anon_walks(const WalkGraph& g,
+                                                      std::uint32_t start,
+                                                      const AwParams& params,
+                                                      par::Rng& rng);
+
+/// Resolves `walks` against `vocab` in order (growing it when `grow`) and
+/// forms the empirical distribution (eq. 3), a dense vector of size
+/// `vocab.size()` summing to 1.
+[[nodiscard]] std::vector<float> aw_distribution(
+    const std::vector<AnonWalk>& walks, AwVocab& vocab, bool grow);
+
 /// Samples gamma anonymous walks from `start` and returns the empirical
 /// distribution over vocab slots (eq. 3), a dense vector of size
 /// `vocab.size()` summing to 1 (or the all-unknown distribution for an

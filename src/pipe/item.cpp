@@ -1,0 +1,544 @@
+#include "pipe/item.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "analysis/tools.hpp"
+#include "cache/key.hpp"
+#include "embedding/normalizer.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "graph/peg.hpp"
+#include "obs/log.hpp"
+#include "parallel/rng.hpp"
+#include "transform/passes.hpp"
+
+namespace mvgnn::pipe {
+
+namespace {
+
+/// Bumped whenever the ItemFeatures payload layout changes; participates in
+/// the featurize key so old entries become misses instead of decode errors.
+constexpr std::uint32_t kFormat = 1;
+
+// Deserialization caps — far past anything the generators produce, tight
+// enough that a hostile count cannot drive a huge allocation.
+constexpr std::uint64_t kMaxTokens = 1ull << 22;
+constexpr std::uint64_t kMaxStr = 1ull << 20;
+constexpr std::uint64_t kMaxPairs = 1ull << 26;
+constexpr std::uint64_t kMaxSamples = 1ull << 20;
+constexpr std::uint64_t kMaxNodes = 1ull << 20;
+constexpr std::uint64_t kMaxEdges = 1ull << 24;
+constexpr std::uint64_t kMaxWalks = 1ull << 20;
+constexpr std::uint64_t kMaxWalkLen = 255;
+
+/// Simulates input sensitivity: drops aggregated dependence edges with
+/// probability `p`. Loop runtime, CU structure and object tables stay.
+profiler::ProfileResult degrade_profile(const profiler::ProfileResult& prof,
+                                        double p, par::Rng& rng) {
+  profiler::ProfileResult out = prof;
+  if (p <= 0.0) return out;
+  std::erase_if(out.dep.edges, [&](const profiler::DepEdge&) {
+    return rng.uniform() < p;
+  });
+  return out;
+}
+
+/// log1p squashing for count-like dynamic features (exec counts span many
+/// orders of magnitude; GCNs want tame inputs).
+std::array<double, 7> squash(const profiler::LoopFeatures& f) {
+  const auto v = f.as_vector();
+  std::array<double, 7> out{};
+  out[0] = std::log1p(v[0]);  // n_inst
+  out[1] = std::log1p(v[1]);  // exec_times
+  out[2] = std::log1p(v[2]);  // cfl
+  out[3] = v[3];              // esp (already a small ratio)
+  out[4] = std::log1p(v[4]);  // incoming
+  out[5] = std::log1p(v[5]);  // internal
+  out[6] = std::log1p(v[6]);  // outgoing
+  return out;
+}
+
+// ---- payload writer/reader (little-endian, length-prefixed) --------------
+
+void put_u8(std::string& o, std::uint8_t v) {
+  o.push_back(static_cast<char>(v));
+}
+void put_u32(std::string& o, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(o, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::string& o, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(o, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_i32(std::string& o, std::int32_t v) {
+  put_u32(o, static_cast<std::uint32_t>(v));
+}
+void put_f64(std::string& o, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(o, bits);
+}
+void put_str(std::string& o, const std::string& s) {
+  put_u64(o, s.size());
+  o.append(s);
+}
+
+struct Reader {
+  const unsigned char* p;
+  std::size_t size;
+  std::size_t off = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("item features payload: " + std::string(what) +
+                             " at offset " + std::to_string(off));
+  }
+  void need(std::size_t n) const {
+    if (size - off < n) fail("truncated");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return p[off++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[off + i]} << (8 * i);
+    off += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[off + i]} << (8 * i);
+    off += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::uint64_t count(std::uint64_t cap, const char* what) {
+    const std::uint64_t n = u64();
+    if (n > cap) fail(what);
+    return n;
+  }
+  std::string str() {
+    const std::uint64_t n = count(kMaxStr, "oversized string");
+    need(static_cast<std::size_t>(n));
+    std::string s(reinterpret_cast<const char*>(p + off),
+                  static_cast<std::size_t>(n));
+    off += static_cast<std::size_t>(n);
+    return s;
+  }
+};
+
+std::size_t approx_profile_bytes(const CompiledProfile& cp) {
+  std::size_t bytes = sizeof(CompiledProfile);
+  for (const auto& fn : cp.module.functions) {
+    bytes += fn->instrs.size() * (sizeof(ir::Instruction) + 32);
+  }
+  bytes += cp.prof.dep.edges.size() * sizeof(profiler::DepEdge);
+  for (const profiler::CU& cu : cp.prof.cus) {
+    bytes += sizeof(profiler::CU) + cu.instrs.size() * sizeof(ir::InstrId);
+  }
+  bytes += cp.prof.loops.size() * sizeof(profiler::LoopSample);
+  return bytes;
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::Parse: return "parse";
+    case Stage::Lower: return "lower";
+    case Stage::Profile: return "profile";
+    case Stage::Peg: return "peg";
+    case Stage::Walks: return "walks";
+    case Stage::Featurize: return "featurize";
+    case Stage::Embed: return "embed";
+  }
+  return "?";
+}
+
+const char* quarantine_stage(Stage s) {
+  switch (s) {
+    case Stage::Parse:
+    case Stage::Lower: return "compile";
+    case Stage::Profile: return "profile";
+    case Stage::Peg:
+    case Stage::Walks:
+    case Stage::Featurize:
+    case Stage::Embed: return "featurize";
+  }
+  return "?";
+}
+
+StageKeys stage_keys(const ItemSpec& spec, const PipelineConfig& cfg) {
+  StageKeys k;
+  k.parse = cache::Hasher()
+                .str("mvgnn.pipe.v1")
+                .str("parse")
+                .str(spec.source)
+                .str(spec.module_name)
+                .digest();
+  k.lower = cache::Hasher(k.parse).str("lower").str(spec.variant).digest();
+  cache::Hasher hp(k.lower);
+  hp.str("profile")
+      .str(spec.entry)
+      .u64(cfg.interp.max_steps)
+      .u32(cfg.interp.max_call_depth)
+      .u64(cfg.interp.max_mem_cells)
+      .u64(spec.args.size());
+  for (const profiler::ArgInit& a : spec.args) {
+    hp.u64(static_cast<std::uint64_t>(a.int_val))
+        .f64(a.float_val)
+        .u64(a.array_size)
+        .u64(a.fill_seed);
+  }
+  k.profile = hp.digest();
+  k.peg = cache::Hasher(k.profile)
+              .str("peg")
+              .f64(cfg.dep_noise)
+              .u64(spec.noise_seed)
+              .digest();
+  k.walks = cache::Hasher(k.peg)
+                .str("walks")
+                .u32(cfg.walk.gamma)
+                .u32(cfg.walk.length)
+                .u64(spec.walk_seed)
+                .digest();
+  k.featurize =
+      cache::Hasher(k.walks).str("featurize").u32(kFormat).digest();
+  return k;
+}
+
+std::string serialize_features(const ItemFeatures& f) {
+  std::string o;
+  put_u32(o, kFormat);
+  put_u64(o, f.tokens.size());
+  for (const std::string& t : f.tokens) put_str(o, t);
+  put_u64(o, f.context_pairs.size());
+  for (const auto& [a, b] : f.context_pairs) {
+    put_u32(o, a);
+    put_u32(o, b);
+  }
+  put_u64(o, f.samples.size());
+  for (const RawSample& s : f.samples) {
+    put_u32(o, s.n);
+    put_u64(o, s.edges.size());
+    for (const auto& [a, b] : s.edges) {
+      put_u32(o, a);
+      put_u32(o, b);
+    }
+    for (const std::uint8_t k : s.edge_kinds) put_u8(o, k);
+    for (const std::uint8_t k : s.node_kinds) put_u8(o, k);
+    for (const auto& ix : s.node_token_ix) {
+      put_u64(o, ix.size());
+      for (const std::uint32_t t : ix) put_u32(o, t);
+    }
+    for (const auto& d : s.node_dynamic) {
+      for (const double v : d) put_f64(o, v);
+    }
+    for (const auto& walks : s.node_walks) {
+      put_u64(o, walks.size());
+      for (const graph::AnonWalk& w : walks) {
+        put_u64(o, w.size());
+        for (const std::uint8_t step : w) put_u8(o, step);
+      }
+    }
+    for (const double v : s.loop_features) put_f64(o, v);
+    put_u64(o, s.token_seq_ix.size());
+    for (const std::uint32_t t : s.token_seq_ix) put_u32(o, t);
+    put_i32(o, s.label);
+    put_i32(o, s.pattern_label);
+    put_u8(o, s.tool_autopar ? 1 : 0);
+    put_u8(o, s.tool_pluto ? 1 : 0);
+    put_u8(o, s.tool_discopop ? 1 : 0);
+    put_i32(o, s.loop_line);
+  }
+  return o;
+}
+
+ItemFeatures deserialize_features(std::string_view bytes) {
+  Reader r{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()};
+  if (r.u32() != kFormat) r.fail("format version mismatch");
+  ItemFeatures f;
+  const std::uint64_t n_tokens = r.count(kMaxTokens, "too many tokens");
+  f.tokens.reserve(static_cast<std::size_t>(n_tokens));
+  for (std::uint64_t i = 0; i < n_tokens; ++i) f.tokens.push_back(r.str());
+  const std::uint64_t n_pairs = r.count(kMaxPairs, "too many pairs");
+  f.context_pairs.reserve(static_cast<std::size_t>(n_pairs));
+  for (std::uint64_t i = 0; i < n_pairs; ++i) {
+    const std::uint32_t a = r.u32();
+    const std::uint32_t b = r.u32();
+    if (a >= f.tokens.size() || b >= f.tokens.size()) {
+      r.fail("pair index out of range");
+    }
+    f.context_pairs.emplace_back(a, b);
+  }
+  const std::uint64_t n_samples = r.count(kMaxSamples, "too many samples");
+  f.samples.reserve(static_cast<std::size_t>(n_samples));
+  for (std::uint64_t si = 0; si < n_samples; ++si) {
+    RawSample s;
+    s.n = r.u32();
+    if (s.n > kMaxNodes) r.fail("too many nodes");
+    const std::uint64_t n_edges = r.count(kMaxEdges, "too many edges");
+    s.edges.reserve(static_cast<std::size_t>(n_edges));
+    for (std::uint64_t i = 0; i < n_edges; ++i) {
+      const std::uint32_t a = r.u32();
+      const std::uint32_t b = r.u32();
+      if (a >= s.n || b >= s.n) r.fail("edge index out of range");
+      s.edges.emplace_back(a, b);
+    }
+    s.edge_kinds.resize(static_cast<std::size_t>(n_edges));
+    for (auto& k : s.edge_kinds) k = r.u8();
+    s.node_kinds.resize(s.n);
+    for (auto& k : s.node_kinds) k = r.u8();
+    s.node_token_ix.resize(s.n);
+    for (auto& ix : s.node_token_ix) {
+      const std::uint64_t nt = r.count(kMaxTokens, "too many node tokens");
+      ix.reserve(static_cast<std::size_t>(nt));
+      for (std::uint64_t i = 0; i < nt; ++i) {
+        const std::uint32_t t = r.u32();
+        if (t >= f.tokens.size()) r.fail("token index out of range");
+        ix.push_back(t);
+      }
+    }
+    s.node_dynamic.resize(s.n);
+    for (auto& d : s.node_dynamic) {
+      for (double& v : d) v = r.f64();
+    }
+    s.node_walks.resize(s.n);
+    for (auto& walks : s.node_walks) {
+      const std::uint64_t nw = r.count(kMaxWalks, "too many walks");
+      walks.reserve(static_cast<std::size_t>(nw));
+      for (std::uint64_t i = 0; i < nw; ++i) {
+        const std::uint64_t len = r.count(kMaxWalkLen, "walk too long");
+        graph::AnonWalk w;
+        w.reserve(static_cast<std::size_t>(len));
+        for (std::uint64_t j = 0; j < len; ++j) w.push_back(r.u8());
+        walks.push_back(std::move(w));
+      }
+    }
+    for (double& v : s.loop_features) v = r.f64();
+    const std::uint64_t n_seq = r.count(kMaxTokens, "token sequence too long");
+    s.token_seq_ix.reserve(static_cast<std::size_t>(n_seq));
+    for (std::uint64_t i = 0; i < n_seq; ++i) {
+      const std::uint32_t t = r.u32();
+      if (t >= f.tokens.size()) r.fail("token index out of range");
+      s.token_seq_ix.push_back(t);
+    }
+    s.label = r.i32();
+    s.pattern_label = r.i32();
+    s.tool_autopar = r.u8() != 0;
+    s.tool_pluto = r.u8() != 0;
+    s.tool_discopop = r.u8() != 0;
+    s.loop_line = r.i32();
+    f.samples.push_back(std::move(s));
+  }
+  if (r.off != r.size) r.fail("trailing bytes");
+  return f;
+}
+
+std::shared_ptr<const CompiledProfile> compile_and_profile(
+    const ItemSpec& spec, const PipelineConfig& cfg, cache::Cache* cache) {
+  const StageKeys keys = stage_keys(spec, cfg);
+  if (cache) {
+    if (auto obj = cache->get_object<CompiledProfile>(keys.profile)) {
+      return obj;
+    }
+  }
+  auto cp = std::make_shared<CompiledProfile>();
+  Stage cur = Stage::Parse;
+  try {
+    frontend::Program prog = frontend::parse(spec.source);
+    frontend::analyze(prog);
+    cur = Stage::Lower;
+    cp->module = frontend::lower(prog, spec.module_name);
+    ir::verify(cp->module);
+    if (!spec.variant.empty()) {
+      const transform::Pipeline* pipeline = nullptr;
+      for (const transform::Pipeline& p : transform::variant_pipelines()) {
+        if (p.name == spec.variant) {
+          pipeline = &p;
+          break;
+        }
+      }
+      if (!pipeline) {
+        throw std::runtime_error("unknown variant pipeline: " + spec.variant);
+      }
+      transform::run_pipeline(cp->module, *pipeline);
+    }
+    cur = Stage::Profile;
+    cp->prof =
+        profiler::profile(cp->module, spec.entry, spec.args, cfg.interp);
+  } catch (const StageError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw StageError(cur, e.what());
+  }
+  if (cache) {
+    cache->put_object<CompiledProfile>(keys.profile, cp,
+                                       approx_profile_bytes(*cp));
+  }
+  return cp;
+}
+
+ItemFeatures featurize_compiled(const CompiledProfile& cp,
+                                const ItemSpec& spec,
+                                const PipelineConfig& cfg) {
+  Stage cur = Stage::Peg;
+  try {
+    par::Rng noise_rng(spec.noise_seed);
+    const profiler::ProfileResult noisy_prof =
+        degrade_profile(cp.prof, cfg.dep_noise, noise_rng);
+    const graph::Peg peg = graph::build_peg(cp.module, noisy_prof);
+
+    cur = Stage::Featurize;
+    ItemFeatures f;
+
+    // Flatten normalized tokens across functions in arena order — the
+    // corpus vocabulary growth order — and collect skip-gram pairs with
+    // function-local indices rebased onto the flat list.
+    std::unordered_map<const ir::Function*, std::uint32_t> tok_base;
+    for (const auto& fn : cp.module.functions) {
+      const auto base = static_cast<std::uint32_t>(f.tokens.size());
+      tok_base[fn.get()] = base;
+      embedding::TokenizedFunction tf = embedding::tokenize_function(*fn);
+      for (std::string& t : tf.tokens) f.tokens.push_back(std::move(t));
+      for (const auto& [a, b] : tf.pairs) {
+        f.context_pairs.emplace_back(base + a, base + b);
+      }
+    }
+
+    // Per-loop Table I features for every loop in the module (loop nodes
+    // of inner loops need them too). Model-visible features come from the
+    // degraded profile.
+    std::unordered_map<const ir::Function*,
+                       std::vector<profiler::LoopFeatures>>
+        loop_feats;
+    for (const auto& fn : cp.module.functions) {
+      auto& v = loop_feats[fn.get()];
+      v.reserve(fn->loops.size());
+      for (const ir::LoopInfo& l : fn->loops) {
+        v.push_back(profiler::compute_loop_features(*fn, l.id, noisy_prof.dep));
+      }
+    }
+
+    cur = Stage::Walks;
+    par::Rng walk_rng(spec.walk_seed);
+    cur = Stage::Featurize;
+
+    for (const profiler::LoopSample& ls : cp.prof.loops) {
+      const graph::SubPeg sub = graph::extract_sub_peg(peg, ls.fn, ls.loop);
+      RawSample s;
+      s.n = static_cast<std::uint32_t>(sub.num_nodes());
+      for (const graph::PegEdge& e : sub.edges) {
+        s.edges.emplace_back(e.src, e.dst);
+        if (e.kind == graph::EdgeKind::Hierarchy) {
+          s.edge_kinds.push_back(0);
+        } else {
+          switch (e.dep) {
+            case profiler::DepType::RAW: s.edge_kinds.push_back(1); break;
+            case profiler::DepType::WAR: s.edge_kinds.push_back(2); break;
+            case profiler::DepType::WAW: s.edge_kinds.push_back(3); break;
+          }
+        }
+      }
+
+      s.node_kinds.resize(s.n);
+      s.node_token_ix.resize(s.n);
+      s.node_dynamic.resize(s.n);
+      for (std::uint32_t k = 0; k < s.n; ++k) {
+        const graph::PegNode& node = peg.nodes[sub.nodes[k]];
+        s.node_kinds[k] = static_cast<std::uint8_t>(node.kind);
+        std::vector<std::uint32_t>& node_tokens = s.node_token_ix[k];
+        profiler::LoopFeatures dyn;
+        if (node.kind == graph::NodeKind::CU) {
+          const profiler::CU& cu = peg.cus[node.cu];
+          for (const ir::InstrId id : cu.instrs) {
+            node_tokens.push_back(tok_base[node.fn] + id);
+          }
+          if (node.loop != ir::kNoLoop) {
+            dyn = loop_feats[node.fn][node.loop];
+          }
+          // A CU's own cost signal: mean execution count of its members
+          // (from the CLEAN profile, like the labels).
+          std::uint64_t total = 0;
+          for (const ir::InstrId id : cu.instrs) {
+            total += cp.prof.dep.exec_count(node.fn, id);
+          }
+          dyn.exec_times = cu.instrs.empty() ? 0 : total / cu.instrs.size();
+        } else if (node.kind == graph::NodeKind::Loop) {
+          for (ir::InstrId id = 0; id < node.fn->instrs.size(); ++id) {
+            if (profiler::instr_in_loop(*node.fn, id, node.loop)) {
+              node_tokens.push_back(tok_base[node.fn] + id);
+            }
+          }
+          dyn = loop_feats[node.fn][node.loop];
+          if (k == 0) s.token_seq_ix = node_tokens;  // root loop body
+        }
+        s.node_dynamic[k] = squash(dyn);
+      }
+
+      // Structural view: sample raw anonymized walks per node; vocab ids
+      // and distributions are resolved at replay.
+      graph::WalkGraph wg(s.n);
+      for (const auto& [a, b] : s.edges) wg.add_edge(a, b);
+      s.node_walks.resize(s.n);
+      for (std::uint32_t k = 0; k < s.n; ++k) {
+        s.node_walks[k] = graph::sample_anon_walks(wg, k, cfg.walk, walk_rng);
+      }
+
+      // Labels, baselines, provenance. Labels and tool verdicts use the
+      // clean profile; the stored hand-crafted features are the degraded
+      // ones (what a real profiling run would have produced).
+      s.loop_features = squash(loop_feats[ls.fn][ls.loop]);
+      s.label =
+          analysis::oracle_classify(*ls.fn, ls.loop, cp.prof.dep).parallel ? 1
+                                                                           : 0;
+      s.pattern_label = static_cast<int>(
+          analysis::oracle_pattern(*ls.fn, ls.loop, cp.prof.dep));
+      s.tool_autopar = analysis::autopar_classify(*ls.fn, ls.loop).parallel;
+      s.tool_pluto = analysis::pluto_classify(*ls.fn, ls.loop).parallel;
+      s.tool_discopop =
+          analysis::discopop_classify(*ls.fn, ls.loop, cp.prof.dep).parallel;
+      s.loop_line = ls.fn->loops[ls.loop].start_line;
+      f.samples.push_back(std::move(s));
+    }
+    return f;
+  } catch (const StageError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw StageError(cur, e.what());
+  }
+}
+
+ItemFeatures run_item(const ItemSpec& spec, const PipelineConfig& cfg,
+                      cache::Cache* cache) {
+  const StageKeys keys = stage_keys(spec, cfg);
+  if (cache) {
+    if (auto blob = cache->get(keys.featurize)) {
+      try {
+        return deserialize_features(*blob);
+      } catch (const std::exception& e) {
+        // CRC-valid but undecodable (e.g. written by a different build) —
+        // degrade to recompute, never fail the item over a cache entry.
+        obs::log_warn("undecodable cache entry; recomputing",
+                      {{"key", keys.featurize.hex()}, {"error", e.what()}});
+      }
+    }
+  }
+  auto cp = compile_and_profile(spec, cfg, cache);
+  ItemFeatures f = featurize_compiled(*cp, spec, cfg);
+  if (cache) cache->put(keys.featurize, serialize_features(f));
+  return f;
+}
+
+}  // namespace mvgnn::pipe

@@ -1,0 +1,47 @@
+// Staged per-sample pipeline: typed stages with content-hashed boundaries.
+//
+// The dataset builder's per-program work decomposes into a fixed stage
+// graph:
+//
+//   Parse -> Lower -> Profile -> Peg -> Walks -> Featurize
+//
+// (plus the corpus-global Embed stage the data layer runs over all items).
+// Every boundary has a content-hash key (cache/key.hpp) chaining the parent
+// stage's key with the stage name and the stage's configuration
+// fingerprint, so any change to the source text or to a knob that affects a
+// stage's output (walk parameters, interpreter fuel/memory caps, dependence
+// noise, embedding dims) invalidates exactly the suffix of the pipeline it
+// reaches.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mvgnn::pipe {
+
+enum class Stage : std::uint8_t {
+  Parse,      // MiniC source -> AST (+ sema)
+  Lower,      // AST -> verified IR, variant transform pipeline applied
+  Profile,    // interpret under the dependence recorder
+  Peg,        // degraded profile -> Program Execution Graph
+  Walks,      // anonymous-walk sampling per sub-PEG node
+  Featurize,  // per-loop raw feature assembly (ItemFeatures)
+  Embed,      // corpus-global skip-gram training (data layer)
+};
+
+[[nodiscard]] const char* stage_name(Stage s);
+
+/// The quarantine bucket a stage failure is reported under — the historic
+/// three-phase names the BuildReport (and its tests) use.
+[[nodiscard]] const char* quarantine_stage(Stage s);
+
+/// A stage failure carrying which stage threw; build_dataset maps it to the
+/// matching quarantine entry instead of aborting.
+struct StageError : std::runtime_error {
+  StageError(Stage s, const std::string& what)
+      : std::runtime_error(what), stage(s) {}
+  Stage stage;
+};
+
+}  // namespace mvgnn::pipe

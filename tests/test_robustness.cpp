@@ -15,6 +15,7 @@
 #include <map>
 #include <sstream>
 
+#include "cache/cache.hpp"
 #include "core/checkpoint.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
@@ -547,6 +548,62 @@ TEST(Quarantine, PathologicalProgramsAreSkippedNotFatal) {
   EXPECT_EQ(quarantined_counter.value() - quarantined0, 5u);
   EXPECT_EQ(fuel_counter.value() - fuel0, 1u);
   EXPECT_EQ(mem_counter.value() - mem0, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stage-boundary cache faults (docs/pipeline.md)
+// ---------------------------------------------------------------------------
+
+std::string dataset_bytes(const data::Dataset& ds) {
+  std::ostringstream os;
+  data::save_dataset(ds, os);
+  return os.str();
+}
+
+TEST(CacheFault, InjectedReadCorruptionDegradesToRecompute) {
+  FaultGuard guard;
+  TempDir dir("cache_rot");
+  const auto programs = data::build_generated_corpus(6, 77);
+  data::DatasetOptions opts;
+  opts.seed = 5;
+
+  cache::Cache warmup(cache::Config{dir.str(), 64ull << 20});
+  opts.cache = &warmup;
+  const std::string want = dataset_bytes(data::build_dataset(programs, opts));
+
+  // A fresh instance over the same directory reads from disk; the armed
+  // fault corrupts the CRC of the first disk read. The build must treat it
+  // as a miss — evict, recompute, repopulate — and still produce the exact
+  // same bytes.
+  cache::Cache c(cache::Config{dir.str(), 64ull << 20});
+  opts.cache = &c;
+  fault::arm("cache.read.corrupt", 1);
+  std::size_t skipped = 0;
+  const data::Dataset ds = data::build_dataset(programs, opts, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(dataset_bytes(ds), want);
+  EXPECT_EQ(c.stats().corrupt, 1u);
+  EXPECT_GE(c.stats().misses, 1u);
+}
+
+TEST(CacheFault, InjectedWriteFailureLeavesEntryUncachedNotFatal) {
+  FaultGuard guard;
+  TempDir dir("cache_wfail");
+  const auto programs = data::build_generated_corpus(6, 77);
+  data::DatasetOptions opts;
+  opts.seed = 5;
+  const std::string want = dataset_bytes(data::build_dataset(programs, opts));
+
+  cache::Cache c(cache::Config{dir.str(), 64ull << 20});
+  opts.cache = &c;
+  fault::arm("cache.write", 1);
+  std::size_t skipped = 0;
+  const data::Dataset ds = data::build_dataset(programs, opts, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(dataset_bytes(ds), want);
+  EXPECT_EQ(c.stats().write_failures, 1u);
+  // The failed entry simply stayed uncached; everything else landed on disk.
+  EXPECT_GT(c.stats().disk_entries, 0u);
 }
 
 TEST(Quarantine, InterpreterTrapSiteFiresAtTheArmedStep) {

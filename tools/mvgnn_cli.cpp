@@ -28,10 +28,12 @@
 #include <vector>
 
 #include "analysis/suggest.hpp"
+#include "cache/cache.hpp"
 #include "core/checkpoint.hpp"
 #include "core/trainer.hpp"
 #include "data/corpus.hpp"
 #include "data/dataset.hpp"
+#include "data/serialize.hpp"
 #include "frontend/lower.hpp"
 #include "graph/peg.hpp"
 #include "obs/log.hpp"
@@ -58,16 +60,25 @@ int usage() {
       "  variants  effect of the six IR variant pipelines\n"
       "  train     train a small MV-GNN on a generated corpus, then\n"
       "            classify the input program's loops\n"
+      "  dataset   build a generated-corpus dataset, save it to <path>\n"
+      "            (bit-identical for a given --corpus/--seed, with the\n"
+      "            cache off, cold, or warm)\n"
+      "  cache     stage-cache maintenance: `mvgnn cache stats` or\n"
+      "            `mvgnn cache clear` (use with --cache-dir)\n"
       "\n"
       "flags:\n"
       "  --metrics-out <path>  write a JSON metrics snapshot on exit\n"
       "  --trace-out <path>    record spans and write Chrome trace_event\n"
       "                        JSON on exit (chrome://tracing / Perfetto)\n"
+      "  --cache-dir <d>       stage-boundary cache directory (content-hash\n"
+      "                        keyed; see docs/pipeline.md). Default: no\n"
+      "                        disk tier\n"
+      "  --cache-mem-mb <n>    in-memory cache budget in MiB (default 256)\n"
       "  --quiet, -q           only warnings and errors on the log\n"
       "                        (MVGNN_LOG_LEVEL sets the default level)\n"
       "  --help, -h            this message\n"
       "\n"
-      "train options:\n"
+      "train/dataset options:\n"
       "  --corpus <n>          generated-corpus size in loops (default 90)\n"
       "  --epochs <n>          training epochs (default 4)\n"
       "  --seed <n>            training seed (default 1)\n"
@@ -207,6 +218,10 @@ struct TrainOptions {
   bool resume = false;
 };
 
+/// Stage cache the dataset builds go through; null until --cache-dir or
+/// --cache-mem-mb configures the global instance.
+cache::Cache* g_cache = nullptr;
+
 /// Flipped by the SIGINT/SIGTERM handler; the trainer polls it at batch
 /// boundaries, lands a final checkpoint, and the process exits 130.
 std::atomic<bool> g_stop{false};
@@ -224,6 +239,7 @@ extern "C" void handle_stop_signal(int) {
 int cmd_train(const std::string& source, const TrainOptions& topts) {
   data::DatasetOptions opts;
   opts.seed = 5;
+  opts.cache = g_cache;
 
   obs::log_info("building training corpus",
                 {{"loops", std::to_string(topts.corpus_loops)}});
@@ -296,6 +312,69 @@ int cmd_train(const std::string& source, const TrainOptions& topts) {
   return 0;
 }
 
+/// Builds the generated-corpus dataset and saves it to `out`. Two runs with
+/// the same --corpus/--seed produce byte-identical files whether the stage
+/// cache is off, cold, or warm — the CI cache-identity check builds twice
+/// against one --cache-dir and compares the bytes.
+int cmd_dataset(const std::string& out, const TrainOptions& topts) {
+  data::DatasetOptions opts;
+  opts.seed = topts.seed;
+  opts.cache = g_cache;
+  obs::log_info("building dataset",
+                {{"loops", std::to_string(topts.corpus_loops)},
+                 {"out", out},
+                 {"cached", g_cache ? "yes" : "no"}});
+  const data::Dataset ds = data::build_dataset(
+      data::build_generated_corpus(topts.corpus_loops, 2024), opts);
+  data::save_dataset(ds, out);
+  std::printf("wrote %s: %zu samples, static_dim=%u, aw_vocab=%u\n",
+              out.c_str(), ds.samples.size(), ds.static_dim, ds.aw_vocab);
+  if (g_cache) {
+    const cache::Stats st = g_cache->stats();
+    std::printf("cache: %llu hits, %llu misses (%.0f%% hit ratio)\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                100.0 * st.hit_ratio());
+  }
+  return 0;
+}
+
+int cmd_cache(const std::string& sub) {
+  cache::Cache& c = cache::Cache::global();
+  if (sub == "clear") {
+    c.clear();
+    std::printf("cache cleared (%s)\n",
+                c.config().dir.empty() ? "memory tier only"
+                                       : c.config().dir.c_str());
+    return 0;
+  }
+  if (sub != "stats") {
+    std::fprintf(stderr, "mvgnn: unknown cache subcommand `%s`\n",
+                 sub.c_str());
+    return usage();
+  }
+  const cache::Stats st = c.stats();
+  std::printf("dir           : %s\n",
+              c.config().dir.empty() ? "(none)" : c.config().dir.c_str());
+  std::printf("mem budget    : %zu bytes\n", c.config().mem_budget_bytes);
+  std::printf("mem entries   : %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(st.mem_entries),
+              static_cast<unsigned long long>(st.mem_bytes));
+  std::printf("disk entries  : %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(st.disk_entries),
+              static_cast<unsigned long long>(st.disk_bytes));
+  std::printf("hits/misses   : %llu / %llu\n",
+              static_cast<unsigned long long>(st.hits),
+              static_cast<unsigned long long>(st.misses));
+  std::printf("evictions     : %llu\n",
+              static_cast<unsigned long long>(st.evictions));
+  std::printf("corrupt       : %llu\n",
+              static_cast<unsigned long long>(st.corrupt));
+  std::printf("write failures: %llu\n",
+              static_cast<unsigned long long>(st.write_failures));
+  return 0;
+}
+
 /// Single exit path for every way the process ends (success, failure,
 /// interrupt): flush the metrics snapshot and trace — both exporters go
 /// through io::atomic_write_file, so a crash mid-export never leaves a
@@ -326,6 +405,9 @@ int finalize_run(const std::string& metrics_out, const std::string& trace_out,
 
 int main(int argc, char** argv) {
   std::string metrics_out, trace_out, command, file;
+  std::string cache_dir;
+  std::size_t cache_mem_mb = 0;
+  bool cache_requested = false;
   TrainOptions topts;
   bool quiet = false;
 
@@ -344,6 +426,12 @@ int main(int argc, char** argv) {
       trace_out = flag_value(a, arg);
     } else if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      cache_dir = flag_value(a, arg);
+      cache_requested = true;
+    } else if (std::strcmp(arg, "--cache-mem-mb") == 0) {
+      cache_mem_mb = static_cast<std::size_t>(std::atoll(flag_value(a, arg)));
+      cache_requested = true;
     } else if (std::strcmp(arg, "--corpus") == 0) {
       topts.corpus_loops = std::atoi(flag_value(a, arg));
     } else if (std::strcmp(arg, "--epochs") == 0) {
@@ -376,9 +464,22 @@ int main(int argc, char** argv) {
 
   if (quiet) obs::Logger::global().set_level(obs::LogLevel::Warn);
   if (!trace_out.empty()) obs::TraceRecorder::global().enable();
+  if (cache_requested) {
+    cache::Config ccfg;
+    ccfg.dir = cache_dir;
+    if (cache_mem_mb > 0) ccfg.mem_budget_bytes = cache_mem_mb << 20;
+    cache::Cache::configure_global(ccfg);
+    g_cache = &cache::Cache::global();
+  }
 
   int rc = 0;
   try {
+    if (command == "cache") {
+      return finalize_run(metrics_out, trace_out, cmd_cache(file));
+    }
+    if (command == "dataset") {
+      return finalize_run(metrics_out, trace_out, cmd_dataset(file, topts));
+    }
     const std::string source = read_file(file);
     if (command == "variants") {
       rc = cmd_variants(source);
