@@ -104,18 +104,20 @@ int main() {
                 "time-slice; the speedup target is not measurable here\n");
   }
 
-  std::FILE* f = std::fopen("BENCH_data_parallel.json", "w");
-  if (f) {
-    std::fprintf(f, "{\n  \"train_samples\": %zu,\n  \"batch_size\": 16,\n",
-                 ex.train.size());
-    std::fprintf(f, "  \"hardware_threads\": %u,\n", cores);
-    for (const auto& [n, r] : runs) {
-      std::fprintf(f, "  \"epoch_s_t%zu\": %.4f,\n", n, r.epoch_s);
-    }
-    std::fprintf(f, "  \"speedup_t4_vs_t1\": %.3f,\n", speedup);
-    std::fprintf(f, "  \"bit_identical\": %s\n}\n",
-                 identical ? "true" : "false");
-    std::fclose(f);
+  obs::BenchReport report("abl_data_parallel");
+  report.config("train_samples", static_cast<double>(ex.train.size()));
+  report.config("batch_size", 16);
+  report.config("hardware_threads", cores);
+  for (const auto& [n, r] : runs) {
+    report.metric("epoch_s_t" + std::to_string(n), r.epoch_s,
+                  obs::MetricGoal::Lower, "s");
+  }
+  // Speedup depends on the host's core count, so it never gates; the
+  // bit-identity of weights and curves is the property worth gating.
+  report.metric("speedup_t4_vs_t1", speedup, obs::MetricGoal::None, "x");
+  report.metric("bit_identical", identical ? 1.0 : 0.0,
+                obs::MetricGoal::Higher);
+  if (report.write("BENCH_data_parallel.json")) {
     std::printf("wrote BENCH_data_parallel.json\n");
   }
 

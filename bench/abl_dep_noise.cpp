@@ -13,6 +13,8 @@ int main() {
   std::printf("%8s %12s %12s %12s\n", "p(drop)", "MV-GNN", "AdaBoost",
               "DecisionTree");
 
+  obs::BenchReport report("abl_dep_noise");
+  report.config("loops", 360);
   auto programs = data::build_generated_corpus(360, 99);
   for (const double noise : {0.0, 0.06, 0.12, 0.25, 0.5}) {
     data::DatasetOptions opts;
@@ -49,6 +51,17 @@ int main() {
     const double n = static_cast<double>(test.size());
     std::printf("%8.2f %11.1f%% %11.1f%% %11.1f%%\n", noise,
                 100 * acc_mv / n, 100 * acc_ada / n, 100 * acc_dt / n);
+    char tag[16];
+    std::snprintf(tag, sizeof tag, "n%02d", static_cast<int>(noise * 100));
+    report.metric(std::string("acc_mv_") + tag, acc_mv / n,
+                  obs::MetricGoal::Higher);
+    report.metric(std::string("acc_ada_") + tag, acc_ada / n,
+                  obs::MetricGoal::Higher);
+    report.metric(std::string("acc_dt_") + tag, acc_dt / n,
+                  obs::MetricGoal::Higher);
+  }
+  if (report.write("BENCH_dep_noise.json")) {
+    std::printf("wrote BENCH_dep_noise.json\n");
   }
   std::printf(
       "\nExpected shape: monotone degradation with noise for every model\n"

@@ -26,6 +26,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "bench/gbench_report.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
 #include "fault/fault.hpp"
@@ -125,4 +126,4 @@ BENCHMARK_CAPTURE(run_train_epoch, ckpt_on, true)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MVGNN_GBENCH_REPORT_MAIN("abl_fault_overhead", "BENCH_fault_overhead.json");

@@ -62,5 +62,16 @@ int main() {
   std::printf(
       "\nExpected shape: fused >= max(single views); node view > structural\n"
       "view (paper Fig. 8); each single-source baseline below the fusion.\n");
+
+  obs::BenchReport report("abl_fusion");
+  report.config("test_samples", n);
+  report.metric("acc_fused", fused / n, obs::MetricGoal::Higher);
+  report.metric("acc_node_view", node_view / n, obs::MetricGoal::Higher);
+  report.metric("acc_struct_view", struct_view / n, obs::MetricGoal::Higher);
+  report.metric("acc_static_gnn", sgnn / n, obs::MetricGoal::Higher);
+  report.metric("acc_adaboost", ab / n, obs::MetricGoal::Higher);
+  if (report.write("BENCH_fusion.json")) {
+    std::printf("wrote BENCH_fusion.json\n");
+  }
   return 0;
 }

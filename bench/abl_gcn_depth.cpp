@@ -17,6 +17,8 @@ int main() {
 
   std::printf("Ablation — GCN stack depth (channels before the sort layer)\n");
   std::printf("%-22s %12s %12s\n", "gcn_channels", "test acc", "params");
+  obs::BenchReport report("abl_gcn_depth");
+  report.config("loops", 360);
   const std::vector<std::vector<std::size_t>> stacks = {
       {1}, {32, 1}, {32, 32, 1}, {32, 32, 32, 1}, {32, 32, 32, 32, 1}};
   for (const auto& stack : stacks) {
@@ -34,9 +36,16 @@ int main() {
       name += (i ? "," : "") + std::to_string(stack[i]);
     }
     name += "}";
-    std::printf("%-22s %11.1f%% %12zu\n", name.c_str(),
-                100.0 * trainer.accuracy(test),
+    const double acc = trainer.accuracy(test);
+    std::printf("%-22s %11.1f%% %12zu\n", name.c_str(), 100.0 * acc,
                 trainer.model().num_parameters());
+    report.metric("acc_depth" + std::to_string(stack.size()), acc,
+                  obs::MetricGoal::Higher);
+    report.metric("params_depth" + std::to_string(stack.size()),
+                  static_cast<double>(trainer.model().num_parameters()));
+  }
+  if (report.write("BENCH_gcn_depth.json")) {
+    std::printf("wrote BENCH_gcn_depth.json\n");
   }
   std::printf(
       "\nExpected shape: a single 1-channel layer is too weak; accuracy\n"

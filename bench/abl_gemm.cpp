@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "bench/gbench_report.hpp"
 #include "parallel/rng.hpp"
 #include "tensor/gemm.hpp"
 
@@ -61,4 +62,4 @@ BENCHMARK(BM_GemmGnnShape)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MVGNN_GBENCH_REPORT_MAIN("abl_gemm", "BENCH_gemm.json");

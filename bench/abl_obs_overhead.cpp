@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "bench/gbench_report.hpp"
 #include "frontend/lower.hpp"
 #include "obs/trace.hpp"
 #include "profiler/profile.hpp"
@@ -90,4 +91,4 @@ BENCHMARK(BM_ProfileRun)->ArgName("trace_on")->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MVGNN_GBENCH_REPORT_MAIN("abl_obs_overhead", "BENCH_obs_overhead.json");

@@ -4,6 +4,7 @@
 // paper's section II discusses.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.hpp"
 #include "frontend/lower.hpp"
 #include "profiler/dep_recorder.hpp"
 #include "profiler/profile.hpp"
@@ -75,4 +76,4 @@ BENCHMARK(BM_FullProfilePipeline);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MVGNN_GBENCH_REPORT_MAIN("abl_profiler_overhead", "BENCH_profiler_overhead.json");

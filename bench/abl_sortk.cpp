@@ -28,6 +28,8 @@ int main() {
 
   std::printf("Ablation — SortPooling k\n");
   std::printf("%6s %12s %14s\n", "k", "test acc", "train time");
+  obs::BenchReport report("abl_sortk");
+  report.config("loops", 360);
   for (const std::size_t k : {10, 16, 24, 48}) {
     const core::Normalizer norm = core::Normalizer::fit(ds, train);
     core::Featurizer feats(ds, norm);
@@ -42,8 +44,14 @@ int main() {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    std::printf("%6zu %11.1f%% %12.1fs\n", k,
-                100.0 * trainer.accuracy(test), secs);
+    const double acc = trainer.accuracy(test);
+    std::printf("%6zu %11.1f%% %12.1fs\n", k, 100.0 * acc, secs);
+    report.metric("acc_k" + std::to_string(k), acc, obs::MetricGoal::Higher);
+    report.metric("train_s_k" + std::to_string(k), secs,
+                  obs::MetricGoal::Lower, "s");
+  }
+  if (report.write("BENCH_sortk.json")) {
+    std::printf("wrote BENCH_sortk.json\n");
   }
   std::printf(
       "\nExpected shape: a plateau once k covers typical sub-PEG sizes,\n"

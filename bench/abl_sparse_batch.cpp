@@ -214,20 +214,21 @@ int main() {
   const double speedup = dense_epoch / csr_epoch_b32;
   std::printf("\nspeedup at B=32: %.2fx (acceptance: >= 2x)\n", speedup);
 
-  std::FILE* f = std::fopen("BENCH_sparse_batch.json", "w");
-  if (f) {
-    std::fprintf(f,
-                 "{\n  \"spmm_micro\": {\"n\": %zu, \"nnz\": %zu, "
-                 "\"dense_ms\": %.4f, \"csr_ms\": %.4f, \"speedup\": %.3f},\n",
-                 big.rows(), big.nnz(), dense_micro, csr_micro,
-                 dense_micro / csr_micro);
-    std::fprintf(f, "  \"epoch_samples\": %zu,\n", n_timed);
-    std::fprintf(f, "  \"dense_persample_s\": %.4f,\n", dense_epoch);
-    for (const auto& [b, t] : batched) {
-      std::fprintf(f, "  \"csr_b%zu_s\": %.4f,\n", b, t);
-    }
-    std::fprintf(f, "  \"speedup_b32_vs_dense\": %.3f\n}\n", speedup);
-    std::fclose(f);
+  obs::BenchReport report("abl_sparse_batch");
+  report.config("spmm_n", static_cast<double>(big.rows()));
+  report.config("spmm_nnz", static_cast<double>(big.nnz()));
+  report.config("epoch_samples", static_cast<double>(n_timed));
+  report.metric("spmm_dense_ms", dense_micro, obs::MetricGoal::None, "ms");
+  report.metric("spmm_csr_ms", csr_micro, obs::MetricGoal::Lower, "ms");
+  report.metric("spmm_speedup", dense_micro / csr_micro,
+                obs::MetricGoal::Higher, "x");
+  report.metric("dense_persample_s", dense_epoch, obs::MetricGoal::None, "s");
+  for (const auto& [b, t] : batched) {
+    report.metric("csr_b" + std::to_string(b) + "_s", t,
+                  obs::MetricGoal::Lower, "s");
+  }
+  report.metric("speedup_b32_vs_dense", speedup, obs::MetricGoal::Higher, "x");
+  if (report.write("BENCH_sparse_batch.json")) {
     std::printf("wrote BENCH_sparse_batch.json\n");
   }
   return speedup >= 2.0 ? 0 : 1;

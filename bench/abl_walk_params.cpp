@@ -19,6 +19,8 @@ int main() {
   std::printf("%6s %6s %10s %12s %12s\n", "gamma", "l", "aw_vocab",
               "acc(multi)", "acc(struct)");
 
+  obs::BenchReport report("abl_walk_params");
+  report.config("loops", 320);
   auto programs = data::build_generated_corpus(320, 55);
   for (const Config& cfg : configs) {
     data::DatasetOptions opts;
@@ -45,6 +47,16 @@ int main() {
     const double n = static_cast<double>(test.size());
     std::printf("%6u %6u %10u %11.1f%% %11.1f%%\n", cfg.gamma, cfg.length,
                 ds.aw_vocab, 100.0 * acc_multi / n, 100.0 * acc_struct / n);
+    const std::string tag = "g" + std::to_string(cfg.gamma) + "_l" +
+                            std::to_string(cfg.length);
+    report.metric("acc_multi_" + tag, acc_multi / n,
+                  obs::MetricGoal::Higher);
+    report.metric("acc_struct_" + tag, acc_struct / n,
+                  obs::MetricGoal::Higher);
+    report.metric("aw_vocab_" + tag, ds.aw_vocab);
+  }
+  if (report.write("BENCH_walk_params.json")) {
+    std::printf("wrote BENCH_walk_params.json\n");
   }
   return 0;
 }

@@ -8,7 +8,6 @@
 // set.
 #pragma once
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,8 @@
 #include "data/dataset.hpp"
 #include "ml/classic.hpp"
 #include "ml/ncc.hpp"
+#include "obs/bench_report.hpp"  // every bench writes results through this
+#include "obs/log.hpp"
 
 namespace mvgnn::bench {
 
@@ -39,7 +40,8 @@ inline Experiment build_experiment(int generated_loops = 700,
   std::size_t skipped = 0;
   ex.ds = data::build_dataset(programs, opts, &skipped);
   if (skipped != 0) {
-    std::fprintf(stderr, "warning: %zu programs failed to profile\n", skipped);
+    obs::log_warn("programs failed to profile",
+                  {{"skipped", std::to_string(skipped)}});
   }
 
   auto [train, test] = data::split_by_kernel(ex.ds, 0.75, seed);

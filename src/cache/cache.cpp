@@ -10,6 +10,7 @@
 #include "io/checked_stream.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mvgnn::cache {
 
@@ -80,6 +81,8 @@ void Cache::scan_disk() {
 }
 
 std::optional<std::string> Cache::get(const Key& key) {
+  // hit: 0 = miss, 1 = memory tier, 2 = disk tier (promoted).
+  obs::ScopedSpan span("cache.get");
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
@@ -91,6 +94,7 @@ std::optional<std::string> Cache::get(const Key& key) {
         ++stats_.hits;
       }
       counters().hits.add(1);
+      span.arg("hit", 1);
       return bytes;
     }
   }
@@ -110,6 +114,7 @@ std::optional<std::string> Cache::get(const Key& key) {
         ++stats_.hits;
       }
       counters().hits.add(1);
+      span.arg("hit", 2);
       return bytes;
     }
   }
@@ -118,6 +123,7 @@ std::optional<std::string> Cache::get(const Key& key) {
     ++stats_.misses;
   }
   counters().misses.add(1);
+  span.arg("hit", 0);
   return std::nullopt;
 }
 

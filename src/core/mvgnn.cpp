@@ -15,7 +15,8 @@ GraphBatch make_graph_batch(const std::vector<const SampleInput*>& samples) {
   if (samples.empty()) {
     throw std::invalid_argument("make_graph_batch: empty sample list");
   }
-  OBS_SPAN("core.batch_assembly");
+  obs::ScopedSpan span("core.batch_assembly");
+  span.arg("graphs", samples.size());
   static obs::Counter& batches =
       obs::Registry::global().counter("core.graph_batches_total");
   batches.add(1);

@@ -237,7 +237,8 @@ std::vector<EpochStat> MvGnnTrainer::fit(
 
   OBS_SPAN("trainer.fit");
   for (std::size_t epoch = start_epoch; epoch < tc_.epochs; ++epoch) {
-    OBS_SPAN("trainer.epoch");
+    obs::ScopedSpan epoch_span("trainer.epoch");
+    epoch_span.arg("epoch", epoch);
     if (snapshot_on) {
       epoch_snapshot = encode_checkpoint(
           {epoch, global_step, rng_.state(), curve}, *model_, opt);
@@ -377,9 +378,10 @@ void MvGnnTrainer::sync_replicas(std::size_t n) {
 std::pair<double, std::size_t> MvGnnTrainer::data_parallel_step(
     const std::vector<const SampleInput*>& chunk, ag::Adam& opt,
     std::uint64_t step_seed) {
-  OBS_SPAN("trainer.dp_step");
+  obs::ScopedSpan step_span("trainer.dp_step");
   const std::size_t rows = chunk.size();
   const std::size_t nshards = (rows + kDpShardRows - 1) / kDpShardRows;
+  step_span.arg("rows", rows).arg("shards", nshards);
   // Width is how many shards run concurrently; the shard layout and the
   // reduction order below never depend on it.
   const std::size_t width = std::max<std::size_t>(

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstring>
 #include <mutex>
+#include <optional>
 
 #include "cache/cache.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "pipe/item.hpp"
 #include "transform/passes.hpp"
@@ -196,6 +198,7 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
                       const DatasetOptions& opts, std::size_t* skipped,
                       BuildReport* report) {
   Dataset ds;
+  obs::ScopedSpan build_span("dataset.build");
 
   // Quarantine: a per-sample failure is recorded and skipped, never fatal.
   // Workers from the parallel pipeline phase funnel through one mutex; the
@@ -267,11 +270,15 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
     if (slot) built.push_back(slot.get());
   }
 
+  build_span.arg("items", n_items).arg("built", built.size());
+
   // ---- Phase 2: replay vocabulary growth, train/load inst2vec ----------
   // Token ids are resolved by mapping every item's token strings in item
   // order — the same growth order the un-staged builder used. The trained
   // table itself is the Embed stage: cacheable, keyed by every surviving
   // item's featurize key plus the skip-gram knobs.
+  std::optional<obs::ScopedSpan> embed_span;
+  embed_span.emplace("pipe.embed");
   std::vector<std::vector<std::uint32_t>> tok_ids(built.size());
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
   for (std::size_t i = 0; i < built.size(); ++i) {
@@ -321,6 +328,10 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
       opts.cache->put(embed_key, serialize_embedding(ds.inst2vec));
     }
   }
+  embed_span->arg("vocab", ds.token_vocab.size())
+      .arg("pairs", pairs.size())
+      .arg("cached", have_embedding ? 1 : 0);
+  embed_span.reset();
 
   // ---- Phase 3: one GraphSample per for-loop ---------------------------
   // Anonymous-walk ids are collected sparse first (the vocabulary grows

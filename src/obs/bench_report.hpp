@@ -1,0 +1,122 @@
+// Unified benchmark result schema + regression comparison.
+//
+// Every `bench/abl_*` binary writes its results through `BenchReport`, so
+// all committed `BENCH_*.json` snapshots share one shape and one tool
+// (`tools/bench_compare`) can gate any of them:
+//
+//   {
+//     "bench": "abl_cache",
+//     "schema": 1,
+//     "config":  {"samples": 9222, "reps": 3, "smoke": 0},
+//     "metrics": {
+//       "warm_s":          {"value": 0.54, "goal": "lower",  "unit": "s"},
+//       "warm_speedup_vs_cold": {"value": 12.7, "goal": "higher"},
+//       "disk_entries":    {"value": 5701}
+//     }
+//   }
+//
+// `goal` declares which direction is a regression ("lower" = smaller is
+// better, "higher" = larger is better); metrics without a goal are
+// informational and never gate. `config` records how the numbers were
+// produced (sizes, reps, thread counts) so a snapshot is interpretable on
+// its own and a compare against a differently-configured run is visible.
+//
+// Comparison: relative change per metric against a tolerance (default or
+// per-metric override), optionally restricted to a key subset — CI smoke
+// runs use small sizes and compare only size-robust ratio metrics against
+// the committed full-size snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mvgnn::obs {
+
+enum class MetricGoal : std::uint8_t {
+  None,    // informational — never gates
+  Lower,   // smaller is better (latency, bytes)
+  Higher,  // larger is better (throughput, speedup, hit ratio)
+};
+
+/// Accumulates one benchmark's config + metrics and writes the schema-v1
+/// JSON document. Insertion order is preserved in the output.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  void config(const std::string& key, double value);
+  void config(const std::string& key, const std::string& value);
+
+  /// Records a metric. Re-recording a key overwrites the previous value
+  /// (convenient for min-of-N loops).
+  void metric(const std::string& key, double value,
+              MetricGoal goal = MetricGoal::None, const char* unit = nullptr);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::string to_json() const;
+  /// Atomic write (tmp + rename); logs and returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Metric {
+    std::string key;
+    double value = 0.0;
+    MetricGoal goal = MetricGoal::None;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;  // pre-rendered
+  std::vector<Metric> metrics_;
+};
+
+struct CompareOptions {
+  /// Default relative tolerance: a goal-carrying metric regresses when it
+  /// moves against its goal by more than this fraction of the baseline.
+  double tolerance = 0.10;
+  /// Per-metric overrides (e.g. {"bytes_identical", 0.0} for exact).
+  std::map<std::string, double> per_metric;
+  /// When non-empty, only these baseline metrics are compared; a listed key
+  /// missing from the baseline is an error (typo guard).
+  std::vector<std::string> keys;
+};
+
+struct MetricVerdict {
+  enum class Status : std::uint8_t {
+    Pass,         // within tolerance
+    Improved,     // beyond tolerance in the good direction
+    Regressed,    // beyond tolerance against the goal  -> gate fails
+    Info,         // no goal declared; never gates
+    MissingFresh, // in baseline but not in fresh run   -> gate fails
+    MissingBase,  // requested via keys but not in baseline -> gate fails
+    New,          // in fresh run only; informational
+  };
+
+  std::string key;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double rel_change = 0.0;  // (fresh - baseline) / |baseline|
+  double tolerance = 0.0;
+  MetricGoal goal = MetricGoal::None;
+  Status status = Status::Info;
+};
+
+struct CompareResult {
+  std::string bench;
+  bool names_match = true;  // mismatched bench names fail the gate
+  bool ok = true;           // false when anything Regressed/Missing
+  std::vector<MetricVerdict> rows;
+};
+
+/// Diffs two schema-v1 BenchReport documents. Throws std::runtime_error on
+/// malformed JSON or an unsupported schema version.
+CompareResult compare_bench_reports(const std::string& baseline_json,
+                                    const std::string& fresh_json,
+                                    const CompareOptions& opts);
+
+/// Human-readable comparison table (one line per metric + verdict summary).
+std::string render_compare(const CompareResult& result);
+
+}  // namespace mvgnn::obs

@@ -106,6 +106,34 @@ std::vector<double> Histogram::exponential_bounds(double lo, double hi) {
 }
 
 // ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name,
+                                          std::uint64_t fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+double MetricsSnapshot::gauge_or(const std::string& name,
+                                 double fallback) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+const MetricsSnapshot::Hist* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const Hist& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -136,6 +164,32 @@ std::size_t Registry::size() const {
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist hist;
+    hist.name = name;
+    hist.count = h->count();
+    hist.sum = h->sum();
+    if (hist.count > 0) {
+      hist.p50 = h->percentile(0.5);
+      hist.p99 = h->percentile(0.99);
+    }
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
 std::string Registry::to_text() const {
   std::lock_guard lock(mu_);
   std::ostringstream os;
@@ -159,6 +213,13 @@ std::string Registry::to_text() const {
     }
     os << name << "_count " << h->count() << '\n';
     os << name << "_sum " << fmt_double(h->sum()) << '\n';
+    // Derived quantiles, matching the JSON export. Skipped while empty:
+    // printing "p50 0" for a histogram that never observed anything reads
+    // as a measurement, not an absence.
+    if (h->count() > 0) {
+      os << name << "_p50 " << fmt_double(h->percentile(0.5)) << '\n';
+      os << name << "_p99 " << fmt_double(h->percentile(0.99)) << '\n';
+    }
   }
   return os.str();
 }

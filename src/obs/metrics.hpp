@@ -92,6 +92,32 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Point-in-time copy of every registered series — the unit of work for the
+/// background sampler (obs/sampler.hpp) and `mvgnn report` (obs/report.hpp).
+/// Histograms carry derived summary stats instead of raw buckets; `p50`/`p99`
+/// are 0 when the histogram is empty (check `count` before trusting them).
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted
+  std::vector<std::pair<std::string, double>> gauges;           // sorted
+  std::vector<Hist> histograms;                                 // sorted
+
+  /// Counter value by name; `fallback` when the series doesn't exist.
+  [[nodiscard]] std::uint64_t counter_or(const std::string& name,
+                                         std::uint64_t fallback = 0) const;
+  /// Gauge value by name; `fallback` when the series doesn't exist.
+  [[nodiscard]] double gauge_or(const std::string& name,
+                                double fallback = 0.0) const;
+  /// Histogram summary by name; nullptr when the series doesn't exist.
+  [[nodiscard]] const Hist* histogram(const std::string& name) const;
+};
+
 /// Name -> instrument map. Lookups by name are mutex-protected; returned
 /// references stay valid for the registry's lifetime.
 class Registry {
@@ -109,7 +135,13 @@ class Registry {
   /// Number of registered series across all three kinds.
   [[nodiscard]] std::size_t size() const;
 
-  /// `name value` lines, histograms as `name{le=...}` rows, sorted by name.
+  /// Copies every series (values only, no instrument references) — safe to
+  /// hand to another thread or serialize while recording continues.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// `name value` lines, histograms as `name{le=...}` rows plus derived
+  /// `_p50`/`_p99` lines (omitted while the histogram is empty), sorted by
+  /// name.
   [[nodiscard]] std::string to_text() const;
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,105 @@
+// Run-wide attribution: turns a span trace (+ optional metrics snapshot)
+// into "where did the time go" — per-span-name statistics with self-time,
+// a pipeline-stage breakdown, and cache/pool utilization. Backs the
+// `mvgnn report` subcommand and the `--report` end-of-run summary.
+//
+// Self-time is the core quantity: a span's duration minus the durations of
+// its direct children on the same thread. Because `TaskGroup::wait` helps
+// with queued tasks, a blocked `parallel_for` span correctly excludes the
+// sub-tasks it ran itself — they show up as its children. Summing self-time
+// over all spans therefore partitions total traced time with no double
+// counting, which is what lets the stage percentages sum to 100%.
+//
+// Stage attribution: each span's self-time is charged to its innermost
+// enclosing `pipe.*` ancestor (a `gemm` under `pipe.profile` counts as
+// Profile); spans with no pipeline ancestor on their thread are charged to
+// the "(non-pipeline)" bucket. Cross-thread flow links (`flow_src`) are
+// causal annotations, not containment, so attribution stays per-thread —
+// worker time fanned out by a stage span is under that stage's `pipe.*`
+// span on the worker only when the stage span itself ran there (the
+// pipeline runs whole items per task, so in practice it is).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mvgnn::obs {
+
+/// Aggregate statistics for one span name.
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // sum of durations (nesting double-counts)
+  std::uint64_t self_ns = 0;   // sum of self-times (partitions traced time)
+  std::uint64_t p50_ns = 0;    // duration percentiles (nearest-rank)
+  std::uint64_t p99_ns = 0;
+};
+
+/// One row of the pipeline-stage breakdown.
+struct StageStat {
+  std::string stage;  // "Parse", ..., "Featurize", "Embed", "(non-pipeline)"
+  std::uint64_t self_ns = 0;
+  std::uint64_t spans = 0;   // spans whose self-time landed here
+  double pct = 0.0;          // share of total traced self-time; rows sum ~100
+};
+
+struct Report {
+  std::uint64_t wall_ns = 0;       // max end - min start over all events
+  std::uint64_t traced_self_ns = 0;  // sum of self-times (= sum of roots)
+  std::uint64_t events = 0;
+  std::uint32_t threads = 0;
+  std::uint64_t flow_links = 0;    // events carrying a cross-thread link
+
+  std::vector<SpanStat> spans;     // sorted by self_ns descending
+  std::vector<StageStat> stages;   // pipeline order, then "(non-pipeline)"
+
+  // Utilization, filled only when a metrics snapshot was supplied.
+  bool has_metrics = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_mem_bytes = 0.0;
+  double cache_disk_bytes = 0.0;
+  std::uint64_t pool_executed = 0;
+  std::uint64_t pool_helped = 0;
+  // Task-latency quantiles; negative when the histogram is empty/absent.
+  double task_p50_us = -1.0;
+  double task_p99_us = -1.0;
+};
+
+/// Aggregates `events` (as produced by TraceRecorder::events() or
+/// parse_chrome_trace) into a Report. `metrics` may be nullptr. Safe on an
+/// empty event list (returns an all-zero report).
+Report build_report(const std::vector<SpanEvent>& events,
+                    const MetricsSnapshot* metrics);
+
+enum class ReportFormat { Text, Markdown, Json };
+
+/// Renders a report as a one-screen text summary, a markdown document, or a
+/// machine-readable JSON object.
+std::string render_report(const Report& report, ReportFormat format);
+
+/// A Chrome trace re-materialized as SpanEvents. `names` owns the string
+/// storage the events point into (deque: stable addresses under growth).
+struct ParsedTrace {
+  std::deque<std::string> names;
+  std::vector<SpanEvent> events;
+};
+
+/// Parses a Chrome trace_event document written by `to_chrome_json`. "X"
+/// events become SpanEvents; flow "s"/"f" pairs are re-linked onto the
+/// adopting slice (the "f" end binds to its start), so `flow_links` and the
+/// producer thread/capture time survive the round trip. Throws
+/// std::runtime_error on malformed input. Tolerates traces from other tools
+/// as long as they use "X" phases.
+ParsedTrace parse_chrome_trace(const std::string& json_text);
+
+/// Parses a metrics snapshot written by `Registry::to_json()`/`write_json`.
+/// Throws std::runtime_error on malformed input.
+MetricsSnapshot parse_metrics_json(const std::string& json_text);
+
+}  // namespace mvgnn::obs

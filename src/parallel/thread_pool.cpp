@@ -83,10 +83,13 @@ void ThreadPool::wait() { wait_group(*default_group_); }
 
 void ThreadPool::submit_to(GroupPtr group, std::function<void()> task) {
   PoolMetrics& m = PoolMetrics::get();
+  // Capture the submitting span (if tracing is on) so the worker-side task
+  // span can flow-link back to this call site.
+  obs::TraceContext ctx = obs::TraceRecorder::global().current_context();
   {
     std::lock_guard lock(mutex_);
     ++group->in_flight;
-    queue_.push_back(Task{next_task_++, std::move(task), std::move(group)});
+    queue_.push_back(Task{next_task_++, std::move(task), std::move(group), ctx});
     m.queue_depth.set(static_cast<double>(queue_.size()));
   }
   m.submitted.add(1);
@@ -114,7 +117,7 @@ bool ThreadPool::run_one(std::unique_lock<std::mutex>& lock,
   const auto t0 = std::chrono::steady_clock::now();
   std::exception_ptr err;
   try {
-    OBS_SPAN("thread_pool.task");
+    obs::ScopedSpan span("thread_pool.task", task.trace_ctx);
     task.fn();
   } catch (...) {
     err = std::current_exception();

@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace mvgnn::par {
 
 class TaskGroup;
@@ -89,6 +91,10 @@ class ThreadPool {
     std::uint64_t index = 0;  // submission sequence number (pool-local)
     std::function<void()> fn;
     GroupPtr group;
+    // Trace context captured on the submitting thread: the worker's
+    // `thread_pool.task` span adopts it so the exported trace links the
+    // fan-out site to the execution (zero when tracing is off — free).
+    obs::TraceContext trace_ctx;
   };
 
   void worker_loop(std::size_t worker);

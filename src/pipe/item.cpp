@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -13,6 +14,7 @@
 #include "frontend/sema.hpp"
 #include "graph/peg.hpp"
 #include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "parallel/rng.hpp"
 #include "transform/passes.hpp"
 
@@ -357,27 +359,41 @@ std::shared_ptr<const CompiledProfile> compile_and_profile(
   auto cp = std::make_shared<CompiledProfile>();
   Stage cur = Stage::Parse;
   try {
-    frontend::Program prog = frontend::parse(spec.source);
-    frontend::analyze(prog);
+    // One `pipe.<stage>` span per stage boundary: these are what the
+    // report's stage-attribution table keys on (see obs/report.hpp).
+    frontend::Program prog;
+    {
+      OBS_SPAN("pipe.parse");
+      prog = frontend::parse(spec.source);
+      frontend::analyze(prog);
+    }
     cur = Stage::Lower;
-    cp->module = frontend::lower(prog, spec.module_name);
-    ir::verify(cp->module);
-    if (!spec.variant.empty()) {
-      const transform::Pipeline* pipeline = nullptr;
-      for (const transform::Pipeline& p : transform::variant_pipelines()) {
-        if (p.name == spec.variant) {
-          pipeline = &p;
-          break;
+    {
+      OBS_SPAN("pipe.lower");
+      cp->module = frontend::lower(prog, spec.module_name);
+      ir::verify(cp->module);
+      if (!spec.variant.empty()) {
+        const transform::Pipeline* pipeline = nullptr;
+        for (const transform::Pipeline& p : transform::variant_pipelines()) {
+          if (p.name == spec.variant) {
+            pipeline = &p;
+            break;
+          }
         }
+        if (!pipeline) {
+          throw std::runtime_error("unknown variant pipeline: " + spec.variant);
+        }
+        transform::run_pipeline(cp->module, *pipeline);
       }
-      if (!pipeline) {
-        throw std::runtime_error("unknown variant pipeline: " + spec.variant);
-      }
-      transform::run_pipeline(cp->module, *pipeline);
     }
     cur = Stage::Profile;
-    cp->prof =
-        profiler::profile(cp->module, spec.entry, spec.args, cfg.interp);
+    {
+      obs::ScopedSpan span("pipe.profile");
+      cp->prof =
+          profiler::profile(cp->module, spec.entry, spec.args, cfg.interp);
+      span.arg("dep_edges", cp->prof.dep.edges.size())
+          .arg("cus", cp->prof.cus.size());
+    }
   } catch (const StageError&) {
     throw;
   } catch (const std::exception& e) {
@@ -396,11 +412,19 @@ ItemFeatures featurize_compiled(const CompiledProfile& cp,
   Stage cur = Stage::Peg;
   try {
     par::Rng noise_rng(spec.noise_seed);
+    // optional<ScopedSpan> because peg outputs (noisy_prof, peg) outlive
+    // the stage: close the span by hand where the stage boundary sits.
+    std::optional<obs::ScopedSpan> peg_span;
+    peg_span.emplace("pipe.peg");
     const profiler::ProfileResult noisy_prof =
         degrade_profile(cp.prof, cfg.dep_noise, noise_rng);
     const graph::Peg peg = graph::build_peg(cp.module, noisy_prof);
+    peg_span->arg("nodes", peg.nodes.size())
+        .arg("dep_edges", noisy_prof.dep.edges.size());
+    peg_span.reset();
 
     cur = Stage::Featurize;
+    obs::ScopedSpan feat_span("pipe.featurize");
     ItemFeatures f;
 
     // Flatten normalized tokens across functions in arena order — the
@@ -489,11 +513,15 @@ ItemFeatures featurize_compiled(const CompiledProfile& cp,
 
       // Structural view: sample raw anonymized walks per node; vocab ids
       // and distributions are resolved at replay.
-      graph::WalkGraph wg(s.n);
-      for (const auto& [a, b] : s.edges) wg.add_edge(a, b);
-      s.node_walks.resize(s.n);
-      for (std::uint32_t k = 0; k < s.n; ++k) {
-        s.node_walks[k] = graph::sample_anon_walks(wg, k, cfg.walk, walk_rng);
+      {
+        obs::ScopedSpan span("pipe.walks");
+        graph::WalkGraph wg(s.n);
+        for (const auto& [a, b] : s.edges) wg.add_edge(a, b);
+        s.node_walks.resize(s.n);
+        for (std::uint32_t k = 0; k < s.n; ++k) {
+          s.node_walks[k] = graph::sample_anon_walks(wg, k, cfg.walk, walk_rng);
+        }
+        span.arg("nodes", s.n);
       }
 
       // Labels, baselines, provenance. Labels and tool verdicts use the
@@ -512,6 +540,7 @@ ItemFeatures featurize_compiled(const CompiledProfile& cp,
       s.loop_line = ls.fn->loops[ls.loop].start_line;
       f.samples.push_back(std::move(s));
     }
+    feat_span.arg("samples", f.samples.size()).arg("tokens", f.tokens.size());
     return f;
   } catch (const StageError&) {
     throw;

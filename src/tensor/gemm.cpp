@@ -44,7 +44,8 @@ struct GemmMetrics {
 
 void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n, bool ta, bool tb, bool accumulate) {
-  OBS_SPAN("gemm");
+  obs::ScopedSpan span("gemm");
+  span.arg("m", m).arg("k", k).arg("n", n);
   GemmMetrics& metrics = GemmMetrics::get();
   metrics.calls.add(1);
   metrics.flops.add(static_cast<std::uint64_t>(2) * m * k * n);

@@ -123,7 +123,8 @@ Tensor spmm(const CsrMatrix& a, const Tensor& x) {
                       "," + std::to_string(a.cols()) + "] and " +
                       x.shape().str());
   }
-  OBS_SPAN("tensor.spmm");
+  obs::ScopedSpan span("tensor.spmm");
+  span.arg("rows", a.rows()).arg("nnz", a.nnz()).arg("cols", x.cols());
   const std::size_t m = a.rows(), n = x.cols();
   SpmmMetrics& metrics = SpmmMetrics::get();
   metrics.calls.add(1);

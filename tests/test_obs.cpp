@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -429,6 +431,177 @@ TEST(ObsThreadPool, TaskMetricsAdvance) {
   EXPECT_GE(reg.counter("thread_pool.tasks_executed_total").value(),
             before + 8);
   EXPECT_GE(reg.histogram("thread_pool.task_latency_us", {}).count(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Span args and cross-thread causality
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, SpanArgsRecordedAndExported) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  {
+    obs::ScopedSpan span("t.args");
+    span.arg("rows", 7).arg("nnz", 123);
+    // Past kMaxArgs the extras are dropped, never overflowed.
+    span.arg("a3", 3).arg("a4", 4).arg("a5", 5);
+  }
+  rec.disable();
+  const auto evs = rec.events();
+  const auto* e = find_span(evs, "t.args");
+  ASSERT_TRUE(e);
+  ASSERT_EQ(e->nargs, obs::SpanEvent::kMaxArgs);
+  EXPECT_STREQ(e->args[0].key, "rows");
+  EXPECT_EQ(e->args[0].value, 7u);
+  EXPECT_STREQ(e->args[1].key, "nnz");
+  EXPECT_EQ(e->args[1].value, 123u);
+  const std::string json = rec.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"rows\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"nnz\": 123"), std::string::npos);
+  rec.clear();
+}
+
+TEST(ObsTrace, CurrentContextTracksInnermostSpan) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.disable();
+  EXPECT_FALSE(rec.current_context());  // disabled -> zero context
+  rec.enable();
+  EXPECT_FALSE(rec.current_context());  // enabled but no span open
+  {
+    OBS_SPAN("t.ctx_outer");
+    const obs::TraceContext outer = rec.current_context();
+    EXPECT_TRUE(outer);
+    {
+      OBS_SPAN("t.ctx_inner");
+      const obs::TraceContext inner = rec.current_context();
+      EXPECT_TRUE(inner);
+      EXPECT_NE(inner.span_id, outer.span_id);
+    }
+    EXPECT_EQ(rec.current_context().span_id, outer.span_id);
+  }
+  rec.disable();
+  rec.clear();
+}
+
+/// Nested fan-out: every worker `thread_pool.task` span must carry a flow
+/// link back to a `thread_pool.parallel_for` span, the link's capture time
+/// must fall inside the source span (so the Chrome "s" event binds to the
+/// producer slice and never orphans), and per-thread parent/depth fields
+/// must stay mutually consistent. Run under TSan this also races adoption
+/// against concurrent export.
+TEST(ObsTrace, ParallelForWorkersAreFlowLinked) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  par::ThreadPool pool(3);
+  {
+    OBS_SPAN("t.flow_root");
+    par::parallel_for_blocked(
+        0, 16,
+        [&](std::size_t, std::size_t) {
+          // Nested fan-out from inside a worker task.
+          par::parallel_for_blocked(
+              0, 4, [](std::size_t, std::size_t) {}, pool, 1);
+        },
+        pool, 4);
+  }
+  rec.disable();
+  const auto evs = rec.events();
+
+  // Index spans by id, and group event indices by thread.
+  std::map<std::uint64_t, const obs::SpanEvent*> by_id;
+  std::map<std::uint32_t, std::vector<const obs::SpanEvent*>> by_tid;
+  for (const auto& e : evs) {
+    by_id[e.id] = &e;
+    by_tid[e.tid].push_back(&e);
+  }
+
+  std::size_t tasks = 0, linked = 0;
+  for (const auto& e : evs) {
+    if (std::string(e.name) != "thread_pool.task") continue;
+    ++tasks;
+    if (e.flow_src == 0) continue;
+    ++linked;
+    const auto it = by_id.find(e.flow_src);
+    ASSERT_NE(it, by_id.end()) << "flow link to an unrecorded span";
+    const obs::SpanEvent& src = *it->second;
+    EXPECT_STREQ(src.name, "thread_pool.parallel_for");
+    EXPECT_EQ(e.flow_src_tid, src.tid);
+    // The "s" endpoint must land inside the producer slice: Chrome binds
+    // flow starts by (ts, tid) to the enclosing slice.
+    EXPECT_GE(e.flow_ts_ns, src.start_ns);
+    EXPECT_LE(e.flow_ts_ns, src.end_ns);
+  }
+  EXPECT_GT(tasks, 0u);
+  EXPECT_EQ(linked, tasks) << "every pool task ran under an open span here";
+
+  // Parent/depth consistency per thread (parent = index in begin order).
+  for (const auto& [tid, group] : by_tid) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const obs::SpanEvent& e = *group[i];
+      if (e.parent < 0) {
+        EXPECT_EQ(e.depth, 0) << e.name;
+      } else {
+        ASSERT_LT(static_cast<std::size_t>(e.parent), i) << e.name;
+        const obs::SpanEvent& p = *group[static_cast<std::size_t>(e.parent)];
+        EXPECT_EQ(e.depth, p.depth + 1) << e.name;
+        EXPECT_GE(e.start_ns, p.start_ns) << e.name;
+      }
+    }
+  }
+
+  // The export carries paired flow events.
+  const std::string json = rec.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  rec.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + percentile export (satellite of the sampler/report work)
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, SnapshotReflectsRegistry) {
+  obs::Registry reg;
+  reg.counter("snap.count_total").add(11);
+  reg.gauge("snap.gauge").set(2.5);
+  auto& h = reg.histogram("snap.lat_us", {1.0, 10.0, 100.0});
+  for (const double v : {0.5, 5.0, 50.0, 50.0}) h.observe(v);
+  reg.histogram("snap.empty", {1.0});  // stays empty
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("snap.count_total"), 11u);
+  EXPECT_EQ(snap.counter_or("absent", 42), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("snap.gauge"), 2.5);
+  const auto* hs = snap.histogram("snap.lat_us");
+  ASSERT_TRUE(hs);
+  EXPECT_EQ(hs->count, 4u);
+  EXPECT_DOUBLE_EQ(hs->sum, 105.5);
+  EXPECT_GT(hs->p50, 0.0);
+  EXPECT_GE(hs->p99, hs->p50);
+  const auto* empty = snap.histogram("snap.empty");
+  ASSERT_TRUE(empty);
+  EXPECT_EQ(empty->count, 0u);
+  EXPECT_DOUBLE_EQ(empty->p50, 0.0);
+  EXPECT_EQ(snap.histogram("absent"), nullptr);
+}
+
+TEST(ObsMetrics, ToTextEmitsPercentilesOnlyWhenObserved) {
+  obs::Registry reg;
+  reg.histogram("seen.lat_us", {1.0, 10.0}).observe(3.0);
+  reg.histogram("never.lat_us", {1.0, 10.0});
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("seen.lat_us_p50"), std::string::npos) << text;
+  EXPECT_NE(text.find("seen.lat_us_p99"), std::string::npos) << text;
+  // An empty histogram printing p50 0 would read as a measurement.
+  EXPECT_EQ(text.find("never.lat_us_p50"), std::string::npos) << text;
+  EXPECT_EQ(text.find("never.lat_us_p99"), std::string::npos) << text;
+  EXPECT_NE(text.find("never.lat_us_count 0"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+// bench_compare — the perf-regression gate.
+//
+//   bench_compare <baseline.json> <fresh.json> [--tol X] [--tol key=X]
+//                 [--keys a,b,c]
+//
+// Both inputs are BenchReport schema-v1 documents (see
+// src/obs/bench_report.hpp). Exit codes: 0 = within tolerance, 1 =
+// regression / missing metric / malformed input, 2 = usage error. CI runs
+// this against the committed BENCH_*.json snapshots; a perf regression
+// beyond tolerance fails the build the same way a test failure does.
+//
+//   --tol X        default relative tolerance (default 0.10)
+//   --tol key=X    per-metric override; --tol bytes_identical=0 is exact
+//   --keys a,b,c   compare only these baseline metrics. Use for smoke runs
+//                  whose sizes differ from the committed snapshot: restrict
+//                  to size-robust ratio metrics and widen --tol.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_report.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json> <fresh.json>\n"
+               "                     [--tol X] [--tol key=X] [--keys a,b,c]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using mvgnn::obs::CompareOptions;
+  std::string baseline, fresh;
+  CompareOptions opts;
+
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strcmp(arg, "--tol") == 0) {
+      if (a + 1 >= argc) return usage();
+      const char* v = argv[++a];
+      const char* eq = std::strchr(v, '=');
+      if (eq != nullptr) {
+        opts.per_metric[std::string(v, eq)] = std::atof(eq + 1);
+      } else {
+        opts.tolerance = std::atof(v);
+      }
+    } else if (std::strcmp(arg, "--keys") == 0) {
+      if (a + 1 >= argc) return usage();
+      std::string list = argv[++a];
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) opts.keys.push_back(list.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return usage();
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n", arg);
+      return usage();
+    } else if (baseline.empty()) {
+      baseline = arg;
+    } else if (fresh.empty()) {
+      fresh = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (baseline.empty() || fresh.empty()) return usage();
+
+  try {
+    const mvgnn::obs::CompareResult result = mvgnn::obs::compare_bench_reports(
+        read_file(baseline), read_file(fresh), opts);
+    std::fputs(mvgnn::obs::render_compare(result).c_str(), stdout);
+    return result.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,11 +7,21 @@
 //   mvgnn suggest <file.minic>    ranked OpenMP parallelization suggestions
 //   mvgnn variants <file.minic>   effect of the six IR variant pipelines
 //   mvgnn train <file.minic>      train a small MV-GNN, classify the loops
+//   mvgnn report <trace.json> [<metrics.json>]
+//                                 attribute a recorded run: per-span stats,
+//                                 pipeline-stage breakdown, utilization
 //
 // Observability flags (accepted anywhere on the command line):
 //   --metrics-out <path>   write a JSON metrics snapshot on exit
 //   --trace-out <path>     record spans; write Chrome trace_event JSON on
 //                          exit (open in chrome://tracing or Perfetto)
+//   --metrics-series-out <path>
+//                          sample the metrics registry in the background
+//                          and append JSONL rows to <path>
+//   --metrics-sample-ms <n>
+//                          sampling interval for the series (default 200)
+//   --report               print a one-screen attribution summary on exit
+//                          (implies span recording)
 //   --quiet                raise the log level to warn (MVGNN_LOG_LEVEL
 //                          overrides the default level too)
 //
@@ -19,10 +29,12 @@
 // deterministically (4096 elements); int parameters get 8, floats 1.0.
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +50,8 @@
 #include "graph/peg.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "profiler/profile.hpp"
 #include "transform/passes.hpp"
@@ -65,11 +79,21 @@ int usage() {
       "            cache off, cold, or warm)\n"
       "  cache     stage-cache maintenance: `mvgnn cache stats` or\n"
       "            `mvgnn cache clear` (use with --cache-dir)\n"
+      "  report    aggregate a recorded run offline:\n"
+      "            `mvgnn report <trace.json> [<metrics.json>]`\n"
       "\n"
       "flags:\n"
       "  --metrics-out <path>  write a JSON metrics snapshot on exit\n"
       "  --trace-out <path>    record spans and write Chrome trace_event\n"
       "                        JSON on exit (chrome://tracing / Perfetto)\n"
+      "  --metrics-series-out <path>\n"
+      "                        background-sample the metrics registry and\n"
+      "                        append one JSONL row per interval to <path>\n"
+      "  --metrics-sample-ms <n>\n"
+      "                        series sampling interval (default 200)\n"
+      "  --report              print a one-screen attribution summary on\n"
+      "                        exit (implies span recording)\n"
+      "  --report-format <f>   report output: text (default), md, json\n"
       "  --cache-dir <d>       stage-boundary cache directory (content-hash\n"
       "                        keyed; see docs/pipeline.md). Default: no\n"
       "                        disk tier\n"
@@ -375,12 +399,38 @@ int cmd_cache(const std::string& sub) {
   return 0;
 }
 
+/// Offline aggregation of a recorded run: `mvgnn report <trace> [<metrics>]`.
+/// The trace is required; the metrics snapshot (from --metrics-out) adds the
+/// cache/pool utilization section.
+int cmd_report(const std::string& trace_path, const std::string& metrics_path,
+               obs::ReportFormat fmt) {
+  const obs::ParsedTrace trace = obs::parse_chrome_trace(read_file(trace_path));
+  obs::MetricsSnapshot metrics;
+  bool have_metrics = false;
+  if (!metrics_path.empty()) {
+    metrics = obs::parse_metrics_json(read_file(metrics_path));
+    have_metrics = true;
+  }
+  const obs::Report r =
+      obs::build_report(trace.events, have_metrics ? &metrics : nullptr);
+  std::fputs(obs::render_report(r, fmt).c_str(), stdout);
+  return 0;
+}
+
 /// Single exit path for every way the process ends (success, failure,
-/// interrupt): flush the metrics snapshot and trace — both exporters go
+/// interrupt): stop the background sampler (its final row lands before the
+/// file closes), flush the metrics snapshot and trace — both exporters go
 /// through io::atomic_write_file, so a crash mid-export never leaves a
-/// torn file — then drain the log. Returns the final exit code.
+/// torn file — print the --report summary, then drain the log. Returns the
+/// final exit code.
 int finalize_run(const std::string& metrics_out, const std::string& trace_out,
-                 int rc) {
+                 obs::MetricsSampler* sampler, bool report,
+                 obs::ReportFormat report_fmt, int rc) {
+  if (sampler != nullptr) {
+    sampler->stop();
+    obs::log_info("wrote metrics series",
+                  {{"rows", std::to_string(sampler->rows_written())}});
+  }
   if (!metrics_out.empty()) {
     if (obs::Registry::global().write_json(metrics_out)) {
       obs::log_info("wrote metrics snapshot", {{"path", metrics_out}});
@@ -397,6 +447,12 @@ int finalize_run(const std::string& metrics_out, const std::string& trace_out,
       rc = rc ? rc : 1;
     }
   }
+  if (report) {
+    const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+    const obs::Report r =
+        obs::build_report(obs::TraceRecorder::global().events(), &snap);
+    std::fputs(obs::render_report(r, report_fmt).c_str(), stdout);
+  }
   obs::Logger::global().flush();
   return rc;
 }
@@ -404,8 +460,12 @@ int finalize_run(const std::string& metrics_out, const std::string& trace_out,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_out, trace_out, command, file;
+  std::string metrics_out, trace_out, command, file, file2;
   std::string cache_dir;
+  std::string series_out;
+  std::uint64_t sample_ms = 0;  // 0 = not given; default applied at start
+  bool report = false;
+  obs::ReportFormat report_fmt = obs::ReportFormat::Text;
   std::size_t cache_mem_mb = 0;
   bool cache_requested = false;
   TrainOptions topts;
@@ -424,6 +484,25 @@ int main(int argc, char** argv) {
       metrics_out = flag_value(a, arg);
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       trace_out = flag_value(a, arg);
+    } else if (std::strcmp(arg, "--metrics-series-out") == 0) {
+      series_out = flag_value(a, arg);
+    } else if (std::strcmp(arg, "--metrics-sample-ms") == 0) {
+      sample_ms = static_cast<std::uint64_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--report") == 0) {
+      report = true;
+    } else if (std::strcmp(arg, "--report-format") == 0) {
+      const char* f = flag_value(a, arg);
+      if (std::strcmp(f, "text") == 0) {
+        report_fmt = obs::ReportFormat::Text;
+      } else if (std::strcmp(f, "md") == 0 ||
+                 std::strcmp(f, "markdown") == 0) {
+        report_fmt = obs::ReportFormat::Markdown;
+      } else if (std::strcmp(f, "json") == 0) {
+        report_fmt = obs::ReportFormat::Json;
+      } else {
+        std::fprintf(stderr, "mvgnn: unknown report format `%s`\n", f);
+        return usage();
+      }
     } else if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) {
       quiet = true;
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
@@ -456,6 +535,8 @@ int main(int argc, char** argv) {
       command = arg;
     } else if (file.empty()) {
       file = arg;
+    } else if (file2.empty() && command == "report") {
+      file2 = arg;  // optional metrics snapshot for `mvgnn report`
     } else {
       return usage();
     }
@@ -463,7 +544,7 @@ int main(int argc, char** argv) {
   if (command.empty() || file.empty()) return usage();
 
   if (quiet) obs::Logger::global().set_level(obs::LogLevel::Warn);
-  if (!trace_out.empty()) obs::TraceRecorder::global().enable();
+  if (!trace_out.empty() || report) obs::TraceRecorder::global().enable();
   if (cache_requested) {
     cache::Config ccfg;
     ccfg.dir = cache_dir;
@@ -472,13 +553,39 @@ int main(int argc, char** argv) {
     g_cache = &cache::Cache::global();
   }
 
+  // `report` is pure offline aggregation: no sampler, no recorder needed.
+  if (command == "report") {
+    try {
+      return cmd_report(file, file2, report_fmt);
+    } catch (const std::exception& e) {
+      obs::log_error(std::string("mvgnn report: ") + e.what());
+      obs::Logger::global().flush();
+      return 1;
+    }
+  }
+
+  std::optional<obs::MetricsSampler> sampler;
+  if (!series_out.empty()) {
+    obs::MetricsSampler::Options sopts;
+    sopts.interval_ms = sample_ms != 0 ? sample_ms : 200;
+    sopts.path = series_out;
+    sampler.emplace(std::move(sopts));
+    if (!sampler->start()) sampler.reset();  // start() already logged why
+  } else if (sample_ms != 0) {
+    obs::log_warn("--metrics-sample-ms has no effect without "
+                  "--metrics-series-out; ignoring");
+  }
+  obs::MetricsSampler* sampler_p = sampler ? &*sampler : nullptr;
+
   int rc = 0;
   try {
     if (command == "cache") {
-      return finalize_run(metrics_out, trace_out, cmd_cache(file));
+      return finalize_run(metrics_out, trace_out, sampler_p, report,
+                          report_fmt, cmd_cache(file));
     }
     if (command == "dataset") {
-      return finalize_run(metrics_out, trace_out, cmd_dataset(file, topts));
+      return finalize_run(metrics_out, trace_out, sampler_p, report,
+                          report_fmt, cmd_dataset(file, topts));
     }
     const std::string source = read_file(file);
     if (command == "variants") {
@@ -499,5 +606,6 @@ int main(int argc, char** argv) {
     rc = 1;
   }
 
-  return finalize_run(metrics_out, trace_out, rc);
+  return finalize_run(metrics_out, trace_out, sampler_p, report, report_fmt,
+                      rc);
 }
