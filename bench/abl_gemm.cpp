@@ -1,6 +1,9 @@
 // Substrate ablation: blocked/parallel GEMM kernel throughput (the matmul
 // behind every GCN layer). google-benchmark microbench across sizes and
-// transpose modes.
+// transpose modes, plus the fused bias+tanh epilogue and the CSR spmm that
+// the dispatching backend layer (docs/kernels.md) also serves. Every dense
+// case exports a `gflops` counter (2*m*k*n flops per product), which the CI
+// bench gate diffs against the committed BENCH_gemm.json snapshot.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -18,6 +21,15 @@ void fill(std::vector<float>& v, std::uint64_t seed) {
   for (float& x : v) x = static_cast<float>(rng.normal());
 }
 
+void set_gemm_rates(benchmark::State& state, std::size_t m, std::size_t k,
+                    std::size_t n) {
+  const auto flops =
+      static_cast<std::int64_t>(state.iterations()) * 2 * m * k * n;
+  state.SetItemsProcessed(flops);
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
+}
+
 void BM_GemmSquare(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   std::vector<float> a(n * n), b(n * n), c(n * n);
@@ -27,8 +39,7 @@ void BM_GemmSquare(benchmark::State& state) {
     tensor::gemm(a.data(), b.data(), c.data(), n, n, n);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
-                          n * n * n);
+  set_gemm_rates(state, n, n, n);
 }
 BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
@@ -41,8 +52,7 @@ void BM_GemmTransposedB(benchmark::State& state) {
     tensor::gemm(a.data(), b.data(), c.data(), n, n, n, false, true);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
-                          n * n * n);
+  set_gemm_rates(state, n, n, n);
 }
 BENCHMARK(BM_GemmTransposedB)->Arg(64)->Arg(128);
 
@@ -57,8 +67,64 @@ void BM_GemmGnnShape(benchmark::State& state) {
     tensor::gemm(a.data(), x.data(), y.data(), nodes, nodes, dim);
     benchmark::DoNotOptimize(y.data());
   }
+  set_gemm_rates(state, nodes, nodes, dim);
 }
 BENCHMARK(BM_GemmGnnShape)->Arg(8)->Arg(32)->Arg(128);
+
+/// Linear/Conv1 layer shape with the bias+tanh tail fused into the GEMM —
+/// what ag::matmul_bias_tanh issues per layer. Compares directly against
+/// BM_GemmSquare at the same size: the delta is the epilogue cost that used
+/// to be two extra full passes over the output.
+void BM_GemmFusedBiasTanh(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n), bias(n);
+  fill(a, 7);
+  fill(b, 8);
+  fill(bias, 9);
+  tensor::Epilogue ep;
+  ep.bias_col = bias.data();
+  ep.tanh = true;
+  for (auto _ : state) {
+    tensor::gemm(a.data(), b.data(), c.data(), n, n, n, false, false, false,
+                 ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_rates(state, n, n, n);
+}
+BENCHMARK(BM_GemmFusedBiasTanh)->Arg(64)->Arg(128);
+
+/// CSR spmm at PEG-batch scale: block-diagonal-ish adjacency (~6 nnz/row)
+/// against a node-feature panel, the message-passing product of every GCN
+/// layer. gflops counts 2*nnz*cols useful flops.
+void BM_SpmmCsr(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = 32, deg = 6;
+  std::vector<std::uint32_t> row_ptr(rows + 1), col_idx;
+  std::vector<float> vals;
+  par::Rng rng(10);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_ptr[r] = static_cast<std::uint32_t>(col_idx.size());
+    for (std::size_t e = 0; e < deg; ++e) {
+      col_idx.push_back(static_cast<std::uint32_t>(rng.uniform_u64(rows)));
+      vals.push_back(static_cast<float>(rng.normal()));
+    }
+  }
+  row_ptr[rows] = static_cast<std::uint32_t>(col_idx.size());
+  std::vector<float> x(rows * cols), out(rows * cols);
+  fill(x, 11);
+  for (auto _ : state) {
+    tensor::spmm_csr(row_ptr.data(), col_idx.data(), vals.data(), rows,
+                     x.data(), out.data(), cols);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const auto flops = static_cast<std::int64_t>(state.iterations()) * 2 *
+                     static_cast<std::int64_t>(vals.size()) *
+                     static_cast<std::int64_t>(cols);
+  state.SetItemsProcessed(flops);
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpmmCsr)->Arg(256)->Arg(2048);
 
 }  // namespace
 

@@ -10,6 +10,7 @@
 //
 //   "<benchmark name>/real_ns"     goal=lower   adjusted real time / iter
 //   "<benchmark name>/items_per_s" goal=higher  (when SetItemsProcessed ran)
+//   "<benchmark name>/<counter>"   goal=higher  every user counter, verbatim
 //
 // so tools/bench_compare can gate a microbench exactly like a wall-clock
 // bench. `--bench-out=<path>` overrides the snapshot path; it is stripped
@@ -53,6 +54,18 @@ class ReportingConsoleReporter : public benchmark::ConsoleReporter {
         report_.metric(name + "/items_per_s",
                        static_cast<double>(it->second),
                        obs::MetricGoal::Higher, "items/s");
+      }
+      // User counters (state.counters[...]) pass through under their own
+      // name. Every counter this repo defines is a higher-is-better rate
+      // (gflops and friends); a future lower-is-better counter would need
+      // its own mapping here before the gate could use it.
+      for (const auto& [cname, counter] : run.counters) {
+        if (cname == "items_per_second" || cname == "bytes_per_second") {
+          continue;  // already mapped / unused
+        }
+        report_.metric(name + "/" + cname, static_cast<double>(counter),
+                       obs::MetricGoal::Higher,
+                       cname == "gflops" ? "GFLOP/s" : "");
       }
     }
   }

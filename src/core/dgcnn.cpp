@@ -61,8 +61,10 @@ Dgcnn::Output Dgcnn::forward(const ag::CsrMatrix& ahat,
   Tensor z;
   const std::size_t layers = cfg_.relational ? rconvs_.size() : convs_.size();
   for (std::size_t i = 0; i < layers; ++i) {
+    // The plain GCN path fuses tanh into the spmm rows; the relational sum
+    // has no single producing kernel, so it keeps the elementwise tanh.
     x = cfg_.relational ? ag::tanh_t(rconvs_[i].forward(rel_ahats, x))
-                        : ag::tanh_t(convs_[i].forward(ahat, x));
+                        : convs_[i].forward_tanh(ahat, x);
     z = (i == 0) ? x : ag::concat_cols(z, x);
   }
 
@@ -76,11 +78,11 @@ Dgcnn::Output Dgcnn::forward(const ag::CsrMatrix& ahat,
   // 1-D convolution stage 1: kernel = stride = concat_dim means every conv
   // window is exactly one pooled row, so windows never straddle a graph
   // boundary and the conv is one GEMM over [B*k, concat_dim] (same
-  // summation order as im2col conv1d). Running it with the pooled rows on
-  // the left lets the GEMM kernel short-circuit the all-zero rows that
-  // SortPooling pads in when a graph has fewer than k nodes.
-  Tensor c1 = ag::relu(ag::transpose(ag::add(
-      ag::matmul(sp, ag::transpose(conv1_w_)), conv1_b_)));  // [c1, B*k]
+  // summation order as im2col conv1d). The fused matmul_bias with tw reads
+  // conv1_w_ [c1, concat_dim] transposed in place — no per-forward weight
+  // transpose or bias-add intermediate is materialized.
+  Tensor c1 = ag::relu(ag::transpose(
+      ag::matmul_bias(sp, conv1_w_, conv1_b_, /*tw=*/true)));  // [c1, B*k]
   Tensor pooled;
   if (cfg_.sort_k % 2 == 0) {
     // Even k: the 2-wide max-pool windows line up with graph boundaries, so

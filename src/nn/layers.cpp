@@ -61,7 +61,7 @@ ag::Tensor Lstm::forward(const ag::Tensor& seq) const {
   for (std::size_t t = 0; t < t_steps; ++t) {
     const ag::Tensor xt = ag::slice_rows(seq, t, t + 1);
     const ag::Tensor gates =
-        ag::add(ag::add(ag::matmul(xt, wx_), ag::matmul(hs, wh_)), b_);
+        ag::add(ag::matmul(xt, wx_), ag::matmul_bias(hs, wh_, b_));
     const ag::Tensor i = ag::sigmoid(ag::slice_cols(gates, 0, h));
     const ag::Tensor f = ag::sigmoid(ag::slice_cols(gates, h, 2 * h));
     const ag::Tensor g = ag::tanh_t(ag::slice_cols(gates, 2 * h, 3 * h));

@@ -16,7 +16,7 @@ class Linear final : public Module {
   Linear(std::size_t in, std::size_t out, par::Rng& rng);
 
   [[nodiscard]] ag::Tensor forward(const ag::Tensor& x) const {
-    return ag::add(ag::matmul(x, w_), b_);
+    return ag::matmul_bias(x, w_, b_);  // bias fused into the GEMM epilogue
   }
   [[nodiscard]] std::vector<ag::Tensor> parameters() const override {
     return {w_, b_};
@@ -40,6 +40,12 @@ class GcnConv final : public Module {
   [[nodiscard]] ag::Tensor forward(const ag::CsrMatrix& ahat,
                                    const ag::Tensor& x) const {
     return ag::spmm(ahat, ag::matmul(x, w_));
+  }
+  /// tanh(Ahat X W) with the activation fused into the spmm rows — what the
+  /// DGCNN stack calls instead of tanh_t(forward(...)).
+  [[nodiscard]] ag::Tensor forward_tanh(const ag::CsrMatrix& ahat,
+                                        const ag::Tensor& x) const {
+    return ag::spmm_tanh(ahat, ag::matmul(x, w_));
   }
   [[nodiscard]] std::vector<ag::Tensor> parameters() const override {
     return {w_};

@@ -226,11 +226,25 @@ Report build_report(const std::vector<SpanEvent>& events,
       rep.task_p50_us = lat->p50;
       rep.task_p99_us = lat->p99;
     }
+    rep.tensor_backend_id =
+        static_cast<int>(metrics->gauge_or("tensor.backend", -1.0));
   }
   return rep;
 }
 
 namespace {
+
+const char* tensor_backend_label(int id) {
+  // Mirrors the frozen ids in tensor::backend (src/tensor/backend/
+  // backend.hpp); duplicated here so offline report parsing stays
+  // independent of the tensor layer.
+  switch (id) {
+    case 0: return "scalar";
+    case 1: return "avx2";
+    case 2: return "neon";
+    default: return "unknown";
+  }
+}
 
 std::string render_text(const Report& r, bool markdown) {
   std::string out;
@@ -370,6 +384,12 @@ std::string render_text(const Report& r, bool markdown) {
                   static_cast<unsigned long long>(r.pool_helped), p50.c_str(),
                   p99.c_str());
     out += buf;
+    if (r.tensor_backend_id >= 0) {
+      std::snprintf(buf, sizeof buf, "%skernels: backend %s\n",
+                    markdown ? "- " : "  ",
+                    tensor_backend_label(r.tensor_backend_id));
+      out += buf;
+    }
   }
   return out;
 }
@@ -428,6 +448,12 @@ std::string render_json(const Report& r) {
                   static_cast<unsigned long long>(r.pool_helped),
                   r.task_p50_us, r.task_p99_us);
     out += buf;
+    if (r.tensor_backend_id >= 0) {
+      std::snprintf(buf, sizeof buf,
+                    ",\n  \"tensor_backend\": \"%s\"",
+                    tensor_backend_label(r.tensor_backend_id));
+      out += buf;
+    }
   }
   out += "\n}\n";
   return out;

@@ -69,6 +69,9 @@ struct Report {
   // Task-latency quantiles; negative when the histogram is empty/absent.
   double task_p50_us = -1.0;
   double task_p99_us = -1.0;
+  // `tensor.backend` gauge (kernel dispatch id, see docs/kernels.md);
+  // -1 when the run predates the gauge or never touched the tensor layer.
+  int tensor_backend_id = -1;
 };
 
 /// Aggregates `events` (as produced by TraceRecorder::events() or

@@ -1,0 +1,157 @@
+// AVX2+FMA backend: BLIS-style packed register-blocked GEMM and a
+// vectorized CSR spmm. This TU is compiled with -mavx2 -mfma (see
+// src/tensor/CMakeLists.txt) and only ever *executed* after the dispatcher's
+// runtime __builtin_cpu_supports check passes.
+//
+// Blocking (docs/kernels.md): 6x16 microkernel — 12 ymm accumulators, one
+// broadcast register, two B registers — under KC=256 / MC=96 / NC=512 cache
+// blocks. A is packed k-major in 6-row strips, B in 16-column strips, both
+// zero-padded to full strips in 64-byte-aligned thread-local buffers, so the
+// microkernel has no fringe branches; the writeback clips to valid rows and
+// columns instead.
+//
+// Determinism: each C element accumulates K strictly ascending — KC chunks
+// in order, ascending p inside the microkernel, every element in its own
+// accumulator lane (no horizontal reductions) — so results are bit-identical
+// however the driver splits [i0,i1)x[j0,j1) across tasks.
+#include "tensor/backend/backend.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "tensor/backend/pack.hpp"
+
+namespace mvgnn::tensor::backend {
+
+namespace {
+
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 16;
+constexpr std::size_t KC = 256;
+constexpr std::size_t MC = 96;
+constexpr std::size_t NC = 512;
+
+/// ct[6][16] = Ap-strip (kc x 6) * Bp-strip (kc x 16), fully unrolled so the
+/// 12 accumulators stay pinned in ymm registers.
+void micro_6x16(const float* ap, const float* bp, std::size_t kc, float* ct) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_load_ps(bp + p * NR);
+    const __m256 b1 = _mm256_load_ps(bp + p * NR + 8);
+    const float* a = ap + p * MR;
+    __m256 av;
+    av = _mm256_broadcast_ss(a + 0);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    av = _mm256_broadcast_ss(a + 1);
+    c10 = _mm256_fmadd_ps(av, b0, c10);
+    c11 = _mm256_fmadd_ps(av, b1, c11);
+    av = _mm256_broadcast_ss(a + 2);
+    c20 = _mm256_fmadd_ps(av, b0, c20);
+    c21 = _mm256_fmadd_ps(av, b1, c21);
+    av = _mm256_broadcast_ss(a + 3);
+    c30 = _mm256_fmadd_ps(av, b0, c30);
+    c31 = _mm256_fmadd_ps(av, b1, c31);
+    av = _mm256_broadcast_ss(a + 4);
+    c40 = _mm256_fmadd_ps(av, b0, c40);
+    c41 = _mm256_fmadd_ps(av, b1, c41);
+    av = _mm256_broadcast_ss(a + 5);
+    c50 = _mm256_fmadd_ps(av, b0, c50);
+    c51 = _mm256_fmadd_ps(av, b1, c51);
+  }
+  _mm256_store_ps(ct + 0 * NR, c00);
+  _mm256_store_ps(ct + 0 * NR + 8, c01);
+  _mm256_store_ps(ct + 1 * NR, c10);
+  _mm256_store_ps(ct + 1 * NR + 8, c11);
+  _mm256_store_ps(ct + 2 * NR, c20);
+  _mm256_store_ps(ct + 2 * NR + 8, c21);
+  _mm256_store_ps(ct + 3 * NR, c30);
+  _mm256_store_ps(ct + 3 * NR + 8, c31);
+  _mm256_store_ps(ct + 4 * NR, c40);
+  _mm256_store_ps(ct + 4 * NR + 8, c41);
+  _mm256_store_ps(ct + 5 * NR, c50);
+  _mm256_store_ps(ct + 5 * NR + 8, c51);
+}
+
+class Avx2Backend final : public KernelBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "avx2"; }
+  [[nodiscard]] int id() const override { return 1; }
+  [[nodiscard]] bool usable() const override {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+
+  void gemm_block(const GemmArgs& g, std::size_t i0, std::size_t i1,
+                  std::size_t j0, std::size_t j1) const override {
+    static thread_local AlignedBuf a_buf, b_buf;
+    alignas(64) float ct[MR * NR];
+    for (std::size_t jc = j0; jc < j1; jc += NC) {
+      const std::size_t nc = (j1 - jc) < NC ? (j1 - jc) : NC;
+      for (std::size_t pc = 0; pc < g.k; pc += KC) {
+        const std::size_t kc = (g.k - pc) < KC ? (g.k - pc) : KC;
+        float* bp = b_buf.ensure(round_up(nc, NR) * kc);
+        pack_b<NR>(g, pc, kc, jc, nc, bp);
+        for (std::size_t ic = i0; ic < i1; ic += MC) {
+          const std::size_t mc = (i1 - ic) < MC ? (i1 - ic) : MC;
+          float* ap = a_buf.ensure(round_up(mc, MR) * kc);
+          pack_a<MR>(g, ic, mc, pc, kc, ap);
+          for (std::size_t js = 0; js < nc; js += NR) {
+            const float* bs = bp + js * kc;
+            const std::size_t vn = (nc - js) < NR ? (nc - js) : NR;
+            for (std::size_t is = 0; is < mc; is += MR) {
+              micro_6x16(ap + is * kc, bs, kc, ct);
+              const std::size_t vm = (mc - is) < MR ? (mc - is) : MR;
+              for (std::size_t r = 0; r < vm; ++r) {
+                float* crow = g.c + (ic + is + r) * g.n + jc + js;
+                const float* trow = ct + r * NR;
+                for (std::size_t c = 0; c < vn; ++c) crow[c] += trow[c];
+              }
+            }
+          }
+        }
+      }
+    }
+    apply_epilogue(g, i0, i1, j0, j1);
+  }
+
+  void spmm_rows(const SpmmArgs& s, std::size_t r0,
+                 std::size_t r1) const override {
+    const std::size_t cols = s.cols;
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* o = s.out + r * cols;
+      for (std::uint32_t e = s.row_ptr[r]; e < s.row_ptr[r + 1]; ++e) {
+        const float v = s.vals[e];
+        const float* row =
+            s.x + static_cast<std::size_t>(s.col_idx[e]) * cols;
+        const __m256 vv = _mm256_set1_ps(v);
+        std::size_t j = 0;
+        for (; j + 8 <= cols; j += 8) {
+          const __m256 acc = _mm256_fmadd_ps(vv, _mm256_loadu_ps(row + j),
+                                             _mm256_loadu_ps(o + j));
+          _mm256_storeu_ps(o + j, acc);
+        }
+        for (; j < cols; ++j) o[j] += v * row[j];
+      }
+      if (s.tanh) {
+        for (std::size_t j = 0; j < cols; ++j) o[j] = fast_tanh(o[j]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const KernelBackend& avx2_backend() {
+  static const Avx2Backend b;
+  return b;
+}
+
+}  // namespace mvgnn::tensor::backend
+
+#endif  // __AVX2__ && __FMA__

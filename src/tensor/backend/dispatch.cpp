@@ -1,0 +1,112 @@
+// Backend selection: compiled-in candidates in preference order, runtime
+// CPU-feature checks, MVGNN_BACKEND env / force() overrides. The selection
+// is published exactly once per change — `tensor.backend` gauge (the id) for
+// reports and a log line (the name) for humans — so every run records which
+// kernels produced its numbers.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/backend/backend.hpp"
+
+namespace mvgnn::tensor::backend {
+
+// Defined in their own TUs, which src/tensor/CMakeLists.txt only compiles
+// (and only defines these macros) when MVGNN_NATIVE_ARCH is ON and the
+// target architecture matches.
+#if defined(MVGNN_HAVE_BACKEND_AVX2)
+const KernelBackend& avx2_backend();
+#endif
+#if defined(MVGNN_HAVE_BACKEND_NEON)
+const KernelBackend& neon_backend();
+#endif
+
+namespace {
+
+std::atomic<const KernelBackend*> g_active{nullptr};
+std::mutex g_mutex;  // serializes (re)selection, not the hot path
+
+const KernelBackend* find(std::string_view name) {
+  for (const KernelBackend* b : all()) {
+    if (name == b->name()) return b;
+  }
+  return nullptr;
+}
+
+/// Env override when it names a usable backend, else the first usable
+/// candidate (scalar is always usable, so this never fails).
+const KernelBackend* pick_auto() {
+  if (const char* env = std::getenv("MVGNN_BACKEND");
+      env != nullptr && *env != '\0' && std::string_view(env) != "auto") {
+    if (const KernelBackend* b = find(env); b != nullptr && b->usable()) {
+      return b;
+    }
+    obs::log_warn("tensor.backend: ignoring MVGNN_BACKEND",
+                  {{"value", env}});
+  }
+  for (const KernelBackend* b : all()) {
+    if (b->usable()) return b;
+  }
+  return &scalar_backend();
+}
+
+void publish(const KernelBackend* b, const char* how) {
+  obs::Registry::global().gauge("tensor.backend").set(b->id());
+  obs::log_info("tensor.backend",
+                {{"backend", b->name()}, {"via", how}});
+  g_active.store(b, std::memory_order_release);
+}
+
+}  // namespace
+
+const std::vector<const KernelBackend*>& all() {
+  static const std::vector<const KernelBackend*> backends = [] {
+    std::vector<const KernelBackend*> v;
+#if defined(MVGNN_HAVE_BACKEND_AVX2)
+    v.push_back(&avx2_backend());
+#endif
+#if defined(MVGNN_HAVE_BACKEND_NEON)
+    v.push_back(&neon_backend());
+#endif
+    v.push_back(&scalar_backend());
+    return v;
+  }();
+  return backends;
+}
+
+const KernelBackend& active() {
+  if (const KernelBackend* b = g_active.load(std::memory_order_acquire)) {
+    return *b;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_active.load(std::memory_order_relaxed) == nullptr) {
+    publish(pick_auto(), "auto");
+  }
+  return *g_active.load(std::memory_order_relaxed);
+}
+
+bool force(std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (name == "auto") {
+    publish(pick_auto(), "auto");
+    return true;
+  }
+  const KernelBackend* b = find(name);
+  if (b == nullptr || !b->usable()) return false;
+  publish(b, "forced");
+  return true;
+}
+
+const char* name_for_id(int id) {
+  switch (id) {
+    case 0: return "scalar";
+    case 1: return "avx2";
+    case 2: return "neon";
+    default: return "unknown";
+  }
+}
+
+}  // namespace mvgnn::tensor::backend

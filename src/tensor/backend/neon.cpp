@@ -1,0 +1,117 @@
+// NEON backend (aarch64): same packed-panel structure as the AVX2 backend
+// with a 6x8 microkernel (12 q-register accumulators, two B registers).
+// Compile-gated in src/tensor/CMakeLists.txt to ARM targets, where NEON is
+// baseline — usable() is unconditionally true. Shares the packing, epilogue
+// and determinism contract documented in backend.hpp / avx2.cpp.
+#include "tensor/backend/backend.hpp"
+
+#if defined(__ARM_NEON) || defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "tensor/backend/pack.hpp"
+
+namespace mvgnn::tensor::backend {
+
+namespace {
+
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 8;
+constexpr std::size_t KC = 256;
+constexpr std::size_t MC = 96;
+constexpr std::size_t NC = 512;
+
+void micro_6x8(const float* ap, const float* bp, std::size_t kc, float* ct) {
+  float32x4_t acc[MR][2];
+  for (std::size_t r = 0; r < MR; ++r) {
+    acc[r][0] = vdupq_n_f32(0.0f);
+    acc[r][1] = vdupq_n_f32(0.0f);
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float32x4_t b0 = vld1q_f32(bp + p * NR);
+    const float32x4_t b1 = vld1q_f32(bp + p * NR + 4);
+    const float* a = ap + p * MR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float32x4_t av = vdupq_n_f32(a[r]);
+      acc[r][0] = vfmaq_f32(acc[r][0], av, b0);
+      acc[r][1] = vfmaq_f32(acc[r][1], av, b1);
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r) {
+    vst1q_f32(ct + r * NR, acc[r][0]);
+    vst1q_f32(ct + r * NR + 4, acc[r][1]);
+  }
+}
+
+class NeonBackend final : public KernelBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "neon"; }
+  [[nodiscard]] int id() const override { return 2; }
+  [[nodiscard]] bool usable() const override { return true; }
+
+  void gemm_block(const GemmArgs& g, std::size_t i0, std::size_t i1,
+                  std::size_t j0, std::size_t j1) const override {
+    static thread_local AlignedBuf a_buf, b_buf;
+    alignas(64) float ct[MR * NR];
+    for (std::size_t jc = j0; jc < j1; jc += NC) {
+      const std::size_t nc = (j1 - jc) < NC ? (j1 - jc) : NC;
+      for (std::size_t pc = 0; pc < g.k; pc += KC) {
+        const std::size_t kc = (g.k - pc) < KC ? (g.k - pc) : KC;
+        float* bp = b_buf.ensure(round_up(nc, NR) * kc);
+        pack_b<NR>(g, pc, kc, jc, nc, bp);
+        for (std::size_t ic = i0; ic < i1; ic += MC) {
+          const std::size_t mc = (i1 - ic) < MC ? (i1 - ic) : MC;
+          float* ap = a_buf.ensure(round_up(mc, MR) * kc);
+          pack_a<MR>(g, ic, mc, pc, kc, ap);
+          for (std::size_t js = 0; js < nc; js += NR) {
+            const float* bs = bp + js * kc;
+            const std::size_t vn = (nc - js) < NR ? (nc - js) : NR;
+            for (std::size_t is = 0; is < mc; is += MR) {
+              micro_6x8(ap + is * kc, bs, kc, ct);
+              const std::size_t vm = (mc - is) < MR ? (mc - is) : MR;
+              for (std::size_t r = 0; r < vm; ++r) {
+                float* crow = g.c + (ic + is + r) * g.n + jc + js;
+                const float* trow = ct + r * NR;
+                for (std::size_t c = 0; c < vn; ++c) crow[c] += trow[c];
+              }
+            }
+          }
+        }
+      }
+    }
+    apply_epilogue(g, i0, i1, j0, j1);
+  }
+
+  void spmm_rows(const SpmmArgs& s, std::size_t r0,
+                 std::size_t r1) const override {
+    const std::size_t cols = s.cols;
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* o = s.out + r * cols;
+      for (std::uint32_t e = s.row_ptr[r]; e < s.row_ptr[r + 1]; ++e) {
+        const float v = s.vals[e];
+        const float* row =
+            s.x + static_cast<std::size_t>(s.col_idx[e]) * cols;
+        const float32x4_t vv = vdupq_n_f32(v);
+        std::size_t j = 0;
+        for (; j + 4 <= cols; j += 4) {
+          vst1q_f32(o + j, vfmaq_f32(vld1q_f32(o + j), vv, vld1q_f32(row + j)));
+        }
+        for (; j < cols; ++j) o[j] += v * row[j];
+      }
+      if (s.tanh) {
+        for (std::size_t j = 0; j < cols; ++j) o[j] = fast_tanh(o[j]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const KernelBackend& neon_backend() {
+  static const NeonBackend b;
+  return b;
+}
+
+}  // namespace mvgnn::tensor::backend
+
+#endif  // __ARM_NEON || __aarch64__

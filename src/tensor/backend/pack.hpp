@@ -1,0 +1,85 @@
+// Panel packing for the register-blocked SIMD backends.
+//
+// The BLIS-style microkernel wants both operands contiguous and padded:
+// A as MR-row strips laid out k-major (strip s holds rows i0+s*MR..+MR-1,
+// element order ap[p*MR + r]), B as NR-column strips (bp[p*NR + c]). Tail
+// strips are zero-padded to the full MR/NR so the microkernel never branches
+// on fringe sizes — the writeback clips to the valid rows/columns instead.
+// Packing reads the operands through gemm_a_at/gemm_b_at, which is also how
+// the transpose flags disappear: a transposed operand just packs with a
+// different stride, no materialized transpose buffer anywhere.
+//
+// Buffers are 64-byte aligned (cache line / AVX-512 friendly) and reused
+// per thread: the pool runs each gemm_block task on exactly one thread and
+// blocks never nest, so thread_local reuse is race-free and keeps the hot
+// loop allocation-free after warm-up.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/backend/backend.hpp"
+
+namespace mvgnn::tensor::backend {
+
+/// Grow-only 64-byte-aligned float buffer.
+class AlignedBuf {
+ public:
+  AlignedBuf() = default;
+  ~AlignedBuf() { std::free(p_); }
+  AlignedBuf(const AlignedBuf&) = delete;
+  AlignedBuf& operator=(const AlignedBuf&) = delete;
+
+  float* ensure(std::size_t count) {
+    if (count > cap_) {
+      std::free(p_);
+      // Round the byte size up to the alignment as aligned_alloc requires.
+      const std::size_t bytes = (count * sizeof(float) + 63) & ~std::size_t{63};
+      p_ = static_cast<float*>(std::aligned_alloc(64, bytes));
+      cap_ = p_ != nullptr ? count : 0;
+    }
+    return p_;
+  }
+
+ private:
+  float* p_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
+/// Packs A rows [i0, i0+mc) x K [p0, p0+kc) into MR-row strips; rows past
+/// the operand's end (mc rounded up to MR) are zero.
+template <std::size_t MR>
+void pack_a(const GemmArgs& g, std::size_t i0, std::size_t mc, std::size_t p0,
+            std::size_t kc, float* ap) {
+  for (std::size_t s = 0; s < mc; s += MR) {
+    const std::size_t rows = (mc - s) < MR ? (mc - s) : MR;
+    float* dst = ap + s * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      std::size_t r = 0;
+      for (; r < rows; ++r) dst[p * MR + r] = gemm_a_at(g, i0 + s + r, p0 + p);
+      for (; r < MR; ++r) dst[p * MR + r] = 0.0f;
+    }
+  }
+}
+
+/// Packs B K [p0, p0+kc) x cols [j0, j0+nc) into NR-column strips; columns
+/// past the operand's end are zero.
+template <std::size_t NR>
+void pack_b(const GemmArgs& g, std::size_t p0, std::size_t kc, std::size_t j0,
+            std::size_t nc, float* bp) {
+  for (std::size_t s = 0; s < nc; s += NR) {
+    const std::size_t cols = (nc - s) < NR ? (nc - s) : NR;
+    float* dst = bp + s * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      std::size_t c = 0;
+      for (; c < cols; ++c) dst[p * NR + c] = gemm_b_at(g, p0 + p, j0 + s + c);
+      for (; c < NR; ++c) dst[p * NR + c] = 0.0f;
+    }
+  }
+}
+
+inline std::size_t round_up(std::size_t v, std::size_t to) {
+  return (v + to - 1) / to * to;
+}
+
+}  // namespace mvgnn::tensor::backend

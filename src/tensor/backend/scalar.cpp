@@ -1,0 +1,92 @@
+// Scalar reference backend: the universal fallback and the semantic ground
+// truth the SIMD backends are tested against. Plain loops, fixed ascending-K
+// accumulation per element (the determinism contract), no packing. The
+// (ta,tb) combinations are separate loop nests so each one keeps unit-stride
+// access on at least one operand instead of materializing a transpose.
+#include "tensor/backend/backend.hpp"
+
+namespace mvgnn::tensor::backend {
+
+namespace {
+
+class ScalarBackend final : public KernelBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "scalar"; }
+  [[nodiscard]] int id() const override { return 0; }
+  [[nodiscard]] bool usable() const override { return true; }
+
+  void gemm_block(const GemmArgs& g, std::size_t i0, std::size_t i1,
+                  std::size_t j0, std::size_t j1) const override {
+    if (!g.ta && !g.tb) {
+      // K-outer so the j-loop is a unit-stride fused multiply-add; the
+      // zero-skip matters for SortPooling's padded all-zero rows.
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* ci = g.c + i * g.n;
+        const float* ai = g.a + i * g.k;
+        for (std::size_t p = 0; p < g.k; ++p) {
+          const float av = ai[p];
+          if (av == 0.0f) continue;  // sparse-ish adjacency rows are common
+          const float* bp = g.b + p * g.n;
+          for (std::size_t j = j0; j < j1; ++j) ci[j] += av * bp[j];
+        }
+      }
+    } else if (!g.ta && g.tb) {
+      // Both operands row-contiguous over K: per-element dot products.
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* ci = g.c + i * g.n;
+        const float* ai = g.a + i * g.k;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const float* bj = g.b + j * g.k;
+          float acc = 0.0f;
+          for (std::size_t p = 0; p < g.k; ++p) acc += ai[p] * bj[p];
+          ci[j] += acc;
+        }
+      }
+    } else if (g.ta && !g.tb) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* ci = g.c + i * g.n;
+        for (std::size_t p = 0; p < g.k; ++p) {
+          const float av = g.a[p * g.m + i];
+          if (av == 0.0f) continue;
+          const float* bp = g.b + p * g.n;
+          for (std::size_t j = j0; j < j1; ++j) ci[j] += av * bp[j];
+        }
+      }
+    } else {
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* ci = g.c + i * g.n;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const float* bj = g.b + j * g.k;
+          float acc = 0.0f;
+          for (std::size_t p = 0; p < g.k; ++p) acc += g.a[p * g.m + i] * bj[p];
+          ci[j] += acc;
+        }
+      }
+    }
+    apply_epilogue(g, i0, i1, j0, j1);
+  }
+
+  void spmm_rows(const SpmmArgs& s, std::size_t r0,
+                 std::size_t r1) const override {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* o = s.out + r * s.cols;
+      for (std::uint32_t e = s.row_ptr[r]; e < s.row_ptr[r + 1]; ++e) {
+        const float v = s.vals[e];
+        const float* row = s.x + static_cast<std::size_t>(s.col_idx[e]) * s.cols;
+        for (std::size_t j = 0; j < s.cols; ++j) o[j] += v * row[j];
+      }
+      if (s.tanh) {
+        for (std::size_t j = 0; j < s.cols; ++j) o[j] = fast_tanh(o[j]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const KernelBackend& scalar_backend() {
+  static const ScalarBackend b;
+  return b;
+}
+
+}  // namespace mvgnn::tensor::backend

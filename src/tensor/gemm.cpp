@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -11,22 +11,6 @@
 namespace mvgnn::tensor {
 
 namespace {
-
-/// Plain row-major kernel for one row block, k-outer so the n-loop is a
-/// fused multiply-add over contiguous memory.
-void gemm_nn_block(const float* a, const float* b, float* c, std::size_t r0,
-                   std::size_t r1, std::size_t k, std::size_t n) {
-  for (std::size_t i = r0; i < r1; ++i) {
-    float* ci = c + i * n;
-    const float* ai = a + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;  // sparse-ish adjacency rows are common
-      const float* bp = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-    }
-  }
-}
 
 struct GemmMetrics {
   obs::Counter& calls = obs::Registry::global().counter("gemm.calls_total");
@@ -40,49 +24,93 @@ struct GemmMetrics {
   }
 };
 
+struct SpmmMetrics {
+  obs::Counter& calls = obs::Registry::global().counter("tensor.spmm_total");
+  obs::Counter& flops =
+      obs::Registry::global().counter("tensor.spmm_flops_total");
+
+  static SpmmMetrics& get() {
+    static SpmmMetrics m;
+    return m;
+  }
+};
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, std::size_t m,
-          std::size_t k, std::size_t n, bool ta, bool tb, bool accumulate) {
+          std::size_t k, std::size_t n, bool ta, bool tb, bool accumulate,
+          const Epilogue& ep, par::ThreadPool& pool) {
+  if (m == 0 || n == 0) return;
+  if (accumulate && !ep.empty()) {
+    throw std::invalid_argument("gemm: fused epilogue requires accumulate=false");
+  }
   obs::ScopedSpan span("gemm");
   span.arg("m", m).arg("k", k).arg("n", n);
   GemmMetrics& metrics = GemmMetrics::get();
   metrics.calls.add(1);
   metrics.flops.add(static_cast<std::uint64_t>(2) * m * k * n);
 
-  // Normalize to the NN case by materializing transposed inputs; the
-  // matrices in this project are small enough (<= a few thousand rows) that
-  // an explicit transpose is cheaper than strided inner loops.
-  std::vector<float> abuf, bbuf;
-  if (ta) {
-    abuf.resize(m * k);
-    for (std::size_t p = 0; p < k; ++p) {
-      for (std::size_t i = 0; i < m; ++i) abuf[i * k + p] = a[p * m + i];
-    }
-    a = abuf.data();
-  }
-  if (tb) {
-    bbuf.resize(k * n);
-    for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t p = 0; p < k; ++p) bbuf[p * n + j] = b[j * k + p];
-    }
-    b = bbuf.data();
-  }
+  const KernelBackend& be = backend::active();
+  const GemmArgs args{a, b, c, m, k, n, ta, tb, ep};
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
 
   const std::size_t work = m * k * n;
-  if (work < (1u << 16)) {
-    gemm_nn_block(a, b, c, 0, m, k, n);
+  if (work < (1u << 16) || pool.size() <= 1) {
+    be.gemm_block(args, 0, m, 0, n);
     return;
   }
   metrics.parallel_calls.add(1);
+  // Fan out over whichever output axis is longer: N-panels for the wide
+  // activations, row ranges for the tall GNN node blocks. Either way each
+  // output element belongs to exactly one task, and the backends accumulate
+  // K in a block-independent order, so the split never changes the bits.
+  if (m >= n) {
+    const std::size_t grain =
+        std::max<std::size_t>(1, (1u << 16) / std::max<std::size_t>(1, k * n));
+    par::parallel_for_blocked(
+        0, m,
+        [&](std::size_t r0, std::size_t r1) {
+          OBS_SPAN("gemm.panel");
+          be.gemm_block(args, r0, r1, 0, n);
+        },
+        pool, grain);
+  } else {
+    const std::size_t grain =
+        std::max<std::size_t>(1, (1u << 16) / std::max<std::size_t>(1, k * m));
+    par::parallel_for_blocked(
+        0, n,
+        [&](std::size_t c0, std::size_t c1) {
+          OBS_SPAN("gemm.panel");
+          be.gemm_block(args, 0, m, c0, c1);
+        },
+        pool, grain);
+  }
+}
+
+void spmm_csr(const std::uint32_t* row_ptr, const std::uint32_t* col_idx,
+              const float* vals, std::size_t rows, const float* x, float* out,
+              std::size_t cols, bool accumulate, bool tanh,
+              par::ThreadPool& pool) {
+  if (rows == 0 || cols == 0) return;
+  if (accumulate && tanh) {
+    throw std::invalid_argument("spmm: fused tanh requires accumulate=false");
+  }
+  SpmmMetrics& metrics = SpmmMetrics::get();
+  metrics.calls.add(1);
+  metrics.flops.add(static_cast<std::uint64_t>(2) * row_ptr[rows] * cols);
+
+  const KernelBackend& be = backend::active();
+  const SpmmArgs args{row_ptr, col_idx, vals, x, out, cols, tanh};
+  if (!accumulate) std::memset(out, 0, rows * cols * sizeof(float));
+  // Each output row is written by exactly one worker, so no synchronization
+  // is needed. The grain adapts to the row width so tiny feature dims still
+  // form blocks worth shipping to the pool.
+  const std::size_t grain =
+      std::max<std::size_t>(16, 4096 / std::max<std::size_t>(1, cols));
   par::parallel_for_blocked(
-      0, m,
-      [&](std::size_t r0, std::size_t r1) {
-        OBS_SPAN("gemm.panel");
-        gemm_nn_block(a, b, c, r0, r1, k, n);
-      },
-      par::ThreadPool::global(), /*grain=*/std::max<std::size_t>(1, (1u << 16) / std::max<std::size_t>(1, k * n)));
+      0, rows,
+      [&](std::size_t r0, std::size_t r1) { be.spmm_rows(args, r0, r1); },
+      pool, grain);
 }
 
 }  // namespace mvgnn::tensor

@@ -1,19 +1,39 @@
-// Raw float32 GEMM kernels used by the autograd matmul ops.
+// Drivers for the raw float32 kernels used by the autograd ops.
 //
 // C (m x n) += / = A (m x k) * B (k x n), row-major, optionally with either
-// input logically transposed. Blocked over rows and parallelized on the
-// global thread pool; the inner loop is written k-outer so the compiler can
-// vectorize the unit-stride n-loop.
+// input logically transposed, plus the CSR spmm. The actual arithmetic lives
+// in a runtime-dispatched KernelBackend (src/tensor/backend/, docs/
+// kernels.md); the drivers here own output zeroing, obs metrics, and the
+// par::TaskGroup fan-out — GEMM over row/N-panels, spmm over CSR row
+// ranges. An optional fused Epilogue (bias add, tanh) runs in the backend's
+// tail over the still-hot output block instead of as separate passes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/backend/backend.hpp"
 
 namespace mvgnn::tensor {
 
-/// C = A * B. `ta`/`tb` interpret A/B as transposed (their storage shapes
-/// are then k x m / n x k respectively).
+/// C = A * B (+ epilogue). `ta`/`tb` interpret A/B as transposed (their
+/// storage shapes are then k x m / n x k respectively). A non-empty `ep`
+/// requires accumulate=false. The pool only affects how the output is split
+/// into tasks, never the results: a fixed backend is bit-identical across
+/// pool sizes (see backend.hpp).
 void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n, bool ta = false, bool tb = false,
-          bool accumulate = false);
+          bool accumulate = false, const Epilogue& ep = {},
+          par::ThreadPool& pool = par::ThreadPool::global());
+
+/// out[rows x cols] = / += A * X for CSR A (row_ptr size rows+1). `tanh`
+/// fuses the activation into each finished row and requires
+/// accumulate=false. Used with A's cached transpose this is also the
+/// backward spmm-transpose product.
+void spmm_csr(const std::uint32_t* row_ptr, const std::uint32_t* col_idx,
+              const float* vals, std::size_t rows, const float* x, float* out,
+              std::size_t cols, bool accumulate = false, bool tanh = false,
+              par::ThreadPool& pool = par::ThreadPool::global());
 
 }  // namespace mvgnn::tensor

@@ -78,64 +78,123 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 namespace {
 
-/// out[r, :] (+)= sum over row r's entries of v * x[col, :]. Parallel over
-/// rows: each output row is written by exactly one worker, so no
-/// synchronization is needed. The grain adapts to the row width so tiny
-/// feature dims still form blocks worth shipping to the pool.
-void spmm_kernel(const CsrMatrix& a, const float* x, float* out,
-                 std::size_t cols) {
-  const auto& rp = a.row_ptr();
-  const auto& ci = a.col_idx();
-  const auto& vs = a.values();
-  const std::size_t grain =
-      std::max<std::size_t>(16, 4096 / std::max<std::size_t>(1, cols));
-  par::parallel_for_blocked(
-      0, a.rows(),
-      [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-          float* o = out + r * cols;
-          for (std::uint32_t e = rp[r]; e < rp[r + 1]; ++e) {
-            const float v = vs[e];
-            const float* row = x + static_cast<std::size_t>(ci[e]) * cols;
-            for (std::size_t j = 0; j < cols; ++j) o[j] += v * row[j];
-          }
-        }
-      },
-      par::ThreadPool::global(), grain);
+/// Shared body of matmul_bias / matmul_bias_tanh: C = A * op(W) + bias
+/// (+ tanh), one GEMM with the fused epilogue and exact gradients — no
+/// materialized `matmul -> add -> tanh` intermediates. `tw` interprets W as
+/// transposed ([n,k] storage), which is what the conv1-as-GEMM head wants.
+Tensor matmul_bias_impl(const Tensor& a, const Tensor& w, const Tensor& bias,
+                        bool tw, bool tanh) {
+  const std::size_t m = a.rows(), k = a.cols();
+  const std::size_t wk = tw ? w.cols() : w.rows();
+  const std::size_t n = tw ? w.rows() : w.cols();
+  if (k != wk) shape_fail("matmul_bias", a, w);
+  if (bias.numel() != n) shape_fail("matmul_bias(bias)", w, bias);
+  Tensor out = make_op({m, n}, {a, w, bias}, [m, k, n, tw, tanh](Node& self) {
+    // dz = g ⊙ (1 - y²) through the fused tanh; g itself otherwise.
+    const float* g = self.grad.data();
+    std::vector<float> dz;
+    if (tanh) {
+      dz.resize(m * n);
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        const float y = self.value[i];
+        dz[i] = self.grad[i] * (1.0f - y * y);
+      }
+      g = dz.data();
+    }
+    const float* av = self.inputs[0]->value.data();
+    const float* wv = self.inputs[1]->value.data();
+    if (Node* ia = grad_target(self, 0)) {
+      // dA = dz * op(W)^T — with tw the stored [n,k] W *is* op(W)^T.
+      tensor::gemm(g, wv, ia->grad.data(), m, n, k, false, !tw, true);
+    }
+    if (Node* iw = grad_target(self, 1)) {
+      if (tw) {
+        // dW[n,k] = dz^T * A
+        tensor::gemm(g, av, iw->grad.data(), n, m, k, true, false, true);
+      } else {
+        // dW[k,n] = A^T * dz
+        tensor::gemm(av, g, iw->grad.data(), k, m, n, true, false, true);
+      }
+    }
+    if (Node* ib = grad_target(self, 2)) {
+      for (std::size_t r0 = 0; r0 < m * n; r0 += n) {
+        const float* gr = g + r0;
+        for (std::size_t j = 0; j < n; ++j) ib->grad[j] += gr[j];
+      }
+    }
+  });
+  tensor::Epilogue ep;
+  ep.bias_col = bias.data();
+  ep.tanh = tanh;
+  tensor::gemm(a.data(), w.data(), out.data(), m, k, n, false, tw, false, ep);
+  return out;
 }
-
-struct SpmmMetrics {
-  obs::Counter& calls = obs::Registry::global().counter("tensor.spmm_total");
-  obs::Counter& flops =
-      obs::Registry::global().counter("tensor.spmm_flops_total");
-
-  static SpmmMetrics& get() {
-    static SpmmMetrics m;
-    return m;
-  }
-};
 
 }  // namespace
 
-Tensor spmm(const CsrMatrix& a, const Tensor& x) {
+Tensor matmul_bias(const Tensor& a, const Tensor& w, const Tensor& bias,
+                   bool tw) {
+  return matmul_bias_impl(a, w, bias, tw, /*tanh=*/false);
+}
+
+Tensor matmul_bias_tanh(const Tensor& a, const Tensor& w, const Tensor& bias,
+                        bool tw) {
+  return matmul_bias_impl(a, w, bias, tw, /*tanh=*/true);
+}
+
+namespace {
+
+/// Routes a CSR product through the dispatched backend driver.
+/// `accumulate=true` for gradient targets (they sum over consumers).
+void spmm_call(const CsrMatrix& a, const float* x, float* out,
+               std::size_t cols, bool accumulate, bool tanh = false) {
+  tensor::spmm_csr(a.row_ptr().data(), a.col_idx().data(), a.values().data(),
+                   a.rows(), x, out, cols, accumulate, tanh);
+}
+
+void check_spmm_shapes(const CsrMatrix& a, const Tensor& x) {
   if (!a.defined() || a.cols() != x.rows()) {
     throw TensorError("spmm: incompatible shapes [" + std::to_string(a.rows()) +
                       "," + std::to_string(a.cols()) + "] and " +
                       x.shape().str());
   }
+}
+
+}  // namespace
+
+Tensor spmm(const CsrMatrix& a, const Tensor& x) {
+  check_spmm_shapes(a, x);
   obs::ScopedSpan span("tensor.spmm");
   span.arg("rows", a.rows()).arg("nnz", a.nnz()).arg("cols", x.cols());
   const std::size_t m = a.rows(), n = x.cols();
-  SpmmMetrics& metrics = SpmmMetrics::get();
-  metrics.calls.add(1);
-  metrics.flops.add(2 * a.nnz() * n);  // forward; backward costs the same
   Tensor out = make_op({m, n}, {x}, [a, n](Node& self) {
     if (Node* ix = grad_target(self, 0)) {
-      SpmmMetrics::get().flops.add(2 * a.nnz() * n);
-      spmm_kernel(a.transposed(), self.grad.data(), ix->grad.data(), n);
+      spmm_call(a.transposed(), self.grad.data(), ix->grad.data(), n,
+                /*accumulate=*/true);
     }
   });
-  spmm_kernel(a, x.data(), out.data(), n);
+  spmm_call(a, x.data(), out.data(), n, /*accumulate=*/false);
+  return out;
+}
+
+Tensor spmm_tanh(const CsrMatrix& a, const Tensor& x) {
+  check_spmm_shapes(a, x);
+  obs::ScopedSpan span("tensor.spmm");
+  span.arg("rows", a.rows()).arg("nnz", a.nnz()).arg("cols", x.cols());
+  const std::size_t m = a.rows(), n = x.cols();
+  Tensor out = make_op({m, n}, {x}, [a, n](Node& self) {
+    if (Node* ix = grad_target(self, 0)) {
+      // dX = A^T (g ⊙ (1 - y²)) over the cached transpose.
+      std::vector<float> dz(self.value.size());
+      for (std::size_t i = 0; i < dz.size(); ++i) {
+        const float y = self.value[i];
+        dz[i] = self.grad[i] * (1.0f - y * y);
+      }
+      spmm_call(a.transposed(), dz.data(), ix->grad.data(), n,
+                /*accumulate=*/true);
+    }
+  });
+  spmm_call(a, x.data(), out.data(), n, /*accumulate=*/false, /*tanh=*/true);
   return out;
 }
 
@@ -262,43 +321,10 @@ Tensor relu(const Tensor& a) {
       [](float y, float) { return y > 0.0f ? 1.0f : 0.0f; });
 }
 
-namespace {
-
-/// Branchless float tanh via a range-reduced exp2 polynomial:
-/// tanh(x) = (e^{2x}-1)/(e^{2x}+1). Max abs error vs std::tanh is ~1e-7,
-/// well inside float round-off for downstream math, and unlike libm tanhf
-/// it auto-vectorizes, which matters for the GCN stack where tanh over the
-/// node-feature blocks otherwise dominates the forward pass.
-inline float fast_tanh(float x) {
-  // |2x| > 17.0 => tanh(x) == +/-1 to float precision.
-  float u = 2.0f * x;
-  u = std::min(17.0f, std::max(-17.0f, u));
-  // e^u = 2^n * e^r with n = round(u/ln2), r in [-ln2/2, ln2/2]. Round via
-  // the add-magic-number trick so the whole body stays branchless.
-  const float kLog2e = 1.44269504088896341f;
-  const float kLn2Hi = 0.693359375f;
-  const float kLn2Lo = -2.12194440e-4f;
-  const float kRound = 12582912.0f;  // 1.5 * 2^23
-  const float shifted = u * kLog2e + kRound;
-  const std::int32_t n =
-      std::bit_cast<std::int32_t>(shifted) - std::bit_cast<std::int32_t>(kRound);
-  const float nf = shifted - kRound;
-  const float r = (u - nf * kLn2Hi) - nf * kLn2Lo;
-  // Degree-5 minimax polynomial for e^r on the reduced range.
-  float p = 1.9875691500e-4f;
-  p = p * r + 1.3981999507e-3f;
-  p = p * r + 8.3334519073e-3f;
-  p = p * r + 4.1665795894e-2f;
-  p = p * r + 1.6666665459e-1f;
-  p = p * r + 5.0000001201e-1f;
-  p = p * r * r + r + 1.0f;
-  // Scale by 2^n through the exponent bits (n is in [-25, 25] here, so the
-  // biased exponent never over/underflows).
-  const float t = p * std::bit_cast<float>((n + 127) << 23);
-  return (t - 1.0f) / (t + 1.0f);
-}
-
-}  // namespace
+// fast_tanh (branchless range-reduced exp2 polynomial, ~1e-7 max error)
+// moved to tensor/backend/act.hpp in PR 8 so the elementwise op and the
+// fused GEMM/spmm epilogues share one numerics policy.
+using tensor::backend::fast_tanh;
 
 Tensor tanh_t(const Tensor& a) {
   return unary_ew(
@@ -781,12 +807,12 @@ Tensor conv1d_impl(const Tensor& x, const Tensor& w, const Tensor& b,
   std::vector<float> col_t(kdim * lout);
   conv1d_im2col(x.data(), col_t.data(), in_ch, len, ksize, stride, starts,
                 lseg);
-  tensor::gemm(w.data(), col_t.data(), out.data(), out_ch, kdim, lout);
-  for (std::size_t o = 0; o < out_ch; ++o) {
-    float* row = out.data() + o * lout;
-    const float bias = b.data()[o];
-    for (std::size_t t = 0; t < lout; ++t) row[t] += bias;
-  }
+  // Out-channel bias rides the GEMM's fused per-row epilogue instead of a
+  // second pass over the output.
+  tensor::Epilogue ep;
+  ep.bias_row = b.data();
+  tensor::gemm(w.data(), col_t.data(), out.data(), out_ch, kdim, lout, false,
+               false, false, ep);
   return out;
 }
 

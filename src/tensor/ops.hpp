@@ -17,11 +17,23 @@ namespace mvgnn::ag {
 // ---- linear algebra -------------------------------------------------------
 /// C[m,n] = A[m,k] * B[k,n] (parallel GEMM underneath).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A * op(W) + bias in one GEMM with the bias fused into the kernel
+/// epilogue (docs/kernels.md) — no matmul/add intermediates. `tw` reads W as
+/// transposed (storage [n,k]); bias is [1,n].
+[[nodiscard]] Tensor matmul_bias(const Tensor& a, const Tensor& w,
+                                 const Tensor& bias, bool tw = false);
+/// tanh(A * op(W) + bias) with bias and activation both fused into the GEMM
+/// tail; backward applies the 1-y² chain before the gradient GEMMs.
+[[nodiscard]] Tensor matmul_bias_tanh(const Tensor& a, const Tensor& w,
+                                      const Tensor& bias, bool tw = false);
 [[nodiscard]] Tensor transpose(const Tensor& a);
 /// Sparse-dense product Y[m,n] = A[m,k] * X[k,n] with a parallel-for-over-
 /// rows kernel. A is a constant (adjacencies carry no gradient); the
 /// backward pass computes dX = A^T dY over A's cached transpose.
 [[nodiscard]] Tensor spmm(const CsrMatrix& a, const Tensor& x);
+/// tanh(A * X) with the activation fused into each finished spmm row — the
+/// GCN-stack hot path. Backward: dX = A^T (dY ⊙ (1 - y²)).
+[[nodiscard]] Tensor spmm_tanh(const CsrMatrix& a, const Tensor& x);
 
 // ---- elementwise ------------------------------------------------------
 [[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);  // same shape or b=[1,n] row bias

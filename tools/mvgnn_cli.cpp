@@ -54,6 +54,7 @@
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "profiler/profile.hpp"
+#include "tensor/backend/backend.hpp"
 #include "transform/passes.hpp"
 
 namespace {
@@ -98,6 +99,9 @@ int usage() {
       "                        keyed; see docs/pipeline.md). Default: no\n"
       "                        disk tier\n"
       "  --cache-mem-mb <n>    in-memory cache budget in MiB (default 256)\n"
+      "  --force-backend <b>   pin the tensor kernel backend: scalar, avx2,\n"
+      "                        neon, or auto (default: best usable; the\n"
+      "                        MVGNN_BACKEND env var sets the same thing)\n"
       "  --quiet, -q           only warnings and errors on the log\n"
       "                        (MVGNN_LOG_LEVEL sets the default level)\n"
       "  --help, -h            this message\n"
@@ -502,6 +506,21 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "mvgnn: unknown report format `%s`\n", f);
         return usage();
+      }
+    } else if (std::strcmp(arg, "--force-backend") == 0 ||
+               std::strncmp(arg, "--force-backend=", 16) == 0) {
+      const char* name =
+          arg[15] == '=' ? arg + 16 : flag_value(a, "--force-backend");
+      if (!tensor::backend::force(name)) {
+        std::fprintf(stderr,
+                     "mvgnn: unknown or unavailable backend `%s`; compiled in:",
+                     name);
+        for (const auto* b : tensor::backend::all()) {
+          std::fprintf(stderr, " %s%s", b->name(),
+                       b->usable() ? "" : " (cpu unsupported)");
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
       }
     } else if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) {
       quiet = true;
