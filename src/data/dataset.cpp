@@ -238,6 +238,13 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
   par::parallel_for(
       0, n_items,
       [&](std::size_t item) {
+        // Cooperative stop: checked once per item, so an interrupt lands
+        // between pipeline items — in-flight ones finish, queued ones are
+        // skipped (not quarantined; they did not fail).
+        if (opts.stop_requested &&
+            opts.stop_requested->load(std::memory_order_relaxed)) {
+          return;
+        }
         const ProgramSpec& spec = programs[item / n_variants];
         const std::size_t v = item % n_variants;
         pipe::ItemSpec is;
@@ -264,6 +271,22 @@ Dataset build_dataset(const std::vector<ProgramSpec>& programs,
         slots[item] = std::move(r);
       },
       par::ThreadPool::global(), /*grain=*/1);
+  // Interrupted? Return an empty dataset rather than a partial one: a
+  // dataset missing arbitrary items would have different (but plausible-
+  // looking) vocabularies and silently poison anything trained on it. The
+  // caller gets the quarantine entries collected so far plus the
+  // interrupted flag and decides how to exit (the CLI flushes the report
+  // and exits 130).
+  if (opts.stop_requested &&
+      opts.stop_requested->load(std::memory_order_relaxed)) {
+    obs::log_warn("dataset build interrupted; discarding partial results",
+                  {{"items", std::to_string(n_items)}});
+    local_report.interrupted = true;
+    if (skipped) *skipped = local_report.quarantined.size();
+    if (report) *report = std::move(local_report);
+    return ds;
+  }
+
   std::vector<ItemResult*> built;
   built.reserve(n_items);
   for (const auto& slot : slots) {

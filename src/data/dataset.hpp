@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -85,6 +86,13 @@ struct DatasetOptions {
   /// build path flows through the same cached ItemFeatures form and a
   /// deterministic replay of the corpus-global phases.
   cache::Cache* cache = nullptr;
+  /// Cooperative interrupt (e.g. flipped by a SIGINT handler). Polled
+  /// between pipeline items: when it goes true, no new item starts, the
+  /// in-flight ones finish, the corpus-global phases are skipped and
+  /// build_dataset returns an empty dataset with
+  /// BuildReport::interrupted set — so `mvgnn dataset` can flush its
+  /// report and exit 130 instead of dying mid-shard.
+  const std::atomic<bool>* stop_requested = nullptr;
 };
 
 /// One corpus program (or program variant) that failed during dataset
@@ -101,6 +109,11 @@ struct QuarantineEntry {
 /// is logged at warn level as it happens.
 struct BuildReport {
   std::vector<QuarantineEntry> quarantined;
+  /// True when DatasetOptions::stop_requested cut the build short. The
+  /// returned dataset is then empty (a partial dataset would silently
+  /// change downstream vocabularies) and callers should treat the run as
+  /// interrupted, not as a tiny corpus.
+  bool interrupted = false;
 };
 
 struct Dataset {

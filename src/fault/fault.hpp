@@ -22,6 +22,12 @@
 //   cache.write       cache disk-tier write fails (entry stays uncached)
 //   cache.read.corrupt  N-th cache disk read sees a CRC mismatch (the entry
 //                     is evicted and recomputed, never fatal)
+//   serve.accept      daemon drops the N-th accepted connection
+//   serve.read        daemon closes a connection at the N-th socket read
+//   serve.batch       N-th batched forward fails; every request in the
+//                     batch is answered `batch_failed`, the daemon lives
+//   serve.reload      N-th checkpoint (re)load fails; a hot reload answers
+//                     `reload_failed` and the old model keeps serving
 #pragma once
 
 #include <cstdint>

@@ -30,6 +30,27 @@ void fsync_path(const std::string& path) {
 #endif
 }
 
+/// Flushes the directory entry for `path` after a rename into it. fsync on
+/// the temp file alone makes the *content* durable; the rename itself lives
+/// in the parent directory's metadata, and a power loss between rename and
+/// the directory flush can resurrect the old file (or nothing) under the
+/// final name. Best-effort like fsync_path: directories that refuse to open
+/// (exotic filesystems) degrade to the old behavior, never to an error.
+void fsync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
 }  // namespace
 
 void atomic_write_file(const std::string& path,
@@ -52,6 +73,10 @@ void atomic_write_file(const std::string& path,
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
       throw std::runtime_error("cannot rename " + tmp + " to " + path);
     }
+    // Make the rename itself durable: without this a crash right after a
+    // checkpoint commit could lose the directory entry even though the
+    // bytes were fsynced.
+    fsync_parent_dir(path);
   } catch (...) {
     std::remove(tmp.c_str());
     throw;

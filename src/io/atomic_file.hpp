@@ -1,12 +1,15 @@
-// Crash-safe file writes: temp file + fsync + rename.
+// Crash-safe file writes: temp file + fsync + rename + directory fsync.
 //
 // Every durable artifact the pipeline produces (checkpoints, metrics
 // snapshots, traces, saved datasets) goes through atomic_write_file so an
 // interrupted process can never leave a half-written file under the final
 // name: the content lands in `<path>.tmp` first, is flushed and fsync'd,
-// and only then renamed over `path` (rename is atomic on POSIX). On any
-// failure — including an injected one at the "io.write" fault site — the
-// temp file is removed and `path` is untouched.
+// and only then renamed over `path` (rename is atomic on POSIX); finally
+// the parent directory is fsync'd so the rename survives a power loss —
+// without it the directory entry could still be lost even though the file
+// content had reached stable storage. On any failure — including an
+// injected one at the "io.write" fault site — the temp file is removed and
+// `path` is untouched.
 #pragma once
 
 #include <functional>

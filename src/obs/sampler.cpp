@@ -49,6 +49,13 @@ MetricsSampler::~MetricsSampler() { stop(); }
 bool MetricsSampler::start() {
   std::unique_lock lock(mu_);
   if (running_ || thread_.joinable()) return running_;
+  if (stop_pending_) {
+    // A stop() raced this start() and latched first: honor it instead of
+    // launching a thread the stopper can no longer see. The latch is
+    // consumed so a later, genuinely sequential start() works normally.
+    stop_pending_ = false;
+    return false;
+  }
   FILE* f = std::fopen(opts_.path.c_str(), "w");
   if (f == nullptr) {
     lock.unlock();
@@ -58,7 +65,7 @@ bool MetricsSampler::start() {
   }
   file_ = f;
   start_ns_ = now_ns();
-  stop_requested_ = false;
+  stop_ = std::make_shared<StopToken>();
   running_ = true;
   thread_ = std::thread([this] { loop(); });
   return true;
@@ -67,10 +74,15 @@ bool MetricsSampler::start() {
 void MetricsSampler::stop() {
   {
     std::lock_guard lock(mu_);
-    if (!thread_.joinable()) return;
-    stop_requested_ = true;
+    if (!thread_.joinable()) {
+      // Nothing running from this caller's point of view — but a start()
+      // may be mid-flight on another thread. Latch so it refuses to
+      // launch rather than leaving an unstoppable sampler behind.
+      stop_pending_ = true;
+      return;
+    }
+    stop_->request_stop();
   }
-  cv_.notify_all();
   thread_.join();
   // The loop has exited; state below is no longer shared.
   if (file_ != nullptr) {
@@ -78,6 +90,7 @@ void MetricsSampler::stop() {
     file_ = nullptr;
   }
   std::lock_guard lock(mu_);
+  thread_ = std::thread();  // allow a fresh sequential start()
   running_ = false;
 }
 
@@ -93,13 +106,15 @@ std::uint64_t MetricsSampler::rows_written() const {
 
 void MetricsSampler::loop() {
   const auto interval = std::chrono::milliseconds(opts_.interval_ms);
+  // Pin this run's token: the owner only mutates `stop_` under mu_ while
+  // no thread is running, but holding our own reference keeps the wait
+  // target alive no matter how owner-side shutdown interleaves.
+  const std::shared_ptr<StopToken> token = [this] {
+    std::lock_guard lock(mu_);
+    return stop_;
+  }();
   for (;;) {
-    bool stopping;
-    {
-      std::unique_lock lock(mu_);
-      stopping =
-          cv_.wait_for(lock, interval, [this] { return stop_requested_; });
-    }
+    const bool stopping = token->wait_for_stop(interval);
     // Sample on every tick and once more on the way out, so even a run
     // shorter than one interval leaves a (final-state) row behind.
     sample_once((now_ns() - start_ns_) / 1'000'000);

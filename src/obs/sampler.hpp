@@ -23,15 +23,22 @@
 // a final sample so short runs still produce at least one row. Sampling
 // cost is one `Registry::snapshot()` per tick — mutex-protected copies of a
 // few hundred series — which is noise at the supported intervals.
+//
+// Shutdown goes through a per-run obs::StopToken: each start() mints a
+// fresh token and stop() latches it, so a stop() that races a concurrent
+// start() either stops the launched thread or latches `stop_pending_` and
+// the racing start() refuses to launch — a raced stop can never strand a
+// running sampler thread.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/stop_token.hpp"
 
 namespace mvgnn::obs {
 
@@ -55,12 +62,16 @@ class MetricsSampler {
   MetricsSampler& operator=(const MetricsSampler&) = delete;
 
   /// Opens the output file and launches the sampling thread. Returns false
-  /// (with a logged error) if the file cannot be opened; the sampler is
-  /// then inert and stop() is a no-op.
+  /// (with a logged error) if the file cannot be opened, or if a
+  /// concurrent stop() already latched this run — the sampler is then
+  /// inert and stop() is a no-op. A sequential start() after a completed
+  /// stop() begins a fresh run.
   bool start();
 
   /// Takes one final sample, stops the thread and flushes/closes the file.
-  /// Idempotent.
+  /// Idempotent. When no thread is running, latches so that a start() it
+  /// raced with refuses to launch instead of leaving an unstoppable
+  /// thread behind.
   void stop();
 
   [[nodiscard]] bool running() const;
@@ -74,8 +85,12 @@ class MetricsSampler {
   Options opts_;
   std::thread thread_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
+  /// Per-run shutdown latch; minted by start(), latched by stop(). The
+  /// loop holds its own shared_ptr so the token outlives any racing owner.
+  std::shared_ptr<StopToken> stop_;
+  /// Set by a stop() that found no run to stop; the next start() consumes
+  /// it and refuses to launch (closing the stop-raced-with-start window).
+  bool stop_pending_ = false;
   bool running_ = false;
   std::uint64_t rows_ = 0;
 

@@ -1,0 +1,67 @@
+// One-shot cooperative shutdown latch shared by the background loops in
+// this repo (the metrics sampler, the serve daemon's accept/connection/
+// batcher threads).
+//
+// The idiom these loops share: a worker ticks on an interval, checks "was I
+// asked to stop?" each tick, and the owner wants `request_stop()` to both
+// flip the flag and wake any interval wait immediately. Before this helper
+// each loop hand-rolled the mutex + condition_variable + bool triple, and
+// the sampler's copy had a real bug: a `stop()` that raced an in-progress
+// `start()` could observe "nothing to stop", return as a no-op, and leave
+// the freshly launched thread running with nobody left to join it.
+//
+// A StopToken is deliberately one-shot: it latches. A component that can be
+// restarted allocates a fresh token per run (see obs::MetricsSampler), so
+// "this run was told to stop" can never be un-observed by a racing starter
+// — whoever holds the token for run N stops run N, and a starter that lost
+// the race sees the latch and refuses to launch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace mvgnn::obs {
+
+class StopToken {
+ public:
+  StopToken() = default;
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  /// Latches the stop request and wakes every `wait_for_stop` sleeper.
+  /// Idempotent; safe from signal-adjacent contexts only via the owning
+  /// thread (it takes a mutex — call it from normal code, not handlers).
+  void request_stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  /// Lock-free check for hot loops: one relaxed-ish atomic load.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
+
+  /// Sleeps up to `timeout`, waking early when the stop latch flips.
+  /// Returns stop_requested() — `true` means "stop now", `false` means the
+  /// interval elapsed and the loop should tick again.
+  template <class Rep, class Period>
+  bool wait_for_stop(std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [this] {
+      return stopped_.load(std::memory_order_relaxed);
+    });
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace mvgnn::obs

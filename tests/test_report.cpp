@@ -405,6 +405,33 @@ TEST(ObsSampler, WritesParseableJsonlRowsWithDeltas) {
   std::filesystem::remove(path);
 }
 
+TEST(ObsSampler, StopBeforeStartLatchesAndSequentialRestartWorks) {
+  obs::Registry reg;
+  reg.counter("samp.race_total").add(1);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mvgnn_test_sampler_race.jsonl";
+  obs::MetricsSampler::Options opts;
+  opts.interval_ms = 10;
+  opts.path = path.string();
+  opts.registry = &reg;
+  obs::MetricsSampler sampler(opts);
+
+  // A stop() that races ahead of start() (e.g. a shutdown signal landing
+  // mid-startup) must win: the next start() consumes the latch and stays
+  // stopped instead of leaking a sampler thread nobody will join.
+  sampler.stop();
+  EXPECT_FALSE(sampler.start());
+  EXPECT_FALSE(sampler.running());
+
+  // The latch is one-shot: a later sequential start()/stop() cycle works.
+  ASSERT_TRUE(sampler.start());
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.rows_written(), 1u);
+}
+
 TEST(ObsSampler, StartFailsCleanlyOnUnwritablePath) {
   obs::Registry reg;
   obs::MetricsSampler::Options opts;

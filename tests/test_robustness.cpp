@@ -606,6 +606,33 @@ TEST(CacheFault, InjectedWriteFailureLeavesEntryUncachedNotFatal) {
   EXPECT_GT(c.stats().disk_entries, 0u);
 }
 
+TEST(Quarantine, CooperativeStopReturnsEmptyInterruptedBuild) {
+  const auto programs = data::build_generated_corpus(6, 77);
+  data::DatasetOptions opts;
+  opts.seed = 5;
+
+  // Flag already up (a SIGINT that landed before the build): no item
+  // starts, the dataset comes back empty — a partial dataset would
+  // silently change downstream vocabularies — and the report says
+  // interrupted so `mvgnn dataset` exits 130 instead of writing it.
+  std::atomic<bool> stop{true};
+  opts.stop_requested = &stop;
+  std::size_t skipped = 0;
+  data::BuildReport report;
+  const data::Dataset ds =
+      data::build_dataset(programs, opts, &skipped, &report);
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_TRUE(ds.samples.empty());
+
+  // Flag down: the same options build normally.
+  stop.store(false);
+  data::BuildReport clean;
+  const data::Dataset full =
+      data::build_dataset(programs, opts, &skipped, &clean);
+  EXPECT_FALSE(clean.interrupted);
+  EXPECT_GT(full.samples.size(), 0u);
+}
+
 TEST(Quarantine, InterpreterTrapSiteFiresAtTheArmedStep) {
   FaultGuard guard;
   par::Rng rng(47);

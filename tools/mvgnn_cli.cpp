@@ -30,6 +30,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <ctime>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -54,6 +55,7 @@
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "profiler/profile.hpp"
+#include "serve/server.hpp"
 #include "tensor/backend/backend.hpp"
 #include "transform/passes.hpp"
 
@@ -77,7 +79,12 @@ int usage() {
       "            classify the input program's loops\n"
       "  dataset   build a generated-corpus dataset, save it to <path>\n"
       "            (bit-identical for a given --corpus/--seed, with the\n"
-      "            cache off, cold, or warm)\n"
+      "            cache off, cold, or warm; SIGINT/SIGTERM stops the\n"
+      "            build cooperatively and exits 130)\n"
+      "  serve     long-running inference daemon: line-delimited JSON over\n"
+      "            TCP, batched forwards, admission control, hot checkpoint\n"
+      "            reload on SIGHUP or {\"cmd\":\"reload\"} (docs/serving.md).\n"
+      "            Takes no <file> argument; needs --checkpoint\n"
       "  cache     stage-cache maintenance: `mvgnn cache stats` or\n"
       "            `mvgnn cache clear` (use with --cache-dir)\n"
       "  report    aggregate a recorded run offline:\n"
@@ -118,7 +125,19 @@ int usage() {
       "                        before the process exits nonzero\n"
       "  --checkpoint-every <n> epochs between checkpoints (default 1)\n"
       "  --resume              continue from the newest checkpoint in\n"
-      "                        --checkpoint-dir (bit-identical trajectory)\n");
+      "                        --checkpoint-dir (bit-identical trajectory)\n"
+      "\n"
+      "serve options:\n"
+      "  --checkpoint <f.mvck> checkpoint to serve (required); --corpus must\n"
+      "                        match the one the checkpoint was trained with\n"
+      "  --port <n>            TCP port on 127.0.0.1 (default 7077; 0 lets\n"
+      "                        the kernel pick — the bound port is printed)\n"
+      "  --batch-max <n>       max loop samples per batched forward (32)\n"
+      "  --batch-linger-ms <n> batcher linger before a partial flush (5)\n"
+      "  --queue-depth <n>     admission cap on queued requests (128)\n"
+      "  --deadline-ms <n>     default per-request deadline; 0 = none (10000)\n"
+      "  --max-request-bytes <n> per-request line cap (1 MiB)\n"
+      "  --serve-fuel <n>      per-request interpreter step cap (20000000)\n");
   return 2;
 }
 
@@ -251,12 +270,21 @@ struct TrainOptions {
 cache::Cache* g_cache = nullptr;
 
 /// Flipped by the SIGINT/SIGTERM handler; the trainer polls it at batch
-/// boundaries, lands a final checkpoint, and the process exits 130.
+/// boundaries (landing a final checkpoint), the dataset builder between
+/// pipeline items, and the serve daemon's main loop — all exit 130.
 std::atomic<bool> g_stop{false};
+
+/// Flipped by SIGHUP while serving; the daemon's main loop consumes it and
+/// hot-reloads the startup checkpoint.
+std::atomic<bool> g_reload{false};
 
 extern "C" void handle_stop_signal(int) {
   // Async-signal-safe: only the atomic store.
   g_stop.store(true, std::memory_order_relaxed);
+}
+
+extern "C" void handle_reload_signal(int) {
+  g_reload.store(true, std::memory_order_relaxed);
 }
 
 /// Scaled-down end-to-end flow (the classify_loops example at demo size):
@@ -348,12 +376,27 @@ int cmd_dataset(const std::string& out, const TrainOptions& topts) {
   data::DatasetOptions opts;
   opts.seed = topts.seed;
   opts.cache = g_cache;
+  opts.stop_requested = &g_stop;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   obs::log_info("building dataset",
                 {{"loops", std::to_string(topts.corpus_loops)},
                  {"out", out},
                  {"cached", g_cache ? "yes" : "no"}});
+  std::size_t skipped = 0;
+  data::BuildReport build_report;
   const data::Dataset ds = data::build_dataset(
-      data::build_generated_corpus(topts.corpus_loops, 2024), opts);
+      data::build_generated_corpus(topts.corpus_loops, 2024), opts, &skipped,
+      &build_report);
+  if (build_report.interrupted) {
+    // Cooperative stop: in-flight items finished, nothing was half-written.
+    // Flush what the build learned, then exit with the interrupt code.
+    obs::log_warn("dataset build interrupted; no dataset written",
+                  {{"out", out},
+                   {"quarantined",
+                    std::to_string(build_report.quarantined.size())}});
+    return 130;
+  }
   data::save_dataset(ds, out);
   std::printf("wrote %s: %zu samples, static_dim=%u, aw_vocab=%u\n",
               out.c_str(), ds.samples.size(), ds.static_dim, ds.aw_vocab);
@@ -364,6 +407,63 @@ int cmd_dataset(const std::string& out, const TrainOptions& topts) {
                 static_cast<unsigned long long>(st.misses),
                 100.0 * st.hit_ratio());
   }
+  return 0;
+}
+
+struct ServeOptions {
+  int port = 7077;
+  std::string checkpoint;
+  std::size_t batch_max = 32;
+  std::uint64_t linger_ms = 5;
+  std::size_t queue_depth = 128;
+  std::uint64_t deadline_ms = 10'000;
+  std::size_t max_request_bytes = 1u << 20;
+  std::uint64_t fuel = 20'000'000;
+};
+
+/// Long-running inference daemon (docs/serving.md): rebuild the train-time
+/// featurization context, load the checkpoint, serve until SIGINT/SIGTERM
+/// (graceful drain), hot-reloading the checkpoint on SIGHUP.
+int cmd_serve(const TrainOptions& topts, const ServeOptions& sopts) {
+  if (sopts.checkpoint.empty()) {
+    std::fprintf(stderr, "mvgnn: serve needs --checkpoint <file.mvck>\n");
+    return 2;
+  }
+  obs::log_info("building serving context",
+                {{"corpus", std::to_string(topts.corpus_loops)},
+                 {"cached", g_cache ? "yes" : "no"}});
+  serve::ServerConfig cfg;
+  cfg.port = sopts.port;
+  cfg.checkpoint = sopts.checkpoint;
+  cfg.batch_max_samples = sopts.batch_max;
+  cfg.batch_linger_ms = sopts.linger_ms;
+  cfg.max_queue_depth = sopts.queue_depth;
+  cfg.default_deadline_ms = sopts.deadline_ms;
+  cfg.max_request_bytes = sopts.max_request_bytes;
+  cfg.interp.max_steps = sopts.fuel;
+  serve::Server server(
+      serve::build_serving_context(topts.corpus_loops, g_cache), cfg);
+  server.start();
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGHUP, handle_reload_signal);
+  // Parseable readiness line for scripts and the CI smoke test.
+  std::printf("mvgnn serve: listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    if (g_reload.exchange(false, std::memory_order_relaxed)) {
+      try {
+        server.reload("");
+      } catch (const std::exception& e) {
+        // Rejected reload already logged + counted; the old model serves.
+        obs::log_warn("serve: SIGHUP reload failed", {{"error", e.what()}});
+      }
+    }
+    struct timespec ts {0, 100'000'000};  // 100ms signal-poll tick
+    nanosleep(&ts, nullptr);
+  }
+  obs::log_info("serve: stop signal received; draining");
+  server.stop();
   return 0;
 }
 
@@ -473,6 +573,7 @@ int main(int argc, char** argv) {
   std::size_t cache_mem_mb = 0;
   bool cache_requested = false;
   TrainOptions topts;
+  ServeOptions sopts;
   bool quiet = false;
 
   auto flag_value = [&](int& a, const char* flag) -> const char* {
@@ -545,6 +646,26 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(flag_value(a, arg)));
     } else if (std::strcmp(arg, "--resume") == 0) {
       topts.resume = true;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      sopts.port = std::atoi(flag_value(a, arg));
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      sopts.checkpoint = flag_value(a, arg);
+    } else if (std::strcmp(arg, "--batch-max") == 0) {
+      sopts.batch_max = static_cast<std::size_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--batch-linger-ms") == 0) {
+      sopts.linger_ms =
+          static_cast<std::uint64_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--queue-depth") == 0) {
+      sopts.queue_depth =
+          static_cast<std::size_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      sopts.deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--max-request-bytes") == 0) {
+      sopts.max_request_bytes =
+          static_cast<std::size_t>(std::atoll(flag_value(a, arg)));
+    } else if (std::strcmp(arg, "--serve-fuel") == 0) {
+      sopts.fuel = static_cast<std::uint64_t>(std::atoll(flag_value(a, arg)));
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       return usage();
     } else if (arg[0] == '-') {
@@ -560,7 +681,9 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (command.empty() || file.empty()) return usage();
+  // Every command takes a <file> argument except `serve`, which is
+  // configured entirely by flags.
+  if (command.empty() || (file.empty() && command != "serve")) return usage();
 
   if (quiet) obs::Logger::global().set_level(obs::LogLevel::Warn);
   if (!trace_out.empty() || report) obs::TraceRecorder::global().enable();
@@ -605,6 +728,10 @@ int main(int argc, char** argv) {
     if (command == "dataset") {
       return finalize_run(metrics_out, trace_out, sampler_p, report,
                           report_fmt, cmd_dataset(file, topts));
+    }
+    if (command == "serve") {
+      return finalize_run(metrics_out, trace_out, sampler_p, report,
+                          report_fmt, cmd_serve(topts, sopts));
     }
     const std::string source = read_file(file);
     if (command == "variants") {
