@@ -1,6 +1,7 @@
 #include "analysis/suggest.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <unordered_set>
@@ -77,8 +78,11 @@ std::vector<std::string> private_scalars(
 std::vector<Suggestion> suggest_openmp(const ir::Module& m,
                                        const profiler::ProfileResult& prof) {
   std::vector<Suggestion> out;
+  // An empty or trap-truncated profile has no dynamic weight to distribute:
+  // coverage is defined as 0 there, never a division by zero steps.
+  const bool has_steps = prof.run.steps > 0;
   const double total_steps =
-      std::max<double>(1.0, static_cast<double>(prof.run.steps));
+      has_steps ? static_cast<double>(prof.run.steps) : 1.0;
 
   for (const profiler::LoopSample& ls : prof.loops) {
     Suggestion s;
@@ -87,7 +91,9 @@ std::vector<Suggestion> suggest_openmp(const ir::Module& m,
     s.start_line = ls.fn->loops[ls.loop].start_line;
     s.end_line = ls.fn->loops[ls.loop].end_line;
     s.kind = oracle_pattern(*ls.fn, ls.loop, prof.dep);
-    s.est_speedup = ls.features.esp;
+    // A non-finite ESP (degenerate feature inputs) would poison the rank
+    // with NaN and break the sort's strict weak ordering.
+    s.est_speedup = std::isfinite(ls.features.esp) ? ls.features.esp : 1.0;
 
     // Coverage: dynamic instructions attributed to the loop subtree.
     double steps_in_loop = 0.0;
@@ -99,7 +105,8 @@ std::vector<Suggestion> suggest_openmp(const ir::Module& m,
         }
       }
     }
-    s.coverage = steps_in_loop / total_steps;
+    s.coverage =
+        has_steps ? std::clamp(steps_in_loop / total_steps, 0.0, 1.0) : 0.0;
 
     if (s.kind == ParKind::Sequential) {
       s.explanation = oracle_classify(*ls.fn, ls.loop, prof.dep).reason;
@@ -134,9 +141,13 @@ std::vector<Suggestion> suggest_openmp(const ir::Module& m,
     out.push_back(std::move(s));
   }
   (void)m;
+  // Rank descending with a (function name, loop id) tie-break so equal-rank
+  // loops order identically across platforms and STL implementations.
   std::stable_sort(out.begin(), out.end(),
                    [](const Suggestion& a, const Suggestion& b) {
-                     return a.rank > b.rank;
+                     if (a.rank != b.rank) return a.rank > b.rank;
+                     if (a.fn->name != b.fn->name) return a.fn->name < b.fn->name;
+                     return a.loop < b.loop;
                    });
   return out;
 }

@@ -21,10 +21,7 @@ using ir::Value;
 
 /// One memory cell holds both representations; the instruction type decides
 /// which side is live. Keeps typed load/store trivially correct.
-struct Cell {
-  std::int64_t i = 0;
-  double f = 0.0;
-};
+using Cell = MemCell;
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
@@ -55,6 +52,7 @@ class Interp {
     for (std::size_t i = 0; i < inits.size(); ++i) {
       args.push_back(make_arg(fn->params[i], inits[i]));
     }
+    entry_args_ = args;
     RunResult res;
     res.return_value = call(*fn, std::move(args));
     res.steps = steps_;
@@ -71,6 +69,21 @@ class Interp {
     metrics.runs.add(1);
     metrics.instrs.add(steps_);
     return res;
+  }
+
+  /// Final contents of every entry array argument (empty for scalars).
+  [[nodiscard]] std::vector<std::vector<Cell>> dump_arg_arrays() const {
+    std::vector<std::vector<Cell>> out;
+    out.reserve(entry_args_.size());
+    for (const RtVal& a : entry_args_) {
+      std::vector<Cell> cells;
+      if (a.kind == RtVal::Kind::ArrayRef) {
+        cells.assign(mem_.begin() + static_cast<std::ptrdiff_t>(a.base),
+                     mem_.begin() + static_cast<std::ptrdiff_t>(a.base + a.size));
+      }
+      out.push_back(std::move(cells));
+    }
+    return out;
   }
 
  private:
@@ -402,6 +415,7 @@ class Interp {
   ExecObserver& obs_;
   ObjectTable& objects_;
   InterpOptions opts_;
+  std::vector<RtVal> entry_args_;
   std::vector<Cell> mem_;
   std::uint64_t steps_ = 0;
   std::uint64_t trap_step_ = 0;  // 0 = no injected trap armed
@@ -421,6 +435,18 @@ RunResult run(const ir::Module& m, const std::string& entry,
               const InterpOptions& opts) {
   ObjectTable objects;
   return run(m, entry, args, obs, objects, opts);
+}
+
+CapturedRun run_capture(const ir::Module& m, const std::string& entry,
+                        std::span<const ArgInit> args,
+                        const InterpOptions& opts) {
+  NullObserver obs;
+  ObjectTable objects;
+  Interp interp(m, obs, objects, opts);
+  CapturedRun out;
+  out.run = interp.run_entry(entry, args);
+  out.arg_arrays = interp.dump_arg_arrays();
+  return out;
 }
 
 }  // namespace mvgnn::profiler

@@ -70,6 +70,22 @@ struct RunResult {
   std::uint64_t steps = 0;  // dynamic instruction count
 };
 
+/// One interpreter memory cell, holding both representations (the access
+/// type decides which side is live). Public so runs can expose their final
+/// argument-array contents for output-equality checks.
+struct MemCell {
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+/// A run plus its observable output memory: the final contents of every
+/// array argument (scalar parameters get an empty vector). This is what the
+/// parallelize pass compares between sequential and parallel execution.
+struct CapturedRun {
+  RunResult run;
+  std::vector<std::vector<MemCell>> arg_arrays;
+};
+
 /// Executes `entry(args...)` of `m`, reporting events to `obs`. The object
 /// table is an in/out parameter so callers can resolve the addresses the
 /// observer saw, and fetch argument arrays after the run.
@@ -81,5 +97,13 @@ RunResult run(const ir::Module& m, const std::string& entry,
 RunResult run(const ir::Module& m, const std::string& entry,
               std::span<const ArgInit> args, ExecObserver& obs,
               const InterpOptions& opts = {});
+
+/// Unobserved sequential run that captures the final contents of the array
+/// arguments — the reference side of the parallel-equivalence check and the
+/// sequential baseline of the parallelize speedup table.
+[[nodiscard]] CapturedRun run_capture(const ir::Module& m,
+                                      const std::string& entry,
+                                      std::span<const ArgInit> args,
+                                      const InterpOptions& opts = {});
 
 }  // namespace mvgnn::profiler

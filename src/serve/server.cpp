@@ -481,8 +481,8 @@ std::string Server::handle_request(const Request& req) {
   // Early deadline rejection: if the smoothed batch latency already says
   // this deadline cannot be met, answer now instead of burning featurize
   // work on a result nobody will accept.
-  const std::uint64_t ewma = ewma_batch_ns_.load(std::memory_order_relaxed);
-  if (deadline_ns != 0 && ewma != 0 &&
+  const std::uint64_t ewma = ewma_batch_.value_ns();
+  if (deadline_ns != 0 && ewma_batch_.armed() &&
       deadline_ns < t0 + cfg_.batch_linger_ms * 1'000'000ull + ewma) {
     release(req.source.size());
     m.deadline.add();
@@ -744,10 +744,9 @@ void Server::run_batch(std::vector<std::unique_ptr<Pending>> batch) {
   m.batches.add();
   m.batch_size.observe(static_cast<double>(ptrs.size()));
   m.batch_forward_us.observe(static_cast<double>(fwd_ns / 1000));
-  // EWMA (alpha = 1/4) of the flush latency feeds early deadline rejection.
-  const std::uint64_t prev = ewma_batch_ns_.load(std::memory_order_relaxed);
-  ewma_batch_ns_.store(prev == 0 ? fwd_ns : (3 * prev + fwd_ns) / 4,
-                       std::memory_order_relaxed);
+  // EWMA of the flush latency feeds early deadline rejection; the first
+  // measured flush arms it permanently (see LatencyEwma).
+  ewma_batch_.record(fwd_ns);
 
   std::size_t row = 0;
   const std::uint64_t done = now_ns();

@@ -104,6 +104,34 @@ struct Model {
     const ServingContext& ctx, const std::string& path,
     std::uint64_t version);
 
+/// Smoothed flush-latency estimate (EWMA, alpha = 1/4) feeding early
+/// deadline rejection. Armed by an explicit flag, not by a zero sentinel:
+/// a genuinely sub-ns-rounded flush measures 0 and must keep early
+/// rejection enabled — the first measured flush arms it permanently.
+/// Writer is the batcher thread; readers are connection threads (relaxed
+/// atomics, the estimate is advisory).
+class LatencyEwma {
+ public:
+  void record(std::uint64_t sample_ns) {
+    const std::uint64_t prev = value_.load(std::memory_order_relaxed);
+    const bool was_armed = armed_.load(std::memory_order_relaxed);
+    value_.store(was_armed ? (3 * prev + sample_ns) / 4 : sample_ns,
+                 std::memory_order_relaxed);
+    if (!was_armed) armed_.store(true, std::memory_order_relaxed);
+  }
+  /// True once any flush has been measured — even one that rounded to 0.
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value_ns() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_ = {0};
+  std::atomic<bool> armed_ = {false};
+};
+
 struct ServerConfig {
   /// 0 = pick an ephemeral port; Server::port() reports the bound one.
   int port = 0;
@@ -241,8 +269,8 @@ class Server {
       std::list<std::pair<std::string,
                           std::shared_ptr<const Prepared>>>::iterator>
       prog_map_;
-  /// Smoothed per-flush batch latency (ns) for early deadline rejection.
-  std::atomic<std::uint64_t> ewma_batch_ns_ = {0};
+  /// Smoothed per-flush batch latency for early deadline rejection.
+  LatencyEwma ewma_batch_;
 
   obs::StopToken stop_;  // shared stop signal: accept + connection loops
   std::thread accept_thread_;

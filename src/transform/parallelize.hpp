@@ -1,0 +1,97 @@
+// The parallelize pass: turns suggestion-layer verdicts into an executable
+// parallel plan, runs it, and proves it equivalent.
+//
+// This closes the loop the paper leaves open — discovery verdicts (DOALL /
+// reduction) are *acted on*: plan_parallel re-validates each suggested loop
+// against the IR shape and the dynamic dependence profile (a mislabeled
+// loop is refused, never miscompiled), emits a profiler::ParPlan, and
+// run_equivalence executes sequential vs. parallel and compares the
+// observable outputs (final array-argument memory + return value).
+//
+// Safety model (docs/parallelize.md): a loop is planned only when
+//   1. the suggestion's own classification is DOALL or reduction, AND
+//   2. oracle_pattern over the dependence profile agrees (the profile is
+//      the authority: a label that contradicts it is refused), AND
+//   3. the IR matches the canonical for-loop shape (recoverable bounds,
+//      single latch increment, no early exit, no other store to the
+//      induction variable), AND
+//   4. every write target classifies cleanly: reduction chain, privatizable
+//      scalar/local array, or an iteration-disjoint shared array.
+// Verdicts 2 and 4 are dynamic: they hold for the profiled inputs (the same
+// inputs run_equivalence replays), exactly like DiscoPoP's hybrid verdicts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/suggest.hpp"
+#include "profiler/par_exec.hpp"
+#include "profiler/profile.hpp"
+
+namespace mvgnn::transform {
+
+/// Outcome of planning one suggested loop.
+struct LoopDecision {
+  const ir::Function* fn = nullptr;
+  ir::LoopId loop = ir::kNoLoop;
+  int start_line = 0;
+  int end_line = 0;
+  analysis::ParKind kind = analysis::ParKind::Sequential;
+  bool planned = false;
+  std::string pragma;  // the suggestion's pragma (planned loops only)
+  std::string reason;  // why the loop was refused (empty when planned)
+};
+
+struct ParallelPlanResult {
+  profiler::ParPlan plan;
+  std::vector<LoopDecision> decisions;
+
+  [[nodiscard]] std::size_t planned_loops() const {
+    std::size_t n = 0;
+    for (const LoopDecision& d : decisions) n += d.planned;
+    return n;
+  }
+};
+
+/// Builds a parallel plan for the entry function from ranked suggestions.
+/// Every suggested parallel loop is either planned or refused with a
+/// reason; loops outside the entry function are refused (the parallel
+/// engine shards only entry-frame loops).
+[[nodiscard]] ParallelPlanResult plan_parallel(
+    const ir::Module& m, const std::string& entry,
+    const std::vector<analysis::Suggestion>& suggestions,
+    const profiler::ProfileResult& prof);
+
+/// Sequential vs. parallel execution with output comparison.
+struct EquivalenceReport {
+  bool ran = false;    // both runs completed without faulting
+  bool equal = false;  // observable outputs match (see compare rules)
+  std::string detail;  // first mismatch / fault description
+  std::uint64_t parallel_loops = 0;  // sharded loop instances in the par run
+  std::uint64_t seq_steps = 0;
+  std::uint64_t par_steps = 0;
+  double seq_seconds = 0.0;  // wall time of the captured sequential run
+  double par_seconds = 0.0;  // wall time of the parallel run
+};
+
+/// Runs `entry(args...)` sequentially (profiler::run_capture) and in
+/// parallel mode under `plan`, then compares the observable outputs: final
+/// contents of every array argument plus the return value. Integer data and
+/// min/max-reduced floats must match bit-for-bit; float +/* reduction
+/// targets are compared within relative tolerance `float_tol` (the shards
+/// re-associate those sums/products — see the determinism contract).
+[[nodiscard]] EquivalenceReport run_equivalence(
+    const ir::Module& m, const std::string& entry,
+    std::span<const profiler::ArgInit> args, const profiler::ParPlan& plan,
+    std::uint32_t threads, const profiler::InterpOptions& opts = {},
+    double float_tol = 1e-9);
+
+/// Inserts each planned loop's pragma line directly above the loop
+/// statement in the MiniC source, matching its indentation. Refused loops
+/// are left untouched.
+[[nodiscard]] std::string annotate_source(const std::string& source,
+                                          const ParallelPlanResult& result);
+
+}  // namespace mvgnn::transform

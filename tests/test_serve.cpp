@@ -676,5 +676,27 @@ TEST(Serve, GracefulDrainAnswersEveryInFlightRequest) {
   EXPECT_GT(answered.load(), 0);
 }
 
+
+TEST(Serve, ZeroLatencyFlushPermanentlyArmsEarlyRejection) {
+  // Regression: the early-deadline-rejection estimate used `ewma == 0` as
+  // its "no estimate yet" sentinel, so a genuinely sub-ns-rounded flush
+  // disarmed it again. The first measured flush must arm it for good.
+  serve::LatencyEwma ewma;
+  EXPECT_FALSE(ewma.armed());
+  EXPECT_EQ(ewma.value_ns(), 0u);
+
+  ewma.record(0);  // a fast flush whose latency rounded down to zero
+  EXPECT_TRUE(ewma.armed());
+  EXPECT_EQ(ewma.value_ns(), 0u);
+
+  ewma.record(1000);  // blends, never resets
+  EXPECT_TRUE(ewma.armed());
+  EXPECT_EQ(ewma.value_ns(), 250u);  // (3*0 + 1000) / 4
+
+  ewma.record(1000);
+  EXPECT_TRUE(ewma.armed());
+  EXPECT_EQ(ewma.value_ns(), 437u);  // (3*250 + 1000) / 4
+}
+
 }  // namespace
 }  // namespace mvgnn

@@ -2,6 +2,9 @@
 // sequential explanations.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "analysis/suggest.hpp"
 #include "frontend/lower.hpp"
 
@@ -123,6 +126,99 @@ void kernel(int[] idx, float[] hist) {
   EXPECT_NE(r.suggestions[0].pragma.find("reduction(+:hist)"),
             std::string::npos)
       << r.suggestions[0].pragma;
+}
+
+
+// ---------------------------------------------------------------------------
+// Regression: degenerate profiles and ranking determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Suggest, EmptyProfileYieldsZeroCoverageFiniteRank) {
+  // A trap-truncated or never-run profile has zero total steps; coverage
+  // must be exactly 0 and every rank finite (a NaN rank breaks the sort's
+  // strict weak ordering — undefined behaviour).
+  auto r = run(R"(
+const int N = 16;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+)",
+               {profiler::ArgInit::of_array(16, 1)});
+  r.prof.run.steps = 0;  // simulate the truncated run
+  r.prof.dep.instr_counts.clear();
+  const auto sug = analysis::suggest_openmp(*r.module, r.prof);
+  ASSERT_EQ(sug.size(), 1u);
+  EXPECT_EQ(sug[0].coverage, 0.0);
+  EXPECT_TRUE(std::isfinite(sug[0].rank)) << sug[0].rank;
+}
+
+TEST(Suggest, NonFiniteSpeedupDoesNotPoisonTheRank) {
+  auto r = run(R"(
+const int N = 16;
+float kernel(float[] a) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = a[i] * 2.0;
+  }
+  return a[0];
+}
+)",
+               {profiler::ArgInit::of_array(16, 1)});
+  ASSERT_EQ(r.prof.loops.size(), 1u);
+  r.prof.loops[0].features.esp = std::numeric_limits<double>::infinity();
+  auto sug = analysis::suggest_openmp(*r.module, r.prof);
+  ASSERT_EQ(sug.size(), 1u);
+  EXPECT_TRUE(std::isfinite(sug[0].rank));
+  EXPECT_TRUE(std::isfinite(sug[0].est_speedup));
+
+  r.prof.loops[0].features.esp = std::numeric_limits<double>::quiet_NaN();
+  sug = analysis::suggest_openmp(*r.module, r.prof);
+  ASSERT_EQ(sug.size(), 1u);
+  EXPECT_TRUE(std::isfinite(sug[0].rank));
+}
+
+TEST(Suggest, EqualRankLoopsOrderDeterministically) {
+  // Two identical DOALL loops tie on rank; the (function, loop id)
+  // tie-break must order them identically no matter how the input list was
+  // permuted upstream (different platforms/STLs permute stable_sort input
+  // via the profiler's hash maps).
+  auto r = run(R"(
+const int N = 16;
+float kernel(float[] a, float[] b) {
+  for (int i = 0; i < N; i += 1) {
+    a[i] = a[i] * 2.0;
+  }
+  for (int i = 0; i < N; i += 1) {
+    b[i] = b[i] * 2.0;
+  }
+  return a[0] + b[0];
+}
+)",
+               {profiler::ArgInit::of_array(16, 1),
+                profiler::ArgInit::of_array(16, 2)});
+  ASSERT_EQ(r.prof.loops.size(), 2u);
+  // Force an exact tie so only the tie-break decides.
+  r.prof.loops[0].features.esp = 2.0;
+  r.prof.loops[1].features.esp = 2.0;
+  r.prof.dep.instr_counts.clear();
+  r.prof.run.steps = 0;
+
+  const auto forward = analysis::suggest_openmp(*r.module, r.prof);
+  std::swap(r.prof.loops[0], r.prof.loops[1]);
+  const auto reversed = analysis::suggest_openmp(*r.module, r.prof);
+
+  ASSERT_EQ(forward.size(), 2u);
+  ASSERT_EQ(reversed.size(), 2u);
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].rank, reversed[i].rank);
+    EXPECT_EQ(forward[i].loop, reversed[i].loop) << "position " << i;
+    EXPECT_EQ(forward[i].start_line, reversed[i].start_line);
+  }
+  // And the tie-break itself is the documented one: loop id ascending.
+  EXPECT_LT(forward[0].loop, forward[1].loop);
 }
 
 }  // namespace

@@ -2,8 +2,15 @@
 // fold/DCE/strength-reduction effectiveness, arena compaction integrity.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <span>
+
+#include "analysis/suggest.hpp"
+#include "data/kernels.hpp"
 #include "frontend/lower.hpp"
+#include "profiler/par_exec.hpp"
 #include "profiler/profile.hpp"
+#include "transform/parallelize.hpp"
 #include "transform/passes.hpp"
 
 namespace {
@@ -371,3 +378,177 @@ float kernel(float[] a, float[] b) {
 }
 
 }  // namespace inline_unroll_tests
+
+// ---------------------------------------------------------------------------
+// Parallelize pass: plan + execute + prove equivalent, over the full
+// generator corpus (the fuzz surface: every kernel family, rng-varied).
+// ---------------------------------------------------------------------------
+namespace parallelize_tests {
+
+using namespace mvgnn;
+using profiler::ArgInit;
+
+struct PlannedRun {
+  transform::ParallelPlanResult plan;
+  profiler::ProfileResult prof;
+};
+
+PlannedRun plan_of(const ir::Module& m,
+                   std::span<const ArgInit> args) {
+  PlannedRun out{.plan = {}, .prof = profiler::profile(m, "kernel", args)};
+  const auto suggestions = analysis::suggest_openmp(m, out.prof);
+  out.plan = transform::plan_parallel(m, "kernel", suggestions, out.prof);
+  return out;
+}
+
+TEST(Parallelize, GeneratorCorpusEquivalentAtEveryThreadCount) {
+  using data::Pattern;
+  const Pattern kAll[] = {
+      Pattern::VecMap,         Pattern::VecScaleInPlace,
+      Pattern::Saxpy,          Pattern::StencilCopy,
+      Pattern::ReduceSum,      Pattern::ReduceMax,
+      Pattern::DotProduct,     Pattern::PrivTemp,
+      Pattern::PrivArrayTemp,  Pattern::Recurrence,
+      Pattern::ScalarCarried,  Pattern::CondUpdateMax,
+      Pattern::EarlyExit,      Pattern::CallMapPure,
+      Pattern::CallAccumShared, Pattern::IndirectGather,
+      Pattern::IndirectHistogram, Pattern::IndirectScatter,
+      Pattern::DisjointCopy,   Pattern::MatMulNest,
+      Pattern::Jacobi2D,       Pattern::Seidel2D,
+      Pattern::TriangularUpdate, Pattern::ArrayAccumNest,
+      Pattern::ColdPath,       Pattern::WhileWrapped,
+      Pattern::FibDriver,      Pattern::NQueensStyle,
+      Pattern::ChecksumOnly,   Pattern::OffsetStencil,
+      Pattern::OffsetRecurrence, Pattern::ParamOffset,
+      Pattern::SpMV,           Pattern::Transpose,
+      Pattern::SeparableStencil, Pattern::Pipeline3,
+      Pattern::Timestepped,
+  };
+  par::Rng rng(2026);
+  std::size_t planned_total = 0;
+  for (const Pattern p : kAll) {
+    for (int variant = 0; variant < 2; ++variant) {
+      const std::string name = std::string(data::pattern_name(p)) + "_v" +
+                               std::to_string(variant);
+      const data::GenKernel k = data::generate_kernel(p, name, rng);
+      const ir::Module m = frontend::compile(k.source, name);
+      PlannedRun pr;
+      ASSERT_NO_THROW(pr = plan_of(m, k.args)) << name;
+      planned_total += pr.plan.planned_loops();
+      for (const std::uint32_t threads : {1u, 2u, 8u}) {
+        const auto rep = transform::run_equivalence(m, "kernel", k.args,
+                                                    pr.plan.plan, threads);
+        ASSERT_TRUE(rep.ran) << name << " t=" << threads << ": " << rep.detail;
+        EXPECT_TRUE(rep.equal) << name << " t=" << threads << ": "
+                               << rep.detail;
+      }
+    }
+  }
+  // The corpus must actually exercise the pass: a planner that refuses
+  // everything would vacuously "pass" the equivalence checks.
+  EXPECT_GE(planned_total, 20u);
+}
+
+TEST(Parallelize, OutputsBitIdenticalAcrossThreadCounts) {
+  // Stronger than run_equivalence: the *parallel* outputs (including
+  // re-associated float reductions) must match bit-for-bit between every
+  // worker-thread count — the fixed shard count + fixed merge order at work.
+  using data::Pattern;
+  par::Rng rng(7);
+  for (const Pattern p : {Pattern::DotProduct, Pattern::IndirectHistogram,
+                          Pattern::MatMulNest, Pattern::Jacobi2D}) {
+    const std::string name = data::pattern_name(p);
+    const data::GenKernel k = data::generate_kernel(p, name, rng);
+    const ir::Module m = frontend::compile(k.source, name);
+    const PlannedRun pr = plan_of(m, k.args);
+    ASSERT_GE(pr.plan.planned_loops(), 1u) << name;
+
+    std::vector<profiler::ParOutput> outs;
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      profiler::ParRunOptions opts;
+      opts.threads = threads;
+      outs.push_back(
+          profiler::run_parallel(m, "kernel", k.args, pr.plan.plan, opts));
+    }
+    for (std::size_t t = 1; t < outs.size(); ++t) {
+      ASSERT_EQ(outs[t].arg_arrays.size(), outs[0].arg_arrays.size());
+      for (std::size_t a = 0; a < outs[0].arg_arrays.size(); ++a) {
+        const auto& x = outs[0].arg_arrays[a];
+        const auto& y = outs[t].arg_arrays[a];
+        ASSERT_EQ(x.size(), y.size()) << name;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          EXPECT_EQ(x[i].i, y[i].i) << name << " arg " << a << "[" << i << "]";
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(x[i].f),
+                    std::bit_cast<std::uint64_t>(y[i].f))
+              << name << " arg " << a << "[" << i << "]";
+        }
+      }
+      EXPECT_EQ(outs[t].run.return_value.i, outs[0].run.return_value.i);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(outs[t].run.return_value.f),
+                std::bit_cast<std::uint64_t>(outs[0].run.return_value.f));
+    }
+  }
+}
+
+TEST(Parallelize, MislabeledLoopIsRefusedNotMiscompiled) {
+  // Force a DOALL label onto a genuine recurrence: the planner must refuse
+  // it (the dependence profile is the authority), never emit a plan.
+  const char* src = R"(
+const int N = 64;
+float kernel(float[] a) {
+  for (int i = 1; i < N; i += 1) {
+    a[i] = a[i - 1] * 0.5 + 1.0;
+  }
+  return a[N - 1];
+}
+)";
+  const ir::Module m = frontend::compile(src, "recur");
+  const std::vector<ArgInit> args = {ArgInit::of_array(64, 1)};
+  const auto prof = profiler::profile(m, "kernel", args);
+
+  analysis::Suggestion forced;
+  forced.fn = m.find("kernel");
+  forced.loop = 0;
+  forced.kind = analysis::ParKind::DoAll;  // the lie
+  forced.pragma = "#pragma omp parallel for";
+  const auto result =
+      transform::plan_parallel(m, "kernel", {forced}, prof);
+  ASSERT_EQ(result.decisions.size(), 1u);
+  EXPECT_FALSE(result.decisions[0].planned);
+  EXPECT_FALSE(result.decisions[0].reason.empty());
+  EXPECT_TRUE(result.plan.empty());
+
+  // And an empty plan runs the program unchanged.
+  const auto rep = transform::run_equivalence(m, "kernel", args,
+                                              result.plan, 8);
+  ASSERT_TRUE(rep.ran) << rep.detail;
+  EXPECT_TRUE(rep.equal) << rep.detail;
+  EXPECT_EQ(rep.parallel_loops, 0u);
+}
+
+TEST(Parallelize, AnnotateInsertsPragmaAboveLoop) {
+  const char* src = R"(const int N = 32;
+float kernel(float[] a) {
+  float s = 0.0;
+  for (int i = 0; i < N; i += 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+)";
+  const ir::Module m = frontend::compile(src, "sum");
+  const std::vector<ArgInit> args = {ArgInit::of_array(32, 1)};
+  const auto prof = profiler::profile(m, "kernel", args);
+  const auto suggestions = analysis::suggest_openmp(m, prof);
+  const auto result = transform::plan_parallel(m, "kernel", suggestions, prof);
+  ASSERT_EQ(result.planned_loops(), 1u);
+  const std::string annotated = transform::annotate_source(src, result);
+  const auto pragma_at = annotated.find("#pragma omp parallel for");
+  const auto loop_at = annotated.find("for (int i");
+  ASSERT_NE(pragma_at, std::string::npos);
+  ASSERT_NE(loop_at, std::string::npos);
+  EXPECT_LT(pragma_at, loop_at);
+  EXPECT_NE(annotated.find("reduction(+:s)"), std::string::npos);
+}
+
+}  // namespace parallelize_tests

@@ -57,6 +57,7 @@
 #include "profiler/profile.hpp"
 #include "serve/server.hpp"
 #include "tensor/backend/backend.hpp"
+#include "transform/parallelize.hpp"
 #include "transform/passes.hpp"
 
 namespace {
@@ -74,6 +75,12 @@ int usage() {
       "  profile   dependence profile + Table I loop features\n"
       "  peg       program execution graph as Graphviz DOT\n"
       "  suggest   ranked OpenMP parallelization suggestions\n"
+      "  parallelize\n"
+      "            act on the suggestions: plan a sharded parallel form of\n"
+      "            every DOALL/reduction loop, run sequential vs. parallel,\n"
+      "            assert output-memory equality, and print the annotated\n"
+      "            source plus a measured-speedup table (--threads sets the\n"
+      "            worker count, default 2; outputs are identical for all)\n"
       "  variants  effect of the six IR variant pipelines\n"
       "  train     train a small MV-GNN on a generated corpus, then\n"
       "            classify the input program's loops\n"
@@ -234,6 +241,70 @@ int cmd_suggest(const ir::Module& m) {
   for (const auto& s : analysis::suggest_openmp(m, prof)) {
     std::printf("%s\n", analysis::to_string(s).c_str());
   }
+  return 0;
+}
+
+int cmd_parallelize(const ir::Module& m, const std::string& source,
+                    std::uint32_t threads) {
+  const auto args = synth_args(kernel_of(m));
+  const auto prof = profiler::profile(m, "kernel", args);
+  const auto suggestions = analysis::suggest_openmp(m, prof);
+  const auto result = transform::plan_parallel(m, "kernel", suggestions, prof);
+
+  std::printf("loop decisions:\n");
+  for (const auto& d : result.decisions) {
+    if (d.planned) {
+      std::printf("  line %d..%d [%s]  planned   %s\n", d.start_line,
+                  d.end_line, analysis::par_kind_name(d.kind),
+                  d.pragma.c_str());
+    } else {
+      std::printf("  line %d..%d [%s]  refused   (%s)\n", d.start_line,
+                  d.end_line, analysis::par_kind_name(d.kind),
+                  d.reason.c_str());
+    }
+  }
+  if (result.plan.empty()) {
+    std::printf("\nno loop planned; program left sequential\n");
+    return 0;
+  }
+
+  // Best-of-3 timed equivalence run; equality must hold every time.
+  transform::EquivalenceReport best;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto r = transform::run_equivalence(m, "kernel", args, result.plan,
+                                              threads);
+    if (!r.ran || !r.equal) {
+      std::printf("\nEQUIVALENCE FAILED: %s\n", r.detail.c_str());
+      return 1;
+    }
+    if (rep == 0) {
+      best = r;
+    } else {
+      best.seq_seconds = std::min(best.seq_seconds, r.seq_seconds);
+      best.par_seconds = std::min(best.par_seconds, r.par_seconds);
+    }
+  }
+  const double speedup =
+      best.par_seconds > 0.0 ? best.seq_seconds / best.par_seconds : 0.0;
+  std::printf("\nequivalence: OK (%llu sharded loop instance%s, outputs match"
+              " at %u thread%s)\n",
+              static_cast<unsigned long long>(best.parallel_loops),
+              best.parallel_loops == 1 ? "" : "s", threads,
+              threads == 1 ? "" : "s");
+  std::printf("%-18s %14s %14s %9s\n", "", "sequential", "parallel",
+              "speedup");
+  std::printf("%-18s %14llu %14llu %8.2fx\n", "interpreted steps",
+              static_cast<unsigned long long>(best.seq_steps),
+              static_cast<unsigned long long>(best.par_steps),
+              best.par_steps
+                  ? static_cast<double>(best.seq_steps) /
+                        static_cast<double>(best.par_steps)
+                  : 0.0);
+  std::printf("%-18s %14.3f %14.3f %8.2fx\n", "wall time (ms)",
+              best.seq_seconds * 1e3, best.par_seconds * 1e3, speedup);
+
+  std::printf("\nannotated source:\n%s",
+              transform::annotate_source(source, result).c_str());
   return 0;
 }
 
@@ -745,6 +816,10 @@ int main(int argc, char** argv) {
       else if (command == "profile") rc = cmd_profile(m);
       else if (command == "peg") rc = cmd_peg(m);
       else if (command == "suggest") rc = cmd_suggest(m);
+      else if (command == "parallelize")
+        rc = cmd_parallelize(
+            m, source,
+            topts.threads ? static_cast<std::uint32_t>(topts.threads) : 2u);
       else return usage();
     }
   } catch (const std::exception& e) {
